@@ -1,0 +1,77 @@
+// dsmbench regenerates the paper's evaluation (§8): Table 2 and Figures
+// 4–7, on the scaled simulated Origin-2000. See EXPERIMENTS.md for the
+// recorded outputs and the comparison against the paper.
+//
+// Usage:
+//
+//	dsmbench                      run everything at full (scaled) size
+//	dsmbench -exp fig5            run one experiment
+//	                              (table2 | fig4 | fig5 | fig6 | fig7)
+//	dsmbench -quick               small sizes for a fast smoke run
+//	dsmbench -procs 1,4,16,64     override the processor sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dsmdist/internal/experiments"
+)
+
+func main() {
+	expName := flag.String("exp", "all", "experiment: all | table2 | fig4 | fig5 | fig6 | fig7")
+	quick := flag.Bool("quick", false, "use small sizes")
+	procsFlag := flag.String("procs", "", "comma-separated processor counts")
+	flag.Parse()
+
+	sizes := experiments.Full()
+	if *quick {
+		sizes = experiments.Quick()
+	}
+	if *procsFlag != "" {
+		var ps []int
+		for _, tok := range strings.Split(*procsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			die(err)
+			ps = append(ps, v)
+		}
+		sizes.Procs = ps
+	}
+
+	type expFn struct {
+		name string
+		fn   func(experiments.Sizes) ([]experiments.Row, error)
+	}
+	all := []expFn{
+		{"table2", experiments.Table2},
+		{"fig4", experiments.Fig4},
+		{"fig5", experiments.Fig5},
+		{"fig6", experiments.Fig6},
+		{"fig7", experiments.Fig7},
+	}
+	ran := 0
+	for _, e := range all {
+		if *expName != "all" && *expName != e.name {
+			continue
+		}
+		ran++
+		fmt.Printf("==== %s ====\n", e.name)
+		rows, err := e.fn(sizes)
+		die(err)
+		experiments.Print(os.Stdout, rows)
+		fmt.Println()
+	}
+	if ran == 0 {
+		die(fmt.Errorf("unknown experiment %q", *expName))
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsmbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,133 @@
+// dsmrun executes a compiled image (or compiles sources on the fly) on the
+// simulated Origin-2000 and reports time and memory-system statistics.
+//
+// Usage:
+//
+//	dsmrun [flags] prog.img
+//	dsmrun [flags] main.f [more.f ...]
+//
+// Flags:
+//
+//	-p N          processors (default 1)
+//	-policy P     first-touch | round-robin (default first-touch)
+//	-machine M    origin2000 | scaled | tiny (default scaled)
+//	-stats        print per-processor counters
+//	-arrays       print the final contents of small arrays (<= 64 elements)
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dsmdist/internal/codegen"
+	"dsmdist/internal/core"
+	"dsmdist/internal/exec"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/ospage"
+)
+
+func main() {
+	procs := flag.Int("p", 1, "number of processors")
+	policyName := flag.String("policy", "first-touch", "page policy: first-touch | round-robin")
+	machName := flag.String("machine", "scaled", "machine: origin2000 | scaled | tiny")
+	stats := flag.Bool("stats", false, "print per-processor statistics")
+	arrays := flag.Bool("arrays", false, "print final contents of small arrays")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "dsmrun: no input")
+		os.Exit(2)
+	}
+
+	var res *codegen.Result
+	if strings.HasSuffix(flag.Arg(0), ".img") {
+		f, err := os.Open(flag.Arg(0))
+		die(err)
+		res = &codegen.Result{}
+		die(gob.NewDecoder(f).Decode(res))
+		f.Close()
+	} else {
+		tc := core.New()
+		srcs := map[string]string{}
+		for _, a := range flag.Args() {
+			data, err := os.ReadFile(a)
+			die(err)
+			srcs[a] = string(data)
+		}
+		img, err := tc.Build(srcs)
+		die(err)
+		res = img.Res
+	}
+
+	var cfg *machine.Config
+	switch *machName {
+	case "origin2000":
+		cfg = machine.Origin2000(*procs)
+	case "scaled":
+		cfg = machine.Scaled(*procs)
+	case "tiny":
+		cfg = machine.Tiny(*procs)
+	default:
+		die(fmt.Errorf("unknown machine %q", *machName))
+	}
+	var policy ospage.Policy
+	switch *policyName {
+	case "first-touch", "ft":
+		policy = ospage.FirstTouch
+	case "round-robin", "rr":
+		policy = ospage.RoundRobin
+	default:
+		die(fmt.Errorf("unknown policy %q", *policyName))
+	}
+
+	run, err := exec.Run(res, cfg, exec.Options{Policy: policy})
+	die(err)
+
+	fmt.Printf("machine: %s, %d processors (%d nodes), policy %s\n",
+		cfg.Name, cfg.NProcs, cfg.NNodes(), policy)
+	fmt.Printf("cycles:  %d (%.6f s at %d MHz)\n", run.Cycles, run.Seconds(), cfg.ClockMHz)
+	if run.TimerCycles > 0 {
+		fmt.Printf("timed section: %d cycles (%.6f s)\n",
+			run.TimerCycles, cfg.Seconds(run.TimerCycles))
+	}
+	t := run.Total
+	fmt.Printf("loads %d  stores %d  L1miss %d  L2miss %d (local %d remote %d)  TLBmiss %d\n",
+		t.Loads, t.Stores, t.L1Miss, t.L2Miss, t.L2MissLocal, t.L2MissRemote, t.TLBMiss)
+	fmt.Printf("invalidations %d  interventions %d  mem-wait %d cyc  divides hw=%d soft=%d\n",
+		t.InvSent, t.Interventions, t.WaitCyc, run.HwDiv, run.SoftDiv)
+	fmt.Printf("pages: %d mapped (%d first-touch, %d round-robin, %d placed, %d migrated, %d spilled)\n",
+		run.Pages.Mapped, run.Pages.FirstTouch, run.Pages.RoundRobin,
+		run.Pages.Placed, run.Pages.Migrated, run.Pages.Spilled)
+
+	if *stats {
+		for p := 0; p < cfg.NProcs; p++ {
+			s := run.Stats[p]
+			fmt.Printf("  proc %3d: loads %10d  L2miss %8d  remote %8d  tlb %8d  wait %10d\n",
+				p, s.Loads, s.L2Miss, s.L2MissRemote, s.TLBMiss, s.WaitCyc)
+		}
+		fmt.Println("per-array L2-miss traffic:")
+		for _, st := range run.RT.Arrays {
+			fmt.Printf("  %-20s %10d misses\n", st.Plan.Unit+"."+st.Plan.Name, run.RT.Traffic(st))
+		}
+	}
+	if *arrays {
+		for _, st := range run.RT.Arrays {
+			n := st.TotalElems()
+			if n > 64 {
+				fmt.Printf("  %s.%s: %d elements (not printed)\n", st.Plan.Unit, st.Plan.Name, n)
+				continue
+			}
+			fmt.Printf("  %s.%s = %v\n", st.Plan.Unit, st.Plan.Name, run.RT.Gather(st))
+		}
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsmrun: %v\n", err)
+		os.Exit(1)
+	}
+}

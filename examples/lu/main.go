@@ -1,0 +1,70 @@
+// LU reproduces the paper's §8.1 scenario interactively: the NAS-LU-style
+// SSOR kernel over (5,n,n,n) arrays distributed (*,block,block,*), with
+// parallel initialization. Because initialization is parallel, even plain
+// first-touch placement spreads the data — the paper's finding that "all
+// four versions spread the data across the machine (although differently),
+// [so] they all achieve good performance" — while reshaping shows the best
+// cache behaviour.
+//
+//	go run ./examples/lu [-n 24] [-p 16] [-iters 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dsmdist/internal/core"
+	"dsmdist/internal/exec"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/ospage"
+	"dsmdist/internal/workloads"
+)
+
+func main() {
+	n := flag.Int("n", 24, "grid dimension (arrays are 5 x n x n x n)")
+	p := flag.Int("p", 16, "processors")
+	iters := flag.Int("iters", 1, "SSOR sweeps")
+	flag.Parse()
+
+	mb := float64(2*5**n**n**n*8) / (1 << 20)
+	base := run(workloads.LU(*n, *iters, workloads.Serial), 1, ospage.FirstTouch)
+	fmt.Printf("u, rsd: (5,%d,%d,%d) = %.1f MB total; %d processors; serial baseline %d cycles\n\n",
+		*n, *n, *n, mb, *p, base.TimerCycles)
+	fmt.Printf("%-24s %12s %9s %12s %12s\n", "version", "cycles", "speedup", "L2 misses", "remote")
+
+	cases := []struct {
+		label   string
+		variant workloads.Variant
+		policy  ospage.Policy
+	}{
+		{"first-touch", workloads.Plain, ospage.FirstTouch},
+		{"round-robin", workloads.Plain, ospage.RoundRobin},
+		{"regular distribution", workloads.Regular, ospage.FirstTouch},
+		{"reshaped distribution", workloads.Reshaped, ospage.FirstTouch},
+	}
+	for _, c := range cases {
+		res := run(workloads.LU(*n, *iters, c.variant), *p, c.policy)
+		fmt.Printf("%-24s %12d %8.2fx %12d %12d\n",
+			c.label, res.TimerCycles,
+			float64(base.TimerCycles)/float64(res.TimerCycles),
+			res.Total.L2Miss, res.Total.L2MissRemote)
+	}
+	fmt.Println("\nParallel initialization spreads pages under every policy, so the four" +
+		"\nversions stay close (§8.1); reshaping still minimizes remote misses.")
+}
+
+func run(src string, p int, policy ospage.Policy) *exec.Result {
+	tc := core.New()
+	tc.RuntimeChecks = false
+	img, err := tc.Build(map[string]string{"lu.f": src})
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	cfg := machine.Scaled(p)
+	res, err := core.Run(img, cfg, core.RunOptions{Policy: policy})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	return res
+}

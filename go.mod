@@ -1,0 +1,3 @@
+module dsmdist
+
+go 1.22

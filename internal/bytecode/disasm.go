@@ -1,0 +1,117 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders one function as readable assembly, resolving branch
+// targets to labels and annotating runtime calls.
+func Disasm(f *Fn) string {
+	var b strings.Builder
+	kind := ""
+	if f.IsRegion {
+		kind = " [region]"
+	}
+	fmt.Fprintf(&b, "%s:%s  args=%d regs=%d frame=%dB\n", f.Name, kind, f.NArgs, f.NRegs, f.FrameBytes)
+
+	// Collect branch targets for labels.
+	targets := map[int]bool{}
+	for _, in := range f.Code {
+		switch in.Op {
+		case Jmp:
+			targets[int(in.A)] = true
+		case Bz, Bnz, Blt, Ble, Bgt, Bge, Beq, Bne:
+			targets[int(in.C)] = true
+		}
+	}
+
+	for pc, in := range f.Code {
+		label := "      "
+		if targets[pc] {
+			label = fmt.Sprintf("L%-4d ", pc)
+		}
+		fmt.Fprintf(&b, "%s%4d  %s\n", label, pc, disasmInstr(in))
+	}
+	return b.String()
+}
+
+// DisasmProgram renders every function of a program.
+func DisasmProgram(p *Program) string {
+	var b strings.Builder
+	for i, f := range p.Fns {
+		if i == p.Main {
+			b.WriteString("; entry point\n")
+		}
+		b.WriteString(Disasm(f))
+		b.WriteString("\n")
+	}
+	if len(p.Syms) > 0 {
+		b.WriteString("; data symbols\n")
+		for i, s := range p.Syms {
+			fmt.Fprintf(&b, ";   %3d %-28s %8dB align %d\n", i, s.Name, s.Bytes, s.Align)
+		}
+	}
+	return b.String()
+}
+
+var rtNames = map[int32]string{
+	RTBarrier:    "barrier",
+	RTRedist:     "redistribute",
+	RTPortionLo:  "portion_lo",
+	RTPortionHi:  "portion_hi",
+	RTArgPush:    "argcheck_push",
+	RTArgPop:     "argcheck_pop",
+	RTArgCheck:   "argcheck_verify",
+	RTTimerStart: "timer_start",
+	RTTimerStop:  "timer_stop",
+	RTNestGrid:   "nest_grid",
+	RTAllocStack: "alloc_stack",
+	RTDynGrab:    "dyn_grab",
+}
+
+func disasmInstr(in Instr) string {
+	r := func(n int32) string { return fmt.Sprintf("r%d", n) }
+	switch in.Op {
+	case Nop, Halt, Ret:
+		return in.Op.String()
+	case LdI:
+		return fmt.Sprintf("ldi    %s, %d", r(in.A), in.Imm)
+	case Mov, Neg, NegF, NotL, CvtIF, CvtFI, AbsI, AbsF, SqrtF:
+		return fmt.Sprintf("%-6s %s, %s", in.Op, r(in.A), r(in.B))
+	case Add, Sub, Mul, DivI, ModI, FpDivI, FpModI,
+		AddF, SubF, MulF, DivF,
+		MinI, MaxI, MinF, MaxF,
+		CmpLt, CmpLe, CmpEq, CmpNe, CmpLtF, CmpLeF, CmpEqF, CmpNeF:
+		return fmt.Sprintf("%-6s %s, %s, %s", in.Op, r(in.A), r(in.B), r(in.C))
+	case Jmp:
+		return fmt.Sprintf("jmp    L%d", in.A)
+	case Bz, Bnz:
+		return fmt.Sprintf("%-6s %s, L%d", in.Op, r(in.A), in.C)
+	case Blt, Ble, Bgt, Bge, Beq, Bne:
+		return fmt.Sprintf("%-6s %s, %s, L%d", in.Op, r(in.A), r(in.B), in.C)
+	case Ld:
+		return fmt.Sprintf("ld     %s, [%s%+d]", r(in.A), r(in.B), in.Imm)
+	case St:
+		return fmt.Sprintf("st     [%s%+d], %s", r(in.B), in.Imm, r(in.A))
+	case MyidOp:
+		return fmt.Sprintf("myid   %s", r(in.A))
+	case NprocsOp:
+		return fmt.Sprintf("nprocs %s", r(in.A))
+	case SetArg:
+		return fmt.Sprintf("setarg %d, %s", in.A, r(in.B))
+	case GetArg:
+		return fmt.Sprintf("getarg %s, %d", r(in.A), in.B)
+	case Call:
+		return fmt.Sprintf("call   fn%d, %d args", in.Imm, in.C)
+	case ParCall:
+		return fmt.Sprintf("parcall fn%d, caps r%d..r%d", in.Imm, in.A, in.A+in.C-1)
+	case RTC:
+		name := rtNames[in.A]
+		if name == "" {
+			name = fmt.Sprintf("rt%d", in.A)
+		}
+		return fmt.Sprintf("rtc    %s, args r%d x%d", name, in.B, in.C)
+	}
+	return in.String()
+}

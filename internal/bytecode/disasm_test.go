@@ -1,0 +1,54 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisasm(t *testing.T) {
+	fn := &Fn{
+		Name: "demo", NArgs: 1, NRegs: 6, FrameBytes: 16,
+		Code: []Instr{
+			{Op: GetArg, A: 1, B: 0},
+			{Op: LdI, A: 2, Imm: 10},
+			{Op: Blt, A: 1, B: 2, C: 4},
+			{Op: St, A: 1, B: 2, Imm: 8},
+			{Op: RTC, A: RTBarrier, B: 3, C: 0},
+			{Op: Jmp, A: 0},
+			{Op: Ret},
+		},
+	}
+	out := Disasm(fn)
+	for _, want := range []string{
+		"demo:", "args=1", "frame=16B",
+		"getarg r1, 0",
+		"ldi    r2, 10",
+		"blt    r1, r2, L4",
+		"st     [r2+8], r1",
+		"rtc    barrier",
+		"jmp    L0",
+		"L0", "L4", // labels materialized
+		"ret",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("disasm missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisasmProgram(t *testing.T) {
+	p := &Program{
+		Fns: []*Fn{
+			{Name: "main", Code: []Instr{{Op: Ret}}},
+			{Name: "main$r0", IsRegion: true, Code: []Instr{{Op: Ret}}},
+		},
+		Main: 0,
+		Syms: []*DataSym{{Name: "a", Bytes: 64, Align: 8}},
+	}
+	out := DisasmProgram(p)
+	for _, want := range []string{"; entry point", "[region]", "data symbols", "a"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

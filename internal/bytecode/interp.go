@@ -1,0 +1,419 @@
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dsmdist/internal/machine"
+	"dsmdist/internal/memsim"
+)
+
+// Runtime is the service interface the RTC instruction dispatches to; the
+// runtime library (internal/rtl) implements it.
+type Runtime interface {
+	// RTCall performs runtime call id for the thread's processor with
+	// the given integer arguments and returns a result (0 when unused).
+	RTCall(t *Thread, id int, args []int64) (int64, error)
+}
+
+// Status is the result of running a thread for a quantum.
+type Status int
+
+const (
+	Running   Status = iota // quantum exhausted, more work pending
+	Done                    // function returned / program halted
+	AtParCall               // stopped at a ParCall; executor must fan out
+	AtBarrier               // stopped at an explicit dsm_barrier rendezvous
+)
+
+// ErrBarrier is the sentinel a Runtime returns from RTCall to request a
+// barrier rendezvous; the interpreter converts it into AtBarrier status and
+// the executor releases the thread once all peers arrive.
+var ErrBarrier = errors.New("bytecode: barrier rendezvous")
+
+// Costs is the per-opcode cycle table derived from a machine config.
+type Costs struct {
+	tab  [64]int64
+	ldst int64
+}
+
+// NewCosts builds the cycle table.
+func NewCosts(cfg *machine.Config) *Costs {
+	c := &Costs{}
+	set := func(ops []Op, cyc int) {
+		for _, o := range ops {
+			c.tab[o] = int64(cyc)
+		}
+	}
+	set([]Op{Nop, LdI, Mov, Add, Sub, Neg, NotL, MinI, MaxI, AbsI,
+		CmpLt, CmpLe, CmpEq, CmpNe, MyidOp, NprocsOp, SetArg, GetArg}, cfg.IntOpCyc)
+	set([]Op{Mul}, cfg.IntMulCyc)
+	set([]Op{DivI, ModI}, cfg.IntDivCyc)
+	// The §7.3 software divide: an FP divide plus a couple of fixups.
+	set([]Op{FpDivI, FpModI}, cfg.FpDivCyc+2*cfg.IntOpCyc)
+	set([]Op{AddF, SubF, NegF, MinF, MaxF, AbsF, CmpLtF, CmpLeF, CmpEqF, CmpNeF,
+		CvtIF, CvtFI}, cfg.FpOpCyc)
+	set([]Op{MulF}, cfg.FpMulCyc)
+	set([]Op{DivF}, cfg.FpDivCyc)
+	set([]Op{SqrtF}, 2*cfg.FpDivCyc)
+	set([]Op{Jmp, Bz, Bnz, Blt, Ble, Bgt, Bge, Beq, Bne}, cfg.BranchCyc)
+	set([]Op{Call, Ret, ParCall}, 4*cfg.IntOpCyc)
+	set([]Op{Halt, RTC}, cfg.IntOpCyc)
+	set([]Op{Ld, St}, cfg.IntOpCyc)
+	c.ldst = int64(cfg.IntOpCyc)
+	return c
+}
+
+type frame struct {
+	fn      *Fn
+	pc      int
+	regs    []int64
+	args    []int64
+	outArgs []int64
+	savedSP int64
+}
+
+// Thread is one processor's execution state. Threads are created by the
+// executor: one long-lived serial thread on processor 0, plus one per
+// processor for each parallel region.
+type Thread struct {
+	Proc int
+	Sys  *memsim.System
+	Prog *Program
+	RT   Runtime
+
+	// SP is the stack pointer for addressed-scalar frames; the executor
+	// initializes it into the processor's stack segment.
+	SP       int64
+	StackEnd int64
+
+	costs  *Costs
+	frames []frame
+
+	// At a ParCall these describe the pending region.
+	ParFn   int
+	ParArgs []int64
+
+	// Operation counters (the Table 2 ablation reads these: how many
+	// hardware vs software divides the generated code executed).
+	HwDiv   int64 // DivI/ModI executed
+	SoftDiv int64 // FpDivI/FpModI executed
+	Instrs  int64 // total instructions executed
+
+	Err error
+}
+
+// RuntimeError carries a trap with source context.
+type RuntimeError struct {
+	Fn  string
+	PC  int
+	Msg string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error in %s at pc=%d: %s", e.Fn, e.PC, e.Msg)
+}
+
+// NewThread creates a thread poised to run fn with the given incoming args.
+func NewThread(proc int, sys *memsim.System, prog *Program, rt Runtime, costs *Costs,
+	fnIdx int, args []int64, sp, stackEnd int64) *Thread {
+	t := &Thread{Proc: proc, Sys: sys, Prog: prog, RT: rt, SP: sp, StackEnd: stackEnd, costs: costs}
+	t.push(prog.Fns[fnIdx], args)
+	return t
+}
+
+func (t *Thread) push(fn *Fn, args []int64) {
+	f := frame{fn: fn, regs: make([]int64, fn.NRegs), args: args, savedSP: t.SP}
+	if fn.FrameBytes > 0 {
+		f.regs[FPReg] = t.SP
+		t.SP += fn.FrameBytes
+	}
+	t.frames = append(t.frames, f)
+}
+
+// Depth returns the call depth (tests).
+func (t *Thread) Depth() int { return len(t.frames) }
+
+func (t *Thread) trap(f *frame, format string, args ...any) Status {
+	t.Err = &RuntimeError{Fn: f.fn.Name, PC: f.pc - 1, Msg: fmt.Sprintf(format, args...)}
+	return Done
+}
+
+// Resume must be called after the executor finishes a ParCall fan-out.
+func (t *Thread) Resume() {
+	t.ParFn = -1
+	t.ParArgs = nil
+}
+
+// Step executes up to quantum instructions, returning the thread status.
+func (t *Thread) Step(quantum int) Status {
+	return t.StepCycles(quantum, 1<<62)
+}
+
+// StepCycles executes until either `quantum` instructions have run or the
+// processor's clock has advanced by at least maxCyc cycles. The executor
+// uses the cycle bound to keep concurrently simulated processors within one
+// bandwidth window of each other, so the shared memory-contention model
+// sees a faithful arrival order.
+func (t *Thread) StepCycles(quantum int, maxCyc int64) Status {
+	sys := t.Sys
+	costs := t.costs
+	proc := t.Proc
+	start := sys.Clock(proc)
+	var cyc int64
+	flush := func() {
+		sys.AddCycles(proc, cyc)
+		cyc = 0
+	}
+	for n := 0; n < quantum; n++ {
+		t.Instrs++
+		if n&15 == 0 && sys.Clock(proc)+cyc-start >= maxCyc {
+			flush()
+			return Running
+		}
+		if len(t.frames) == 0 {
+			flush()
+			return Done
+		}
+		f := &t.frames[len(t.frames)-1]
+		if f.pc >= len(f.fn.Code) {
+			flush()
+			return t.trap(f, "fell off end of function")
+		}
+		in := f.fn.Code[f.pc]
+		f.pc++
+		cyc += costs.tab[in.Op]
+		r := f.regs
+		switch in.Op {
+		case Nop:
+		case LdI:
+			r[in.A] = in.Imm
+		case Mov:
+			r[in.A] = r[in.B]
+		case Add:
+			r[in.A] = r[in.B] + r[in.C]
+		case Sub:
+			r[in.A] = r[in.B] - r[in.C]
+		case Mul:
+			r[in.A] = r[in.B] * r[in.C]
+		case DivI, FpDivI:
+			if r[in.C] == 0 {
+				flush()
+				return t.trap(f, "integer division by zero")
+			}
+			r[in.A] = r[in.B] / r[in.C]
+			if in.Op == DivI {
+				t.HwDiv++
+			} else {
+				t.SoftDiv++
+			}
+		case ModI, FpModI:
+			if r[in.C] == 0 {
+				flush()
+				return t.trap(f, "integer modulo by zero")
+			}
+			r[in.A] = r[in.B] % r[in.C]
+			if in.Op == ModI {
+				t.HwDiv++
+			} else {
+				t.SoftDiv++
+			}
+		case Neg:
+			r[in.A] = -r[in.B]
+		case NotL:
+			if r[in.B] == 0 {
+				r[in.A] = 1
+			} else {
+				r[in.A] = 0
+			}
+		case AddF:
+			r[in.A] = fbits(ffrom(r[in.B]) + ffrom(r[in.C]))
+		case SubF:
+			r[in.A] = fbits(ffrom(r[in.B]) - ffrom(r[in.C]))
+		case MulF:
+			r[in.A] = fbits(ffrom(r[in.B]) * ffrom(r[in.C]))
+		case DivF:
+			r[in.A] = fbits(ffrom(r[in.B]) / ffrom(r[in.C]))
+		case NegF:
+			r[in.A] = fbits(-ffrom(r[in.B]))
+		case CvtIF:
+			r[in.A] = fbits(float64(r[in.B]))
+		case CvtFI:
+			r[in.A] = int64(ffrom(r[in.B]))
+		case MinI:
+			r[in.A] = min64(r[in.B], r[in.C])
+		case MaxI:
+			r[in.A] = max64(r[in.B], r[in.C])
+		case MinF:
+			r[in.A] = fbits(math.Min(ffrom(r[in.B]), ffrom(r[in.C])))
+		case MaxF:
+			r[in.A] = fbits(math.Max(ffrom(r[in.B]), ffrom(r[in.C])))
+		case AbsI:
+			v := r[in.B]
+			if v < 0 {
+				v = -v
+			}
+			r[in.A] = v
+		case AbsF:
+			r[in.A] = fbits(math.Abs(ffrom(r[in.B])))
+		case SqrtF:
+			r[in.A] = fbits(math.Sqrt(ffrom(r[in.B])))
+		case CmpLt:
+			r[in.A] = b2i(r[in.B] < r[in.C])
+		case CmpLe:
+			r[in.A] = b2i(r[in.B] <= r[in.C])
+		case CmpEq:
+			r[in.A] = b2i(r[in.B] == r[in.C])
+		case CmpNe:
+			r[in.A] = b2i(r[in.B] != r[in.C])
+		case CmpLtF:
+			r[in.A] = b2i(ffrom(r[in.B]) < ffrom(r[in.C]))
+		case CmpLeF:
+			r[in.A] = b2i(ffrom(r[in.B]) <= ffrom(r[in.C]))
+		case CmpEqF:
+			r[in.A] = b2i(ffrom(r[in.B]) == ffrom(r[in.C]))
+		case CmpNeF:
+			r[in.A] = b2i(ffrom(r[in.B]) != ffrom(r[in.C]))
+		case Jmp:
+			f.pc = int(in.A)
+		case Bz:
+			if r[in.A] == 0 {
+				f.pc = int(in.C)
+			}
+		case Bnz:
+			if r[in.A] != 0 {
+				f.pc = int(in.C)
+			}
+		case Blt:
+			if r[in.A] < r[in.B] {
+				f.pc = int(in.C)
+			}
+		case Ble:
+			if r[in.A] <= r[in.B] {
+				f.pc = int(in.C)
+			}
+		case Bgt:
+			if r[in.A] > r[in.B] {
+				f.pc = int(in.C)
+			}
+		case Bge:
+			if r[in.A] >= r[in.B] {
+				f.pc = int(in.C)
+			}
+		case Beq:
+			if r[in.A] == r[in.B] {
+				f.pc = int(in.C)
+			}
+		case Bne:
+			if r[in.A] != r[in.B] {
+				f.pc = int(in.C)
+			}
+		case Ld:
+			addr := r[in.B] + in.Imm
+			if addr < 8 || addr >= sys.Brk() {
+				flush()
+				return t.trap(f, "load from invalid address %d", addr)
+			}
+			flush()
+			r[in.A] = int64(sys.LoadWord(proc, addr))
+		case St:
+			addr := r[in.B] + in.Imm
+			if addr < 8 || addr >= sys.Brk() {
+				flush()
+				return t.trap(f, "store to invalid address %d", addr)
+			}
+			flush()
+			sys.StoreWord(proc, addr, uint64(r[in.A]))
+		case MyidOp:
+			r[in.A] = int64(proc)
+		case NprocsOp:
+			r[in.A] = int64(sys.Cfg.NProcs)
+		case SetArg:
+			for len(f.outArgs) <= int(in.A) {
+				f.outArgs = append(f.outArgs, 0)
+			}
+			f.outArgs[in.A] = r[in.B]
+		case Call:
+			callee := t.Prog.Fns[in.Imm]
+			nargs := int(in.C)
+			args := make([]int64, nargs)
+			copy(args, f.outArgs[:nargs])
+			if t.SP+callee.FrameBytes > t.StackEnd {
+				flush()
+				return t.trap(f, "stack overflow calling %s", callee.Name)
+			}
+			if len(t.frames) > 200 {
+				flush()
+				return t.trap(f, "call depth exceeded (recursion is not supported)")
+			}
+			t.push(callee, args)
+		case GetArg:
+			if int(in.B) >= len(f.args) {
+				flush()
+				return t.trap(f, "argument %d not supplied", in.B)
+			}
+			r[in.A] = f.args[in.B]
+		case Ret:
+			t.SP = f.savedSP
+			t.frames = t.frames[:len(t.frames)-1]
+			if len(t.frames) == 0 {
+				flush()
+				return Done
+			}
+		case ParCall:
+			t.ParFn = int(in.Imm)
+			t.ParArgs = make([]int64, in.C)
+			copy(t.ParArgs, r[in.A:int(in.A)+int(in.C)])
+			flush()
+			return AtParCall
+		case RTC:
+			nargs := int(in.C)
+			args := make([]int64, nargs)
+			copy(args, r[in.B:int(in.B)+nargs])
+			flush()
+			res, err := t.RT.RTCall(t, int(in.A), args)
+			if err == ErrBarrier {
+				r[in.B] = 0
+				return AtBarrier
+			}
+			if err != nil {
+				t.Err = err
+				return Done
+			}
+			r[in.B] = res
+		case Halt:
+			flush()
+			return Done
+		default:
+			flush()
+			return t.trap(f, "illegal opcode %v", in.Op)
+		}
+	}
+	flush()
+	return Running
+}
+
+func ffrom(bits int64) float64 { return math.Float64frombits(uint64(bits)) }
+func fbits(v float64) int64    { return int64(math.Float64bits(v)) }
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,367 @@
+package codegen
+
+import (
+	"math"
+
+	"dsmdist/internal/bytecode"
+	"dsmdist/internal/ir"
+)
+
+// Expression compilation. Registers are allocated monotonically (no reuse);
+// the interpreter sizes frames from Fn.NRegs.
+
+// loadScalar yields a register holding the scalar's current value.
+func (c *fnc) loadScalar(s *ir.Sym) (int32, error) {
+	b := c.bindingOf(s)
+	switch b.kind {
+	case bindReg:
+		return b.reg, nil
+	case bindFrame:
+		r := c.reg()
+		c.emit(bytecode.Ld, r, bytecode.FPReg, 0, b.off)
+		return r, nil
+	case bindParamPtr:
+		r := c.reg()
+		c.emit(bytecode.Ld, r, b.reg, 0, 0)
+		return r, nil
+	case bindStatic:
+		base := c.reg()
+		c.emit(bytecode.LdI, base, 0, 0, 0)
+		c.reloc(b.sym, b.symOff)
+		r := c.reg()
+		c.emit(bytecode.Ld, r, base, 0, 0)
+		return r, nil
+	}
+	return 0, c.errf("cannot load scalar %s", s.Name)
+}
+
+// ldi loads an integer constant.
+func (c *fnc) ldi(v int64) int32 {
+	r := c.reg()
+	c.emit(bytecode.LdI, r, 0, 0, v)
+	return r
+}
+
+var intBinOps = map[ir.BinOp]bytecode.Op{
+	ir.Add: bytecode.Add, ir.Sub: bytecode.Sub, ir.Mul: bytecode.Mul,
+	ir.Lt: bytecode.CmpLt, ir.Le: bytecode.CmpLe,
+	ir.Eq: bytecode.CmpEq, ir.Ne: bytecode.CmpNe,
+}
+
+var fltBinOps = map[ir.BinOp]bytecode.Op{
+	ir.Add: bytecode.AddF, ir.Sub: bytecode.SubF, ir.Mul: bytecode.MulF,
+	ir.Div: bytecode.DivF,
+	ir.Lt:  bytecode.CmpLtF, ir.Le: bytecode.CmpLeF,
+	ir.Eq: bytecode.CmpEqF, ir.Ne: bytecode.CmpNeF,
+}
+
+// expr compiles an expression, returning the value register.
+func (c *fnc) expr(e ir.Expr) (int32, error) {
+	switch x := e.(type) {
+	case *ir.ConstInt:
+		return c.ldi(x.V), nil
+	case *ir.ConstReal:
+		return c.ldi(int64(math.Float64bits(x.V))), nil
+	case *ir.VarRef:
+		return c.loadScalar(x.Sym)
+	case *ir.ArrayRef:
+		addr, err := c.arrayAddr(x)
+		if err != nil {
+			return 0, err
+		}
+		r := c.reg()
+		c.emit(bytecode.Ld, r, addr, 0, 0)
+		return r, nil
+	case *ir.MemRef:
+		addr, err := c.expr(x.Addr)
+		if err != nil {
+			return 0, err
+		}
+		r := c.reg()
+		c.emit(bytecode.Ld, r, addr, 0, 0)
+		return r, nil
+	case *ir.Bin:
+		return c.binOp(x)
+	case *ir.Un:
+		v, err := c.expr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		r := c.reg()
+		switch {
+		case x.Not:
+			c.emit(bytecode.NotL, r, v, 0, 0)
+		case x.Ty == ir.Real:
+			c.emit(bytecode.NegF, r, v, 0, 0)
+		default:
+			c.emit(bytecode.Neg, r, v, 0, 0)
+		}
+		return r, nil
+	case *ir.Cvt:
+		v, err := c.expr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		r := c.reg()
+		if x.To == ir.Real {
+			c.emit(bytecode.CvtIF, r, v, 0, 0)
+		} else {
+			c.emit(bytecode.CvtFI, r, v, 0, 0)
+		}
+		return r, nil
+	case *ir.Intrinsic:
+		return c.intrinsic(x)
+	case *ir.Myid:
+		r := c.reg()
+		c.emit(bytecode.MyidOp, r, 0, 0, 0)
+		return r, nil
+	case *ir.Nprocs:
+		r := c.reg()
+		c.emit(bytecode.NprocsOp, r, 0, 0, 0)
+		return r, nil
+	case *ir.DescField:
+		desc, err := c.descHandle(x.Sym)
+		if err != nil {
+			return 0, err
+		}
+		r := c.reg()
+		c.emit(bytecode.Ld, r, desc, 0, int64((x.Dim*ir.DescFields+int(x.Field))*8))
+		return r, nil
+	case *ir.PortionBase:
+		desc, err := c.descHandle(x.Sym)
+		if err != nil {
+			return 0, err
+		}
+		proc, err := c.expr(x.Proc)
+		if err != nil {
+			return 0, err
+		}
+		off := c.reg()
+		c.emit(bytecode.Mul, off, proc, c.ldi(8), 0)
+		addr := c.reg()
+		c.emit(bytecode.Add, addr, desc, off, 0)
+		r := c.reg()
+		c.emit(bytecode.Ld, r, addr, 0, DescTableOff(len(x.Sym.Dims)))
+		return r, nil
+	case *ir.RTFunc:
+		return c.rtFunc(x)
+	case *ir.ArrayBase:
+		return c.baseHandle(x.Sym)
+	case *ir.ArgArray:
+		if x.Sym.IsReshaped() {
+			return c.descHandle(x.Sym)
+		}
+		return c.baseHandle(x.Sym)
+	}
+	return 0, c.errf("unknown expression %T", e)
+}
+
+func (c *fnc) binOp(x *ir.Bin) (int32, error) {
+	l, err := c.expr(x.L)
+	if err != nil {
+		return 0, err
+	}
+	r, err := c.expr(x.R)
+	if err != nil {
+		return 0, err
+	}
+	dst := c.reg()
+	real := x.Ty == ir.Real
+	switch x.Op {
+	case ir.Div:
+		if real {
+			c.emit(bytecode.DivF, dst, l, r, 0)
+		} else if c.g.opts.FPDiv {
+			c.emit(bytecode.FpDivI, dst, l, r, 0)
+		} else {
+			c.emit(bytecode.DivI, dst, l, r, 0)
+		}
+	case ir.Mod:
+		if c.g.opts.FPDiv {
+			c.emit(bytecode.FpModI, dst, l, r, 0)
+		} else {
+			c.emit(bytecode.ModI, dst, l, r, 0)
+		}
+	case ir.And:
+		// Operands are 0/1: min is logical and.
+		c.emit(bytecode.MinI, dst, l, r, 0)
+	case ir.Or:
+		c.emit(bytecode.MaxI, dst, l, r, 0)
+	case ir.Gt:
+		if real {
+			c.emit(bytecode.CmpLtF, dst, r, l, 0)
+		} else {
+			c.emit(bytecode.CmpLt, dst, r, l, 0)
+		}
+	case ir.Ge:
+		if real {
+			c.emit(bytecode.CmpLeF, dst, r, l, 0)
+		} else {
+			c.emit(bytecode.CmpLe, dst, r, l, 0)
+		}
+	default:
+		var op bytecode.Op
+		var ok bool
+		if real {
+			op, ok = fltBinOps[x.Op]
+		} else {
+			op, ok = intBinOps[x.Op]
+		}
+		if !ok {
+			return 0, c.errf("unsupported operator %v on %v", x.Op, x.Ty)
+		}
+		c.emit(op, dst, l, r, 0)
+	}
+	return dst, nil
+}
+
+func (c *fnc) intrinsic(x *ir.Intrinsic) (int32, error) {
+	args := make([]int32, len(x.Args))
+	for i, a := range x.Args {
+		v, err := c.expr(a)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	dst := c.reg()
+	real := x.Ty == ir.Real
+	switch x.Op {
+	case ir.IMin:
+		if real {
+			c.emit(bytecode.MinF, dst, args[0], args[1], 0)
+		} else {
+			c.emit(bytecode.MinI, dst, args[0], args[1], 0)
+		}
+	case ir.IMax:
+		if real {
+			c.emit(bytecode.MaxF, dst, args[0], args[1], 0)
+		} else {
+			c.emit(bytecode.MaxI, dst, args[0], args[1], 0)
+		}
+	case ir.IAbs:
+		if real {
+			c.emit(bytecode.AbsF, dst, args[0], 0, 0)
+		} else {
+			c.emit(bytecode.AbsI, dst, args[0], 0, 0)
+		}
+	case ir.ISqrt:
+		c.emit(bytecode.SqrtF, dst, args[0], 0, 0)
+	default:
+		return 0, c.errf("unknown intrinsic %v", x.Op)
+	}
+	return dst, nil
+}
+
+// rtFunc compiles the portion intrinsics: RTC with (descAddr, dim, proc).
+func (c *fnc) rtFunc(x *ir.RTFunc) (int32, error) {
+	var id int32
+	switch x.Kind {
+	case ir.RTNestGrid:
+		nd, err := c.expr(x.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		dm, err := c.expr(x.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		a0 := c.reg()
+		a1 := c.reg()
+		c.emit(bytecode.Mov, a0, nd, 0, 0)
+		c.emit(bytecode.Mov, a1, dm, 0, 0)
+		c.emit(bytecode.RTC, bytecode.RTNestGrid, a0, 2, 0)
+		return a0, nil
+	case ir.RTDynGrab:
+		regs := make([]int32, 3)
+		vals := make([]int32, 3)
+		for i := 0; i < 3; i++ {
+			v, err := c.expr(x.Args[i])
+			if err != nil {
+				return 0, err
+			}
+			vals[i] = v
+		}
+		for i := 0; i < 3; i++ {
+			regs[i] = c.reg()
+		}
+		for i := 0; i < 3; i++ {
+			c.emit(bytecode.Mov, regs[i], vals[i], 0, 0)
+		}
+		c.emit(bytecode.RTC, bytecode.RTDynGrab, regs[0], 3, 0)
+		return regs[0], nil
+	case ir.RTPortionLo:
+		id = bytecode.RTPortionLo
+	case ir.RTPortionHi:
+		id = bytecode.RTPortionHi
+	case ir.RTNumProcs:
+		r := c.reg()
+		c.emit(bytecode.NprocsOp, r, 0, 0, 0)
+		return r, nil
+	case ir.RTMyProc:
+		r := c.reg()
+		c.emit(bytecode.MyidOp, r, 0, 0, 0)
+		return r, nil
+	default:
+		return 0, c.errf("unknown runtime function %d", x.Kind)
+	}
+	desc, err := c.descHandle(x.Sym)
+	if err != nil {
+		return 0, err
+	}
+	dimV, err := c.expr(x.Args[0])
+	if err != nil {
+		return 0, err
+	}
+	procV, err := c.expr(x.Args[1])
+	if err != nil {
+		return 0, err
+	}
+	// Three consecutive registers for the RTC.
+	a0 := c.reg()
+	a1 := c.reg()
+	a2 := c.reg()
+	c.emit(bytecode.Mov, a0, desc, 0, 0)
+	c.emit(bytecode.Mov, a1, dimV, 0, 0)
+	c.emit(bytecode.Mov, a2, procV, 0, 0)
+	c.emit(bytecode.RTC, id, a0, 3, 0)
+	return a0, nil
+}
+
+// arrayAddr computes the byte address of a (non-reshaped) array element:
+// base + 8 * sum((idx_k - 1) * prod(extent_1..k-1)), column-major.
+func (c *fnc) arrayAddr(ar *ir.ArrayRef) (int32, error) {
+	if ar.Sym.IsReshaped() {
+		return 0, c.errf("internal: reshaped reference to %s survived xform", ar.Sym.Name)
+	}
+	base, err := c.baseHandle(ar.Sym)
+	if err != nil {
+		return 0, err
+	}
+
+	// Build the offset expression in IR so constant folding applies,
+	// then compile it.
+	off := ir.Expr(ir.CI(0))
+	stride := ir.Expr(ir.CI(1))
+	for d, idx := range ar.Sym.Dims {
+		sub := ir.ISub(ar.Idx[d], ir.CI(1))
+		off = ir.IAdd(off, ir.IMul(sub, stride))
+		if d < len(ar.Sym.Dims)-1 {
+			var ext ir.Expr
+			if idx == nil {
+				return 0, c.errf("assumed-size dimension of %s must be last", ar.Sym.Name)
+			}
+			ext = ir.CloneExpr(idx)
+			stride = ir.IMul(stride, ext)
+		}
+	}
+	offReg, err := c.expr(off)
+	if err != nil {
+		return 0, err
+	}
+	bytes := c.reg()
+	c.emit(bytecode.Mul, bytes, offReg, c.ldi(8), 0)
+	addr := c.reg()
+	c.emit(bytecode.Add, addr, base, bytes, 0)
+	return addr, nil
+}

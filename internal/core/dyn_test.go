@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"dsmdist/internal/ospage"
+)
+
+func TestDynamicLocalArray(t *testing.T) {
+	img := build(t, `
+      program p
+      real*8 out(12)
+      call work(out, 12)
+      end
+
+      subroutine work(o, n)
+      integer n, i
+      real*8 o(n), w(2*n)
+      do i = 1, 2*n
+        w(i) = dble(i)
+      end do
+      do i = 1, n
+        o(i) = w(i) + w(i + n)
+      end do
+      return
+      end
+`)
+	res := run(t, img, 2, ospage.FirstTouch)
+	o := arr(t, res, "p", "out")
+	for i := 1; i <= 12; i++ {
+		want := float64(i) + float64(i+12)
+		if o[i-1] != want {
+			t.Fatalf("o(%d) = %v, want %v", i, o[i-1], want)
+		}
+	}
+}
+
+func TestDynamicLocalArrayRepeatedCalls(t *testing.T) {
+	// Stack storage must be reclaimed between calls.
+	img := build(t, `
+      program p
+      real*8 out(4)
+      integer k
+      do k = 1, 200
+        call work(out, 4)
+      end do
+      end
+
+      subroutine work(o, n)
+      integer n, i
+      real*8 o(n), w(2048)
+      do i = 1, n
+        w(i) = dble(i)
+        o(i) = w(i)
+      end do
+      return
+      end
+`)
+	res := run(t, img, 1, ospage.FirstTouch)
+	o := arr(t, res, "p", "out")
+	for i := 1; i <= 4; i++ {
+		if o[i-1] != float64(i) {
+			t.Fatalf("o(%d) = %v", i, o[i-1])
+		}
+	}
+}
+
+func TestDistributedDynamicLocalRejected(t *testing.T) {
+	tc := New()
+	_, err := tc.Build(map[string]string{"m.f": `
+      program p
+      call work(8)
+      end
+
+      subroutine work(n)
+      integer n
+      real*8 w(n)
+c$distribute_reshape w(block)
+      w(1) = 0.0
+      return
+      end
+`})
+	if err == nil {
+		t.Fatal("distributed dynamic local accepted")
+	}
+}

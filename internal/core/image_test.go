@@ -1,0 +1,55 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"dsmdist/internal/codegen"
+	"dsmdist/internal/exec"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/ospage"
+)
+
+// TestImageGobRoundTrip covers the dsmfc -o / dsmrun prog.img path: a linked
+// image survives gob serialization and runs identically.
+func TestImageGobRoundTrip(t *testing.T) {
+	img := build(t, `
+      program p
+      real*8 a(40)
+c$distribute_reshape a(cyclic(5))
+      integer i
+c$doacross local(i) affinity(i) = data(a(i))
+      do i = 1, 40
+        a(i) = dble(i) * 7.0
+      end do
+      end
+`)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img.Res); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var back codegen.Result
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	res1, err := exec.Run(img.Res, machine.Tiny(4), exec.Options{Policy: ospage.FirstTouch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symbol addresses were patched by the first load; reset them so the
+	// decoded image loads fresh.
+	res2, err := exec.Run(&back, machine.Tiny(4), exec.Options{Policy: ospage.FirstTouch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Cycles != res2.Cycles {
+		t.Fatalf("decoded image ran differently: %d vs %d cycles", res1.Cycles, res2.Cycles)
+	}
+	a := res2.RT.Gather(res2.RT.ArrayByName("p", "a"))
+	for i := 0; i < 40; i++ {
+		if a[i] != float64(i+1)*7 {
+			t.Fatalf("a[%d] = %v", i, a[i])
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"dsmdist/internal/machine"
+	"dsmdist/internal/ospage"
+)
+
+func TestDoacrossInSubroutineWithParamArray(t *testing.T) {
+	img := build(t, `
+      program p
+      real*8 a(32)
+      call fill(a, 32)
+      end
+
+      subroutine fill(x, n)
+      integer n, i
+      real*8 x(n)
+c$doacross local(i) shared(x, n)
+      do i = 1, n
+        x(i) = dble(i) * 3.0
+      end do
+      return
+      end
+`)
+	res := run(t, img, 4, ospage.FirstTouch)
+	a := arr(t, res, "p", "a")
+	for i := 0; i < 32; i++ {
+		if a[i] != float64(i+1)*3 {
+			t.Fatalf("a[%d] = %v", i, a[i])
+		}
+	}
+	_ = machine.Tiny
+}

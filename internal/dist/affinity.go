@@ -1,0 +1,193 @@
+package dist
+
+// Affinity scheduling (paper §3.4, Figure 2).
+//
+// A parallel loop
+//
+//	c$doacross affinity(i) = data(A(a*i + c))
+//	do i = LB, UB, step
+//
+// is executed so that iteration i runs on the processor owning element
+// a*i+c of the distributed dimension of A. The compiler transforms the loop
+// into an outer processor loop and inner loops that enumerate exactly the
+// iterations owned by each processor (Figure 2 gives the closed forms for
+// block, cyclic and block-cyclic). The functions here compute those per-
+// processor iteration sets; both the affinity-scheduling codegen and the
+// tiling transformation of §7.1 use them.
+//
+// Indices handed to this file are zero-based: the front end rewrites the
+// one-based Fortran subscript a*i+c into zero-based element space before
+// asking for bounds. The paper requires a to be a non-negative literal
+// constant and c a literal constant (§3.4); a == 0 would make every
+// iteration map to one element, which sema rejects, so a >= 1 here.
+
+// IterRange is a strided iteration range: i = Lo, Lo+Step, ..., while
+// i <= Hi. Empty when Lo > Hi.
+type IterRange struct {
+	Lo, Hi, Step int
+}
+
+// Empty reports whether the range contains no iterations.
+func (r IterRange) Empty() bool { return r.Lo > r.Hi }
+
+// Count returns the number of iterations in the range.
+func (r IterRange) Count() int {
+	if r.Empty() {
+		return 0
+	}
+	return (r.Hi-r.Lo)/r.Step + 1
+}
+
+// ceilDiv returns ceil(a/b) for b > 0 and any sign of a.
+func ceilDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+// floorDiv returns floor(a/b) for b > 0 and any sign of a.
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// alignUp returns the smallest i >= lo with i ≡ base (mod step), step > 0.
+func alignUp(lo, base, step int) int {
+	d := lo - base
+	return base + ceilDiv(d, step)*step
+}
+
+// AffineIters returns the iterations of do i = lb, ub, step (step > 0) that
+// processor p must execute under affinity(i) = data(A(a*i + c)), where
+// a*i+c is the zero-based element index into the dimension described by m.
+//
+// Block and Star produce a single range; cyclic produces one strided range
+// when a == 1 (Figure 2's cyclic case); everything else falls back to one
+// range per owned stripe. The bool result is false when iterations exist for
+// other processors but none for p.
+func (m DimMap) AffineIters(p, a, c, lb, ub, step int) []IterRange {
+	if step <= 0 || a < 1 {
+		return nil
+	}
+	switch m.Kind {
+	case Star:
+		if p != 0 {
+			return nil
+		}
+		return []IterRange{{lb, ub, step}}
+	case Block:
+		// p owns elements [p*b, min((p+1)*b, N)); solve for i.
+		elo := p * m.B
+		ehi := elo + m.B
+		if ehi > m.N {
+			ehi = m.N
+		}
+		if elo >= ehi {
+			return nil
+		}
+		// elo <= a*i + c <= ehi-1
+		ilo := ceilDiv(elo-c, a)
+		ihi := floorDiv(ehi-1-c, a)
+		if ilo < lb {
+			ilo = lb
+		}
+		if ihi > ub {
+			ihi = ub
+		}
+		ilo = alignUp(ilo, lb, step)
+		if ilo > ihi {
+			return nil
+		}
+		return []IterRange{{ilo, ihi, step}}
+	case Cyclic:
+		if a == 1 && step == 1 {
+			// Figure 2: do i = LB + ((p - LB - c) mod P), UB, P
+			off := ((p-lb-c)%m.P + m.P) % m.P
+			lo := lb + off
+			if lo > ub {
+				return nil
+			}
+			return []IterRange{{lo, ub, m.P}}
+		}
+		return m.stripeIters(p, a, c, lb, ub, step)
+	case BlockCyclic:
+		return m.stripeIters(p, a, c, lb, ub, step)
+	}
+	return nil
+}
+
+// stripeIters derives iteration ranges from the owned element stripes; used
+// for cyclic(k) and for the cyclic cases Figure 2 omits "for brevity".
+func (m DimMap) stripeIters(p, a, c, lb, ub, step int) []IterRange {
+	var out []IterRange
+	for _, r := range m.OwnedRanges(p) {
+		ilo := ceilDiv(r.Lo-c, a)
+		ihi := floorDiv(r.Hi-1-c, a)
+		if ilo < lb {
+			ilo = lb
+		}
+		if ihi > ub {
+			ihi = ub
+		}
+		ilo = alignUp(ilo, lb, step)
+		if ilo <= ihi {
+			out = append(out, IterRange{ilo, ihi, step})
+		}
+	}
+	return out
+}
+
+// BlockPartition splits do i = lb, ub, step (step > 0) into nproc
+// near-equal contiguous pieces and returns piece p; this implements the
+// default schedtype(simple) static scheduling of doacross loops without an
+// affinity clause.
+func BlockPartition(p, nproc, lb, ub, step int) IterRange {
+	if step <= 0 || lb > ub || nproc <= 0 {
+		return IterRange{1, 0, 1}
+	}
+	n := (ub-lb)/step + 1
+	per := n / nproc
+	rem := n % nproc
+	lo := p * per
+	if p < rem {
+		lo += p
+	} else {
+		lo += rem
+	}
+	cnt := per
+	if p < rem {
+		cnt++
+	}
+	if cnt == 0 {
+		return IterRange{1, 0, 1}
+	}
+	first := lb + lo*step
+	last := first + (cnt-1)*step
+	return IterRange{first, last, step}
+}
+
+// InterleavePartition returns processor p's iterations under
+// schedtype(interleave): i = lb + p*step*chunk stripes dealt round-robin.
+func InterleavePartition(p, nproc, lb, ub, step, chunk int) []IterRange {
+	if step <= 0 || lb > ub || nproc <= 0 {
+		return nil
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	var out []IterRange
+	stripe := step * chunk
+	for lo := lb + p*stripe; lo <= ub; lo += nproc * stripe {
+		hi := lo + (chunk-1)*step
+		if hi > ub {
+			hi = ub
+		}
+		out = append(out, IterRange{lo, hi, step})
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allKinds(n, p int) []DimMap {
+	return []DimMap{
+		NewDimMap(Dim{Kind: Star}, n, p),
+		NewDimMap(Dim{Kind: Block}, n, p),
+		NewDimMap(Dim{Kind: Cyclic}, n, p),
+		NewDimMap(Dim{Kind: BlockCyclic, Chunk: 1}, n, p),
+		NewDimMap(Dim{Kind: BlockCyclic, Chunk: 3}, n, p),
+		NewDimMap(Dim{Kind: BlockCyclic, Chunk: 5}, n, p),
+	}
+}
+
+func TestBlockSize(t *testing.T) {
+	cases := []struct{ n, p, want int }{
+		{10, 2, 5}, {10, 3, 4}, {1, 4, 1}, {7, 7, 1}, {7, 8, 1}, {1000, 3, 334},
+	}
+	for _, c := range cases {
+		if got := BlockSize(c.n, c.p); got != c.want {
+			t.Errorf("BlockSize(%d,%d) = %d, want %d", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+func TestTable1BlockExample(t *testing.T) {
+	// real*8 A(1000); distribute_reshape A(cyclic(5)); portions are 5
+	// elements each (paper §3.2.1 example).
+	m := NewDimMap(Dim{Kind: BlockCyclic, Chunk: 5}, 1000, 4)
+	for i := 0; i < 1000; i++ {
+		owner := m.Owner(i)
+		want := (i / 5) % 4
+		if owner != want {
+			t.Fatalf("cyclic(5) owner(%d) = %d, want %d", i, owner, want)
+		}
+	}
+}
+
+// TestOwnerOffsetGlobalRoundTrip checks the Table 1 transforms are the exact
+// inverse of Global for every kind.
+func TestOwnerOffsetGlobalRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16, 100, 1001} {
+		for _, p := range []int{1, 2, 3, 4, 7, 16} {
+			for _, m := range allKinds(n, p) {
+				for i := 0; i < n; i++ {
+					o, off := m.Owner(i), m.Offset(i)
+					if o < 0 || (m.Distributed() && o >= m.P) {
+						t.Fatalf("%v n=%d p=%d: owner(%d)=%d out of range", m.Dim, n, p, i, o)
+					}
+					if back := m.Global(o, off); back != i {
+						t.Fatalf("%v n=%d p=%d: Global(Owner,Offset)(%d) = %d", m.Dim, n, p, i, back)
+					}
+					if off < 0 || off >= m.PortionLen(o) {
+						t.Fatalf("%v n=%d p=%d: offset(%d)=%d outside portion len %d",
+							m.Dim, n, p, i, off, m.PortionLen(o))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPortionLenSums checks that the portions partition the dimension.
+func TestPortionLenSums(t *testing.T) {
+	for _, n := range []int{1, 5, 64, 999} {
+		for _, p := range []int{1, 2, 5, 13} {
+			for _, m := range allKinds(n, p) {
+				total := 0
+				procs := m.P
+				if m.Kind == Star {
+					procs = 1
+				}
+				for q := 0; q < procs; q++ {
+					pl := m.PortionLen(q)
+					if pl < 0 {
+						t.Fatalf("%v: negative portion", m.Dim)
+					}
+					if pl > m.MaxPortionLen() {
+						t.Fatalf("%v n=%d p=%d proc=%d: portion %d > max %d",
+							m.Dim, n, p, q, pl, m.MaxPortionLen())
+					}
+					total += pl
+				}
+				if total != n {
+					t.Fatalf("%v n=%d p=%d: portions sum to %d", m.Dim, n, p, total)
+				}
+			}
+		}
+	}
+}
+
+// TestOwnedRangesMatchOwner checks OwnedRanges enumerates exactly the owned
+// elements.
+func TestOwnedRangesMatchOwner(t *testing.T) {
+	for _, n := range []int{1, 17, 100} {
+		for _, p := range []int{1, 3, 8} {
+			for _, m := range allKinds(n, p) {
+				procs := m.P
+				if m.Kind == Star {
+					procs = 1
+				}
+				seen := make([]bool, n)
+				for q := 0; q < procs; q++ {
+					count := 0
+					for _, r := range m.OwnedRanges(q) {
+						for i := r.Lo; i < r.Hi; i++ {
+							if m.Owner(i) != q {
+								t.Fatalf("%v: range of %d contains %d owned by %d",
+									m.Dim, q, i, m.Owner(i))
+							}
+							if seen[i] {
+								t.Fatalf("%v: element %d in two ranges", m.Dim, i)
+							}
+							seen[i] = true
+							count++
+						}
+					}
+					if count != m.PortionLen(q) {
+						t.Fatalf("%v proc %d: ranges cover %d, portion is %d",
+							m.Dim, q, count, m.PortionLen(q))
+					}
+				}
+				for i, s := range seen {
+					if !s {
+						t.Fatalf("%v: element %d uncovered", m.Dim, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAffineItersPartition is the key Figure 2 property: over all
+// processors, the affinity iteration sets partition the original loop, and
+// each iteration is assigned to the owner of its referenced element.
+func TestAffineItersPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(120)
+		p := 1 + rng.Intn(9)
+		a := 1 + rng.Intn(3)
+		lb := rng.Intn(10)
+		ub := lb + rng.Intn(40) - 5 // possibly empty
+		step := 1 + rng.Intn(3)
+		// choose c so that a*i + c stays within [0, n) for i in
+		// [lb, ub]; skip impossible combos.
+		maxE := a*ub + 0
+		if maxE >= n || ub < lb {
+			continue
+		}
+		c := rng.Intn(n - maxE)
+		for _, m := range allKinds(n, p) {
+			procs := m.P
+			if m.Kind == Star {
+				procs = 1
+			}
+			got := map[int]int{} // iteration -> proc
+			for q := 0; q < procs; q++ {
+				for _, r := range m.AffineIters(q, a, c, lb, ub, step) {
+					for i := r.Lo; i <= r.Hi; i += r.Step {
+						if prev, dup := got[i]; dup {
+							t.Fatalf("%v: iter %d on procs %d and %d", m.Dim, i, prev, q)
+						}
+						got[i] = q
+						if (i-lb)%step != 0 || i < lb || i > ub {
+							t.Fatalf("%v: iter %d outside do %d,%d,%d", m.Dim, i, lb, ub, step)
+						}
+						if own := m.Owner(a*i + c); own != q {
+							t.Fatalf("%v: iter %d (elem %d) ran on %d, owner %d",
+								m.Dim, i, a*i+c, q, own)
+						}
+					}
+				}
+			}
+			want := 0
+			for i := lb; i <= ub; i += step {
+				want++
+				if _, ok := got[i]; !ok {
+					t.Fatalf("%v n=%d p=%d a=%d c=%d: iter %d unassigned", m.Dim, n, p, a, c, i)
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("%v: %d iters assigned, want %d", m.Dim, len(got), want)
+			}
+		}
+	}
+}
+
+func TestBlockPartitionCovers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lb := rng.Intn(20) - 10
+		n := rng.Intn(50)
+		step := 1 + rng.Intn(4)
+		ub := lb + (n-1)*step
+		np := 1 + rng.Intn(10)
+		seen := map[int]bool{}
+		total := 0
+		for p := 0; p < np; p++ {
+			r := BlockPartition(p, np, lb, ub, step)
+			for i := r.Lo; i <= r.Hi; i += r.Step {
+				if seen[i] {
+					return false
+				}
+				seen[i] = true
+				total++
+			}
+		}
+		want := 0
+		for i := lb; i <= ub; i += step {
+			want++
+			if !seen[i] {
+				return false
+			}
+		}
+		return total == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockPartitionBalance(t *testing.T) {
+	// piece sizes differ by at most 1
+	for np := 1; np <= 9; np++ {
+		for n := 0; n <= 30; n++ {
+			lo, hi := 1, n
+			min, max := 1<<30, 0
+			for p := 0; p < np; p++ {
+				c := BlockPartition(p, np, lo, hi, 1).Count()
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			if n > 0 && max-min > 1 {
+				t.Fatalf("np=%d n=%d: piece sizes range %d..%d", np, n, min, max)
+			}
+		}
+	}
+}
+
+func TestInterleavePartitionCovers(t *testing.T) {
+	for _, chunk := range []int{1, 2, 5} {
+		for np := 1; np <= 6; np++ {
+			seen := map[int]int{}
+			lb, ub, step := 3, 40, 2
+			for p := 0; p < np; p++ {
+				for _, r := range InterleavePartition(p, np, lb, ub, step, chunk) {
+					for i := r.Lo; i <= r.Hi; i += r.Step {
+						if q, dup := seen[i]; dup {
+							t.Fatalf("chunk=%d np=%d: iter %d on %d and %d", chunk, np, i, q, p)
+						}
+						seen[i] = p
+					}
+				}
+			}
+			for i := lb; i <= ub; i += step {
+				if _, ok := seen[i]; !ok {
+					t.Fatalf("chunk=%d np=%d: iter %d missing", chunk, np, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSpecEqual(t *testing.T) {
+	a := Spec{Dims: []Dim{{Kind: Star}, {Kind: Block}}, Reshape: true}
+	b := Spec{Dims: []Dim{{Kind: Star}, {Kind: Block}}, Reshape: true}
+	if !a.Equal(b) {
+		t.Error("identical specs not equal")
+	}
+	c := Spec{Dims: []Dim{{Kind: Star}, {Kind: Block}}}
+	if a.Equal(c) {
+		t.Error("reshape flag ignored")
+	}
+	d := Spec{Dims: []Dim{{Kind: Star}, {Kind: BlockCyclic, Chunk: 2}}, Reshape: true}
+	e := Spec{Dims: []Dim{{Kind: Star}, {Kind: BlockCyclic, Chunk: 3}}, Reshape: true}
+	if d.Equal(e) {
+		t.Error("cyclic chunk ignored")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{}).Validate(); err == nil {
+		t.Error("empty spec accepted")
+	}
+	bad := Spec{Dims: []Dim{{Kind: BlockCyclic, Chunk: 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("cyclic(0) accepted")
+	}
+	ok := Spec{Dims: []Dim{{Kind: Block}, {Kind: Star}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Dims: []Dim{{Kind: Star}, {Kind: Block}, {Kind: BlockCyclic, Chunk: 4}}, Reshape: true}
+	want := "distribute_reshape(*,block,cyclic(4))"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

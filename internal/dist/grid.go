@@ -1,0 +1,163 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Processor grids (paper §3.2: "The number of processors in each distributed
+// dimension is determined at program start-up time ... the distribute
+// directive can contain an optional onto clause specifying how the total
+// number of processors should be assigned across multiple distributed array
+// dimensions").
+//
+// A Grid assigns a processor count to each distributed dimension of a spec
+// such that the product equals the processors actually used (≤ nprocs, and
+// equal to nprocs whenever nprocs can be factored onto the dimensions). The
+// linearization order is column-major over the distributed dimensions,
+// matching the array layout, so that grid coordinates convert to the single
+// runtime processor id used by the executor.
+
+// Grid is the processor arrangement for one distributed array.
+type Grid struct {
+	Spec Spec
+	// DimProcs[d] is the processor count along array dimension d
+	// (1 for Star dimensions).
+	DimProcs []int
+	// Used is the total number of processors the grid occupies
+	// (product of DimProcs).
+	Used int
+}
+
+// NewGrid computes the processor grid for spec on nprocs processors,
+// honouring onto weights when present. With a single distributed dimension
+// the grid is simply nprocs. With several, nprocs is factored and the
+// factors are assigned to dimensions so the per-dimension counts are as
+// close as possible to the onto ratios (equal ratios when no onto clause is
+// given). The assignment is deterministic.
+func NewGrid(spec Spec, nprocs int) (Grid, error) {
+	if err := spec.Validate(); err != nil {
+		return Grid{}, err
+	}
+	if nprocs < 1 {
+		return Grid{}, fmt.Errorf("dist: grid needs at least 1 processor, got %d", nprocs)
+	}
+	g := Grid{Spec: spec, DimProcs: make([]int, len(spec.Dims)), Used: 1}
+	for i := range g.DimProcs {
+		g.DimProcs[i] = 1
+	}
+	dd := spec.DistributedDims()
+	switch len(dd) {
+	case 0:
+		return g, nil
+	case 1:
+		g.DimProcs[dd[0]] = nprocs
+		g.Used = nprocs
+		return g, nil
+	}
+
+	weights := make([]float64, len(dd))
+	for i, d := range dd {
+		w := spec.Dims[d].Onto
+		if w <= 0 {
+			w = 1
+		}
+		weights[i] = float64(w)
+	}
+
+	// Greedily hand out the prime factors of nprocs, largest first, to
+	// the dimension whose current count is furthest below its target
+	// share.
+	factors := primeFactors(nprocs)
+	sort.Sort(sort.Reverse(sort.IntSlice(factors)))
+	counts := make([]int, len(dd))
+	for i := range counts {
+		counts[i] = 1
+	}
+	total := 1
+	for _, f := range factors {
+		best, bestScore := 0, -1.0
+		for i := range dd {
+			// score: how far below the weighted target this dim is.
+			score := weights[i] / float64(counts[i])
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		counts[best] *= f
+		total *= f
+	}
+	for i, d := range dd {
+		g.DimProcs[d] = counts[i]
+	}
+	g.Used = total
+	return g, nil
+}
+
+// primeFactors returns the prime factorization of n (n >= 1) with
+// multiplicity, in increasing order.
+func primeFactors(n int) []int {
+	var out []int
+	for f := 2; f*f <= n; f++ {
+		for n%f == 0 {
+			out = append(out, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Coord converts the linear processor id (0 <= id < Used) into per-dimension
+// grid coordinates, column-major over array dimensions (the first
+// distributed dimension varies fastest).
+func (g Grid) Coord(id int) []int {
+	coord := make([]int, len(g.DimProcs))
+	for d, p := range g.DimProcs {
+		if p <= 1 {
+			continue
+		}
+		coord[d] = id % p
+		id /= p
+	}
+	return coord
+}
+
+// Linear is the inverse of Coord.
+func (g Grid) Linear(coord []int) int {
+	id := 0
+	mul := 1
+	for d, p := range g.DimProcs {
+		if p <= 1 {
+			continue
+		}
+		id += coord[d] * mul
+		mul *= p
+	}
+	return id
+}
+
+// Maps instantiates the per-dimension DimMaps for an array with the given
+// extents under this grid.
+func (g Grid) Maps(extents []int) ([]DimMap, error) {
+	if len(extents) != len(g.Spec.Dims) {
+		return nil, fmt.Errorf("dist: spec has %d dims, array has %d", len(g.Spec.Dims), len(extents))
+	}
+	maps := make([]DimMap, len(extents))
+	for d := range extents {
+		maps[d] = NewDimMap(g.Spec.Dims[d], extents[d], g.DimProcs[d])
+	}
+	return maps, nil
+}
+
+// OwnerLinear returns the linear processor id owning the element with the
+// given zero-based subscripts.
+func (g Grid) OwnerLinear(maps []DimMap, idx []int) int {
+	coord := make([]int, len(maps))
+	for d := range maps {
+		coord[d] = maps[d].Owner(idx[d])
+	}
+	return g.Linear(coord)
+}

@@ -1,0 +1,145 @@
+package dist
+
+import "testing"
+
+func spec2(d1, d2 Kind) Spec {
+	return Spec{Dims: []Dim{{Kind: d1}, {Kind: d2}}}
+}
+
+func TestGridSingleDim(t *testing.T) {
+	g, err := NewGrid(spec2(Star, Block), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DimProcs[0] != 1 || g.DimProcs[1] != 7 || g.Used != 7 {
+		t.Fatalf("grid = %+v", g)
+	}
+}
+
+func TestGridTwoDims(t *testing.T) {
+	g, err := NewGrid(spec2(Block, Block), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Used != 16 {
+		t.Fatalf("used %d procs of 16", g.Used)
+	}
+	if g.DimProcs[0]*g.DimProcs[1] != 16 {
+		t.Fatalf("product %d", g.DimProcs[0]*g.DimProcs[1])
+	}
+	if g.DimProcs[0] != 4 || g.DimProcs[1] != 4 {
+		t.Fatalf("16 procs over 2 dims should be 4x4, got %v", g.DimProcs)
+	}
+}
+
+func TestGridOntoWeights(t *testing.T) {
+	s := Spec{Dims: []Dim{
+		{Kind: Block, Onto: 4},
+		{Kind: Block, Onto: 1},
+	}}
+	g, err := NewGrid(s, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DimProcs[0] != 8 || g.DimProcs[1] != 2 {
+		t.Fatalf("onto(4,1) over 16 procs: got %v, want [8 2]", g.DimProcs)
+	}
+}
+
+func TestGridPrimeProcs(t *testing.T) {
+	// 13 procs over two dims: all 13 must go to one dim (13 is prime).
+	g, err := NewGrid(spec2(Block, Block), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Used != 13 {
+		t.Fatalf("used %d of 13", g.Used)
+	}
+	if !(g.DimProcs[0] == 13 && g.DimProcs[1] == 1 ||
+		g.DimProcs[0] == 1 && g.DimProcs[1] == 13) {
+		t.Fatalf("got %v", g.DimProcs)
+	}
+}
+
+func TestGridCoordLinearRoundTrip(t *testing.T) {
+	for _, np := range []int{1, 4, 6, 12, 24} {
+		g, err := NewGrid(spec2(Block, Cyclic), np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < g.Used; id++ {
+			c := g.Coord(id)
+			if back := g.Linear(c); back != id {
+				t.Fatalf("np=%d: Linear(Coord(%d)) = %d (coord %v)", np, id, back, c)
+			}
+			for d, v := range c {
+				if v < 0 || v >= g.DimProcs[d] {
+					t.Fatalf("np=%d id=%d: coord %v out of grid %v", np, id, c, g.DimProcs)
+				}
+			}
+		}
+	}
+}
+
+func TestGridOwnerLinearCoversAllProcs(t *testing.T) {
+	g, err := NewGrid(spec2(Block, Block), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps, err := g.Maps([]int{32, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := make([]bool, g.Used)
+	for j := 0; j < 32; j++ {
+		for i := 0; i < 32; i++ {
+			id := g.OwnerLinear(maps, []int{i, j})
+			if id < 0 || id >= g.Used {
+				t.Fatalf("owner %d out of range", id)
+			}
+			hit[id] = true
+		}
+	}
+	for p, h := range hit {
+		if !h {
+			t.Fatalf("processor %d owns nothing", p)
+		}
+	}
+}
+
+func TestGridMapsDimMismatch(t *testing.T) {
+	g, _ := NewGrid(spec2(Block, Block), 4)
+	if _, err := g.Maps([]int{10}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestPrimeFactors(t *testing.T) {
+	cases := map[int][]int{
+		1:  nil,
+		2:  {2},
+		12: {2, 2, 3},
+		97: {97},
+		60: {2, 2, 3, 5},
+	}
+	for n, want := range cases {
+		got := primeFactors(n)
+		if len(got) != len(want) {
+			t.Fatalf("primeFactors(%d) = %v, want %v", n, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("primeFactors(%d) = %v, want %v", n, got, want)
+			}
+		}
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	if _, err := NewGrid(spec2(Block, Block), 0); err == nil {
+		t.Error("0 procs accepted")
+	}
+	if _, err := NewGrid(Spec{}, 4); err == nil {
+		t.Error("empty spec accepted")
+	}
+}

@@ -1,0 +1,236 @@
+// Package exec runs compiled images on the simulated machine: a serial
+// thread on processor 0 executes the program; each doacross Region fans out
+// onto every processor, with threads interleaved in fixed quanta so the
+// shared memory system sees realistic contention; implicit barriers close
+// every region (paper §3.1 "an implicit barrier at the end of the doacross
+// loop"); explicit dsm_barrier calls rendezvous inside regions.
+package exec
+
+import (
+	"fmt"
+
+	"dsmdist/internal/bytecode"
+	"dsmdist/internal/codegen"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/memsim"
+	"dsmdist/internal/ospage"
+	"dsmdist/internal/rtl"
+)
+
+// Options configure a run.
+type Options struct {
+	// Policy is the default page-allocation policy for unplaced pages
+	// (first-touch or round-robin, §2).
+	Policy ospage.Policy
+	// Quantum is the instruction interleave granularity (default 2000).
+	Quantum int
+	// MaxQuanta bounds total scheduling rounds as a runaway guard
+	// (default 1<<40 instructions equivalent).
+	MaxQuanta int64
+}
+
+// Result is a completed run.
+type Result struct {
+	RT     *rtl.Runtime
+	Cycles int64 // wall-clock cycles (max over processors)
+	Stats  []memsim.ProcStats
+	Total  memsim.ProcStats
+	Pages  ospage.Stats
+
+	// Executed-operation counters across all threads (Table 2 reads the
+	// divide counts).
+	HwDiv   int64
+	SoftDiv int64
+	Instrs  int64
+
+	// TimerCycles is the dsm_timer region-of-interest time, 0 when the
+	// program never called the timer.
+	TimerCycles int64
+}
+
+// Seconds converts the run's cycles to seconds on the simulated clock.
+func (r *Result) Seconds() float64 { return r.RT.Cfg.Seconds(r.Cycles) }
+
+// Run loads and executes a compiled image.
+func Run(res *codegen.Result, cfg *machine.Config, opts Options) (*Result, error) {
+	rt, err := rtl.Load(res, cfg, opts.Policy)
+	if err != nil {
+		return nil, err
+	}
+	return RunLoaded(rt, opts)
+}
+
+// RunLoaded executes an already-loaded runtime (tests pre-initialize
+// arrays through it).
+func RunLoaded(rt *rtl.Runtime, opts Options) (*Result, error) {
+	cfg := rt.Cfg
+	quantum := opts.Quantum
+	if quantum <= 0 {
+		quantum = 2000
+	}
+	maxQuanta := opts.MaxQuanta
+	if maxQuanta <= 0 {
+		maxQuanta = 1 << 34
+	}
+	costs := bytecode.NewCosts(cfg)
+
+	serial := bytecode.NewThread(0, rt.Sys, rt.Prog, rt, costs, rt.Prog.Main, nil,
+		rt.StackBase[0], rt.StackEnd[0])
+
+	acc := &Result{RT: rt}
+	var rounds int64
+	for {
+		rounds++
+		if rounds > maxQuanta {
+			return nil, fmt.Errorf("exec: exceeded quantum budget (infinite loop?)")
+		}
+		switch serial.Step(quantum) {
+		case bytecode.Running:
+		case bytecode.Done:
+			if serial.Err != nil {
+				return nil, serial.Err
+			}
+			acc.HwDiv += serial.HwDiv
+			acc.SoftDiv += serial.SoftDiv
+			acc.Instrs += serial.Instrs
+			finish(acc)
+			return acc, nil
+		case bytecode.AtBarrier:
+			// A barrier in serial code synchronizes nothing.
+		case bytecode.AtParCall:
+			if err := runRegion(rt, costs, serial, quantum, maxQuanta, acc); err != nil {
+				return nil, err
+			}
+			serial.Resume()
+		}
+	}
+}
+
+// cycleQuantum bounds how far (in cycles) one processor may run ahead of
+// the others inside a region; it must stay small relative to the memsim
+// bandwidth-window ring so contention is observed accurately.
+const cycleQuantum = 4000
+
+// runRegion fans a region function out to all processors and runs them to
+// completion, always advancing the processor with the smallest clock.
+func runRegion(rt *rtl.Runtime, costs *bytecode.Costs, serial *bytecode.Thread,
+	quantum int, maxQuanta int64, acc *Result) error {
+
+	cfg := rt.Cfg
+	np := cfg.NProcs
+	sys := rt.Sys
+	rt.ResetDynamic()
+
+	// Fork: idle processors jump to the master's clock; everyone pays
+	// the dispatch cost.
+	t0 := sys.Clock(0)
+	procs := make([]int, np)
+	for p := 0; p < np; p++ {
+		procs[p] = p
+		if sys.Clock(p) < t0 {
+			sys.SetClock(p, t0)
+		}
+		sys.AddCycles(p, int64(cfg.ForkCyc))
+	}
+
+	threads := make([]*bytecode.Thread, np)
+	for p := 0; p < np; p++ {
+		args := make([]int64, len(serial.ParArgs))
+		copy(args, serial.ParArgs)
+		sp := rt.StackBase[p]
+		end := rt.StackEnd[p]
+		if p == 0 {
+			sp = serial.SP // above the serial frames
+		}
+		threads[p] = bytecode.NewThread(p, sys, rt.Prog, rt, costs, serial.ParFn, args, sp, end)
+	}
+
+	done := make([]bool, np)
+	atBarrier := make([]bool, np)
+	remaining := np
+	var rounds int64
+	for remaining > 0 {
+		rounds++
+		if rounds > maxQuanta {
+			return fmt.Errorf("exec: region exceeded quantum budget")
+		}
+		// Run the runnable thread with the smallest clock, so simulated
+		// time advances roughly in lockstep and the node-bandwidth
+		// model sees a fair arrival order (threads scheduled by
+		// instruction count alone would let cache-hitting threads race
+		// far ahead in cycle time).
+		sel := -1
+		var selClock int64
+		for p := 0; p < np; p++ {
+			if done[p] || atBarrier[p] {
+				continue
+			}
+			if c := sys.Clock(p); sel < 0 || c < selClock {
+				sel, selClock = p, c
+			}
+		}
+		if sel >= 0 {
+			switch threads[sel].StepCycles(quantum, cycleQuantum) {
+			case bytecode.Running:
+			case bytecode.Done:
+				if threads[sel].Err != nil {
+					return fmt.Errorf("processor %d: %w", sel, threads[sel].Err)
+				}
+				done[sel] = true
+				remaining--
+			case bytecode.AtBarrier:
+				atBarrier[sel] = true
+			case bytecode.AtParCall:
+				return fmt.Errorf("processor %d: nested doacross regions are not supported", sel)
+			}
+			continue
+		}
+		// No runnable thread: release the explicit barrier once every
+		// live thread has arrived.
+		var waiting []int
+		for p := 0; p < np; p++ {
+			if atBarrier[p] {
+				waiting = append(waiting, p)
+			}
+		}
+		if len(waiting) == 0 {
+			return fmt.Errorf("exec: region scheduler wedged")
+		}
+		sys.Barrier(waiting)
+		for _, p := range waiting {
+			atBarrier[p] = false
+		}
+	}
+
+	// Implicit end-of-doacross barrier across all processors.
+	sys.Barrier(procs)
+	for _, th := range threads {
+		acc.HwDiv += th.HwDiv
+		acc.SoftDiv += th.SoftDiv
+		acc.Instrs += th.Instrs
+	}
+	return nil
+}
+
+func finish(r *Result) {
+	rt := r.RT
+	r.Pages = rt.Pages.Stats()
+	r.TimerCycles = rt.TimerCycles
+	for p := 0; p < rt.Cfg.NProcs; p++ {
+		st := rt.Sys.Stats(p)
+		r.Stats = append(r.Stats, st)
+		r.Total.Add(st)
+		if c := rt.Sys.Clock(p); c > r.Cycles {
+			r.Cycles = c
+		}
+	}
+}
+
+// Speedup is a convenience for experiment harnesses: serial cycles over
+// parallel cycles.
+func Speedup(serialCycles, parallelCycles int64) float64 {
+	if parallelCycles == 0 {
+		return 0
+	}
+	return float64(serialCycles) / float64(parallelCycles)
+}

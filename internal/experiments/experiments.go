@@ -1,0 +1,284 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§8) on the scaled simulated Origin-2000:
+//
+//	Table 2  — effect of the reshape optimizations on LU, one processor
+//	Figure 4 — NAS-LU speedups, four placement strategies
+//	Figure 5 — matrix transpose speedups
+//	Figure 6 — 2-D convolution (small input), one- and two-level
+//	Figure 7 — 2-D convolution (large input), one- and two-level
+//
+// Sizes are scaled by machine.ScaleFactor relative to the paper (see
+// DESIGN.md); the Quick preset further shrinks them for unit benchmarks.
+// Absolute seconds are not comparable to the paper's testbed; the reported
+// shapes (who wins, crossovers) are — EXPERIMENTS.md records both.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dsmdist/internal/core"
+	"dsmdist/internal/exec"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/ospage"
+	"dsmdist/internal/workloads"
+	"dsmdist/internal/xform"
+)
+
+// Sizes parameterizes the experiment scale.
+type Sizes struct {
+	LUN, LUIters       int
+	TransN, TransIters int
+	ConvSmallN         int
+	ConvLargeN         int
+	ConvIters          int
+	Procs              []int // processor counts for the figures
+	// LUNodeFrac scales node memory for the LU runs so the dataset
+	// exceeds one node, as in the paper (§8.1: 360 MB data vs ~250 MB
+	// free per node => ratio 1.44).
+	LUNodeFrac float64
+}
+
+// Full is the scale used by cmd/dsmbench (paper sizes / ScaleFactor).
+func Full() Sizes {
+	return Sizes{
+		LUN: 40, LUIters: 1,
+		TransN: 1024, TransIters: 3,
+		ConvSmallN: 256, ConvLargeN: 1024, ConvIters: 1,
+		Procs:      []int{1, 2, 4, 8, 16, 32, 48, 64, 80, 96},
+		LUNodeFrac: 1.44,
+	}
+}
+
+// Quick is a fast preset for go test benchmarks and smoke runs.
+func Quick() Sizes {
+	return Sizes{
+		LUN: 16, LUIters: 1,
+		TransN: 256, TransIters: 1,
+		ConvSmallN: 96, ConvLargeN: 192, ConvIters: 1,
+		Procs:      []int{1, 4, 16},
+		LUNodeFrac: 1.44,
+	}
+}
+
+// Row is one measured point.
+type Row struct {
+	Exp     string
+	Variant string
+	P       int
+	Cycles  int64
+	Seconds float64
+	Speedup float64
+	L2Miss  int64
+	Remote  int64
+	TLBPct  float64 // fraction of time in TLB refill
+	HwDiv   int64
+	SoftDiv int64
+}
+
+// variantRun describes one line of a figure.
+type variantRun struct {
+	label   string
+	variant workloads.Variant
+	policy  ospage.Policy
+	opt     xform.Options
+}
+
+// figureVariants are the four placement strategies every figure compares.
+func figureVariants() []variantRun {
+	return []variantRun{
+		{"first-touch", workloads.Plain, ospage.FirstTouch, xform.O3()},
+		{"round-robin", workloads.Plain, ospage.RoundRobin, xform.O3()},
+		{"regular", workloads.Regular, ospage.FirstTouch, xform.O3()},
+		{"reshaped", workloads.Reshaped, ospage.FirstTouch, xform.O3()},
+	}
+}
+
+// runOne builds and runs one configuration.
+func runOne(src string, opt xform.Options, cfg *machine.Config, policy ospage.Policy) (*exec.Result, error) {
+	tc := core.NewAt(opt)
+	tc.RuntimeChecks = false // measurement runs, as in the paper
+	img, err := tc.Build(map[string]string{"bench.f": src})
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(img, cfg, core.RunOptions{Policy: policy})
+}
+
+// measured returns the region-of-interest cycles (the dsm_timer section
+// when present, NAS-style; total cycles otherwise).
+func measured(res *exec.Result) int64 {
+	if res.TimerCycles > 0 {
+		return res.TimerCycles
+	}
+	return res.Cycles
+}
+
+func rowFrom(exp, variant string, p int, cfg *machine.Config, res *exec.Result, base int64) Row {
+	r := Row{
+		Exp: exp, Variant: variant, P: p,
+		Cycles:  measured(res),
+		Seconds: cfg.Seconds(res.Cycles),
+		L2Miss:  res.Total.L2Miss,
+		Remote:  res.Total.L2MissRemote,
+		HwDiv:   res.HwDiv,
+		SoftDiv: res.SoftDiv,
+	}
+	r.Seconds = cfg.Seconds(r.Cycles)
+	if r.Cycles > 0 {
+		r.TLBPct = float64(res.Total.TLBCyc) / float64(r.Cycles*int64(p))
+	}
+	if base > 0 {
+		r.Speedup = float64(base) / float64(r.Cycles)
+	}
+	return r
+}
+
+// luMachine builds the machine for LU runs with the node-capacity ratio.
+func luMachine(s Sizes, p int) *machine.Config {
+	cfg := machine.Scaled(p)
+	data := int64(2) * 5 * int64(s.LUN) * int64(s.LUN) * int64(s.LUN) * 8
+	node := int(float64(data) / s.LUNodeFrac)
+	if node < 4*cfg.PageBytes {
+		node = 4 * cfg.PageBytes
+	}
+	cfg.NodeMemBytes = node
+	return cfg
+}
+
+// Table2 reproduces the reshape-optimization ablation (§8, Table 2): LU on
+// one processor with reshaping at increasing optimization levels, against
+// the original code without reshaping.
+func Table2(s Sizes) ([]Row, error) {
+	src := func(v workloads.Variant) string { return workloads.LU(s.LUN, s.LUIters, v) }
+	cfg := func() *machine.Config { return luMachine(s, 1) }
+	steps := []struct {
+		label string
+		v     workloads.Variant
+		opt   xform.Options
+	}{
+		{"reshape, no optimizations", workloads.Reshaped, xform.O0()},
+		{"reshape, tile and peel", workloads.Reshaped, xform.O1()},
+		{"reshape, tile and peel, hoist", workloads.Reshaped, xform.O2()},
+		{"reshape, all optimizations", workloads.Reshaped, xform.O3()},
+		{"original without reshaping", workloads.Plain, xform.O3()},
+	}
+	var rows []Row
+	for _, st := range steps {
+		res, err := runOne(src(st.v), st.opt, cfg(), ospage.FirstTouch)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", st.label, err)
+		}
+		rows = append(rows, rowFrom("table2", st.label, 1, cfg(), res, 0))
+	}
+	return rows, nil
+}
+
+// Fig4 reproduces the NAS-LU speedup curves.
+func Fig4(s Sizes) ([]Row, error) {
+	return sweep("fig4",
+		func(v workloads.Variant) string { return workloads.LU(s.LUN, s.LUIters, v) },
+		s.Procs, func(p int) *machine.Config { return luMachine(s, p) })
+}
+
+// Fig5 reproduces the matrix-transpose speedup curves.
+func Fig5(s Sizes) ([]Row, error) {
+	return sweep("fig5",
+		func(v workloads.Variant) string { return workloads.Transpose(s.TransN, s.TransIters, v) },
+		s.Procs, func(p int) *machine.Config { return machine.Scaled(p) })
+}
+
+// Fig6 reproduces the small-input 2-D convolution, one- and two-level.
+func Fig6(s Sizes) ([]Row, error) {
+	r1, err := sweep("fig6-1level",
+		func(v workloads.Variant) string { return workloads.Convolution(s.ConvSmallN, s.ConvIters, 1, v) },
+		s.Procs, func(p int) *machine.Config { return machine.Scaled(p) })
+	if err != nil {
+		return nil, err
+	}
+	r2, err := sweep("fig6-2level",
+		func(v workloads.Variant) string { return workloads.Convolution(s.ConvSmallN, s.ConvIters, 2, v) },
+		s.Procs, func(p int) *machine.Config { return machine.Scaled(p) })
+	if err != nil {
+		return nil, err
+	}
+	return append(r1, r2...), nil
+}
+
+// Fig7 reproduces the large-input 2-D convolution, one- and two-level.
+func Fig7(s Sizes) ([]Row, error) {
+	r1, err := sweep("fig7-1level",
+		func(v workloads.Variant) string { return workloads.Convolution(s.ConvLargeN, s.ConvIters, 1, v) },
+		s.Procs, func(p int) *machine.Config { return machine.Scaled(p) })
+	if err != nil {
+		return nil, err
+	}
+	r2, err := sweep("fig7-2level",
+		func(v workloads.Variant) string { return workloads.Convolution(s.ConvLargeN, s.ConvIters, 2, v) },
+		s.Procs, func(p int) *machine.Config { return machine.Scaled(p) })
+	if err != nil {
+		return nil, err
+	}
+	return append(r1, r2...), nil
+}
+
+// sweep runs the four placement variants across the processor list.
+func sweep(exp string, gen func(workloads.Variant) string, procs []int,
+	mkCfg func(int) *machine.Config) ([]Row, error) {
+
+	baseCfg := mkCfg(1)
+	baseRes, err := runOne(gen(workloads.Serial), xform.O3(), baseCfg, ospage.FirstTouch)
+	if err != nil {
+		return nil, fmt.Errorf("%s serial baseline: %w", exp, err)
+	}
+	base := measured(baseRes)
+
+	var rows []Row
+	for _, vr := range figureVariants() {
+		src := gen(vr.variant)
+		for _, p := range procs {
+			cfg := mkCfg(p)
+			res, err := runOne(src, vr.opt, cfg, vr.policy)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s P=%d: %w", exp, vr.label, p, err)
+			}
+			rows = append(rows, rowFrom(exp, vr.label, p, cfg, res, base))
+		}
+	}
+	return rows, nil
+}
+
+// Print renders rows as an aligned table.
+func Print(w io.Writer, rows []Row) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-14s %-32s %5s %14s %10s %9s %12s %12s %7s\n",
+		"experiment", "variant", "P", "cycles", "seconds", "speedup", "L2miss", "remote", "tlb%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-32s %5d %14d %10.4f %9.2f %12d %12d %6.1f%%\n",
+			r.Exp, r.Variant, r.P, r.Cycles, r.Seconds, r.Speedup, r.L2Miss, r.Remote, r.TLBPct*100)
+	}
+}
+
+// Summary extracts per-variant best speedups (EXPERIMENTS.md fodder).
+func Summary(rows []Row) string {
+	best := map[string]Row{}
+	var order []string
+	for _, r := range rows {
+		key := r.Exp + "/" + r.Variant
+		if cur, ok := best[key]; !ok || r.Speedup > cur.Speedup {
+			if !ok {
+				order = append(order, key)
+			}
+			best[key] = r
+		}
+	}
+	var b strings.Builder
+	for _, k := range order {
+		r := best[k]
+		fmt.Fprintf(&b, "%s: best speedup %.2fx at P=%d\n", k, r.Speedup, r.P)
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The figure experiments themselves are exercised by bench_test.go at the
+// repository root; these tests cover the harness plumbing at tiny scale.
+
+func tinySizes() Sizes {
+	return Sizes{
+		LUN: 8, LUIters: 1,
+		TransN: 32, TransIters: 1,
+		ConvSmallN: 16, ConvLargeN: 24, ConvIters: 1,
+		Procs:      []int{1, 2},
+		LUNodeFrac: 1.44,
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	rows, err := Table2(tinySizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Cycles <= 0 || r.P != 1 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	// The unoptimized build must execute hardware divides; the O3 builds
+	// must not.
+	if rows[0].HwDiv == 0 {
+		t.Fatal("O0 executed no hardware divides")
+	}
+	if rows[3].HwDiv != 0 {
+		t.Fatalf("O3 executed %d hardware divides", rows[3].HwDiv)
+	}
+}
+
+func TestSweepBaselinesAndLabels(t *testing.T) {
+	rows, err := Fig5(tinySizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 variants x 2 processor counts.
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	labels := map[string]bool{}
+	for _, r := range rows {
+		labels[r.Variant] = true
+		if r.Speedup <= 0 {
+			t.Fatalf("row %+v has no speedup", r)
+		}
+	}
+	for _, want := range []string{"first-touch", "round-robin", "regular", "reshaped"} {
+		if !labels[want] {
+			t.Fatalf("variant %s missing", want)
+		}
+	}
+}
+
+func TestPrintAndSummary(t *testing.T) {
+	rows := []Row{
+		{Exp: "figX", Variant: "reshaped", P: 4, Cycles: 100, Speedup: 3.5},
+		{Exp: "figX", Variant: "reshaped", P: 8, Cycles: 50, Speedup: 7.0},
+	}
+	var b strings.Builder
+	Print(&b, rows)
+	out := b.String()
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "reshaped") {
+		t.Fatalf("print output: %q", out)
+	}
+	sum := Summary(rows)
+	if !strings.Contains(sum, "7.00x at P=8") {
+		t.Fatalf("summary: %q", sum)
+	}
+	// Empty input prints nothing.
+	var e strings.Builder
+	Print(&e, nil)
+	if e.Len() != 0 {
+		t.Fatal("empty print produced output")
+	}
+}
+
+func TestLuMachineCapacity(t *testing.T) {
+	s := tinySizes()
+	cfg := luMachine(s, 4)
+	data := int64(2) * 5 * 8 * 8 * 8 * 8
+	if int64(cfg.NodeMemBytes) >= data {
+		t.Fatalf("node memory %d does not force the capacity spill (data %d)",
+			cfg.NodeMemBytes, data)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

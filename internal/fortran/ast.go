@@ -1,0 +1,289 @@
+package fortran
+
+// AST node definitions for the Fortran subset. Nodes record the source line
+// for diagnostics. Directive nodes mirror the paper's syntax (§3).
+
+// File is one parsed source file: a sequence of program units.
+type File struct {
+	Name  string // file name, for diagnostics and shadow-file naming
+	Units []*Unit
+}
+
+// UnitKind distinguishes the main program from subroutines.
+type UnitKind int
+
+const (
+	ProgramUnit UnitKind = iota
+	SubroutineUnit
+)
+
+// Unit is one program unit.
+type Unit struct {
+	Kind   UnitKind
+	Name   string
+	Params []string // dummy argument names, in order
+	Decls  []Decl
+	Body   []Stmt
+	Line   int
+}
+
+// Decl is a declaration-part entry.
+type Decl interface{ declNode() }
+
+// BaseType is the subset's two data types.
+type BaseType int
+
+const (
+	TInteger BaseType = iota
+	TReal8
+)
+
+func (t BaseType) String() string {
+	if t == TInteger {
+		return "integer"
+	}
+	return "real*8"
+}
+
+// Declarator is one name in a type declaration, possibly with array bounds.
+type Declarator struct {
+	Name string
+	Dims []Expr // nil for scalars; an extent of nil means '*' (assumed size)
+	Line int
+}
+
+// TypeDecl is "integer i, a(10)" or "real*8 x(n,m)".
+type TypeDecl struct {
+	Type  BaseType
+	Items []Declarator
+	Line  int
+}
+
+// ParamDecl is "parameter (n = 100, m = n*2)".
+type ParamDecl struct {
+	Names  []string
+	Values []Expr
+	Line   int
+}
+
+// CommonDecl is "common /blk/ a, b, c".
+type CommonDecl struct {
+	Block string
+	Names []string
+	Line  int
+}
+
+// EquivDecl is "equivalence (a, b)"; the subset keeps it solely so the
+// compile-time reshape check (paper §6) has something to reject.
+type EquivDecl struct {
+	A, B string
+	Line int
+}
+
+// DistDecl is a c$distribute or c$distribute_reshape directive.
+type DistDecl struct {
+	Array   string
+	Dims    []DistDim
+	Onto    []Expr // optional onto(...) weights, one per distributed dim
+	Reshape bool
+	Line    int
+}
+
+// DistKindSyntax mirrors dist.Kind at the syntax level.
+type DistKindSyntax int
+
+const (
+	DStar DistKindSyntax = iota
+	DBlock
+	DCyclic
+	DCyclicExpr
+)
+
+// DistDim is one <dist> specifier.
+type DistDim struct {
+	Kind  DistKindSyntax
+	Chunk Expr // for cyclic(<expr>)
+}
+
+func (*TypeDecl) declNode()   {}
+func (*ParamDecl) declNode()  {}
+func (*CommonDecl) declNode() {}
+func (*EquivDecl) declNode()  {}
+func (*DistDecl) declNode()   {}
+
+// Stmt is an executable statement.
+type Stmt interface{ stmtNode() }
+
+// Assign is "lhs = rhs"; Lhs is an *Ident or *ArrayRef.
+type Assign struct {
+	Lhs  Expr
+	Rhs  Expr
+	Line int
+}
+
+// Do is a do loop, possibly annotated with a preceding c$doacross.
+type Do struct {
+	Var      string
+	Lo, Hi   Expr
+	Step     Expr // nil means 1
+	Body     []Stmt
+	Doacross *Doacross // nil for serial loops
+	Line     int
+}
+
+// SchedType selects the doacross iteration scheduling.
+type SchedType int
+
+const (
+	SchedSimple SchedType = iota // static block partition (default)
+	SchedInterleave
+	SchedDynamic // chunks handed out from a shared counter
+	SchedGSS     // guided self-scheduling: shrinking chunks
+)
+
+// Doacross carries the clauses of a c$doacross directive (paper §3.1, §3.4).
+type Doacross struct {
+	Nest     []string // nest(i,j): names of the nested loop variables
+	Local    []string
+	Shared   []string
+	Affinity *Affinity
+	Sched    SchedType
+	Chunk    Expr // interleave chunk
+	Line     int
+}
+
+// Affinity is "affinity(i) = data(A(expr))" or the multidimensional
+// "affinity(j,i) = data(A(i,j))" form used with nest.
+type Affinity struct {
+	Vars  []string // the doacross loop variables, as written
+	Array string
+	Index []Expr // one subscript expression per array dimension
+	Line  int
+}
+
+// If is a block or logical if.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// Call is "call name(args)".
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Return is "return".
+type Return struct{ Line int }
+
+// Redistribute is the executable c$redistribute directive (§3.3).
+type Redistribute struct {
+	Array string
+	Dims  []DistDim
+	Line  int
+}
+
+// Continue is "continue" (a no-op statement).
+type Continue struct{ Line int }
+
+func (*Assign) stmtNode()       {}
+func (*Do) stmtNode()           {}
+func (*If) stmtNode()           {}
+func (*Call) stmtNode()         {}
+func (*Return) stmtNode()       {}
+func (*Redistribute) stmtNode() {}
+func (*Continue) stmtNode()     {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Ident is a bare name (variable, or parameter constant).
+type Ident struct {
+	Name string
+	Line int
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Line  int
+}
+
+// RealLit is a real*8 literal.
+type RealLit struct {
+	Value float64
+	Line  int
+}
+
+// BinOp codes.
+type BinOpKind int
+
+const (
+	OpAdd BinOpKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	OpEQ
+	OpNE
+	OpAnd
+	OpOr
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "<", "<=", ">", ">=", "==", "/=", ".and.", ".or."}
+
+func (k BinOpKind) String() string { return binOpNames[k] }
+
+// BinOp is a binary expression.
+type BinOp struct {
+	Op   BinOpKind
+	L, R Expr
+	Line int
+}
+
+// UnOp is unary minus or .not.
+type UnOp struct {
+	Neg  bool // true: arithmetic negation; false: logical not
+	X    Expr
+	Line int
+}
+
+// CallExpr is "name(args)": an array reference or an intrinsic/function
+// call — syntactically indistinguishable in Fortran; sema decides.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*Ident) exprNode()    {}
+func (*IntLit) exprNode()   {}
+func (*RealLit) exprNode()  {}
+func (*BinOp) exprNode()    {}
+func (*UnOp) exprNode()     {}
+func (*CallExpr) exprNode() {}
+
+// ExprLine returns the source line of an expression.
+func ExprLine(e Expr) int {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Line
+	case *IntLit:
+		return x.Line
+	case *RealLit:
+		return x.Line
+	case *BinOp:
+		return x.Line
+	case *UnOp:
+		return x.Line
+	case *CallExpr:
+		return x.Line
+	}
+	return 0
+}

@@ -1,0 +1,252 @@
+package fortran
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexing rules (lenient fixed-form, see DESIGN.md):
+//
+//   - A line whose column-1 character is 'c', 'C' or '*' is a comment,
+//     unless the second character is '$', which makes it a directive line
+//     (paper: "c$doacross", "c$distribute", ...). "call ..." is a
+//     statement because its second character is alphabetic.
+//   - '!' starts a comment anywhere on a line.
+//   - A line ending in '&' continues onto the next line.
+//   - Keywords are not reserved; the parser matches identifier spellings.
+//   - Everything is case-insensitive; identifier text is lower-cased.
+
+// LexError is a lexical diagnostic.
+type LexError struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+// Lex splits src into tokens. A DIRECTIVE token precedes the tokens of each
+// c$ line. Every logical line ends with a NEWLINE token, and the stream
+// ends with EOF.
+func Lex(file, src string) ([]Token, error) {
+	var toks []Token
+	lines := strings.Split(src, "\n")
+	cont := false // previous line ended with '&'
+	for li := 0; li < len(lines); li++ {
+		raw := lines[li]
+		lineNo := li + 1
+		line := raw
+		isDirective := false
+		if !cont {
+			if line == "" {
+				continue
+			}
+			switch line[0] {
+			case 'c', 'C', '*':
+				if len(line) > 1 && line[1] == '$' {
+					isDirective = true
+					line = line[2:]
+				} else if len(line) == 1 || !isIdentChar(rune(line[1])) {
+					continue // comment
+				}
+			case '!':
+				continue
+			}
+		}
+		if isDirective {
+			toks = append(toks, Token{Kind: DIRECTIVE, Line: lineNo, Col: 1})
+		}
+
+		lineToks, endCont, err := lexLine(file, line, lineNo, isDirective)
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, lineToks...)
+		cont = endCont
+		if !cont {
+			// Collapse blank logical lines: only emit NEWLINE when
+			// the line produced tokens.
+			if n := len(toks); n > 0 && toks[n-1].Kind != NEWLINE {
+				toks = append(toks, Token{Kind: NEWLINE, Line: lineNo, Col: len(raw) + 1})
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: EOF, Line: len(lines) + 1, Col: 1})
+	return toks, nil
+}
+
+func isIdentStart(c rune) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentChar(c rune) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '$'
+}
+
+func isDigit(c rune) bool { return c >= '0' && c <= '9' }
+
+var dotOps = map[string]TokKind{
+	"lt": LT, "le": LE, "gt": GT, "ge": GE, "eq": EQ, "ne": NE,
+	"and": AND, "or": OR, "not": NOT,
+}
+
+// lexLine tokenizes one physical line (with the c$ prefix already
+// stripped). It returns the tokens, whether the line continues, and any
+// error.
+func lexLine(file, line string, lineNo int, _ bool) ([]Token, bool, error) {
+	var toks []Token
+	rs := []rune(line)
+	i := 0
+	n := len(rs)
+	fail := func(col int, format string, args ...any) ([]Token, bool, error) {
+		return nil, false, &LexError{File: file, Line: lineNo, Col: col, Msg: fmt.Sprintf(format, args...)}
+	}
+	for i < n {
+		c := rs[i]
+		col := i + 1
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '!':
+			i = n // comment to end of line
+		case c == '&':
+			// Continuation only valid as the last non-space token.
+			j := i + 1
+			for j < n && (rs[j] == ' ' || rs[j] == '\t' || rs[j] == '\r') {
+				j++
+			}
+			if j < n && rs[j] != '!' {
+				return fail(col, "'&' must end the line")
+			}
+			return toks, true, nil
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentChar(rs[j]) {
+				j++
+			}
+			text := strings.ToLower(string(rs[i:j]))
+			toks = append(toks, Token{Kind: IDENT, Text: text, Line: lineNo, Col: col})
+			i = j
+		case isDigit(c) || c == '.' && i+1 < n && isDigit(rs[i+1]):
+			tok, j, err := lexNumber(file, rs, i, lineNo)
+			if err != nil {
+				return nil, false, err
+			}
+			toks = append(toks, tok)
+			i = j
+		case c == '.':
+			// .lt. style operator or logical constant
+			j := i + 1
+			for j < n && rs[j] != '.' {
+				j++
+			}
+			if j >= n {
+				return fail(col, "unterminated '.' operator")
+			}
+			word := strings.ToLower(string(rs[i+1 : j]))
+			kind, ok := dotOps[word]
+			if !ok {
+				return fail(col, "unknown operator .%s.", word)
+			}
+			toks = append(toks, Token{Kind: kind, Line: lineNo, Col: col})
+			i = j + 1
+		default:
+			kind := TokKind(-1)
+			text := ""
+			adv := 1
+			switch c {
+			case '(':
+				kind = LPAREN
+			case ')':
+				kind = RPAREN
+			case ',':
+				kind = COMMA
+			case '+':
+				kind = PLUS
+			case '-':
+				kind = MINUS
+			case '*':
+				kind = STAR
+			case '/':
+				if i+1 < n && rs[i+1] == '=' {
+					kind, adv = NE, 2
+				} else {
+					kind = SLASH
+				}
+			case ':':
+				kind = COLON
+			case '=':
+				if i+1 < n && rs[i+1] == '=' {
+					kind, adv = EQ, 2
+				} else {
+					kind = EQUALS
+				}
+			case '<':
+				if i+1 < n && rs[i+1] == '=' {
+					kind, adv = LE, 2
+				} else {
+					kind = LT
+				}
+			case '>':
+				if i+1 < n && rs[i+1] == '=' {
+					kind, adv = GE, 2
+				} else {
+					kind = GT
+				}
+			default:
+				return fail(col, "unexpected character %q", string(c))
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: lineNo, Col: col})
+			i += adv
+		}
+	}
+	return toks, false, nil
+}
+
+// lexNumber scans an integer or real literal starting at rs[i]. Real forms:
+// 1.5, 1., .5 (handled by caller), 1e6, 1.5d0, 2.5e-3.
+func lexNumber(file string, rs []rune, i, lineNo int) (Token, int, error) {
+	start := i
+	n := len(rs)
+	isReal := false
+	for i < n && isDigit(rs[i]) {
+		i++
+	}
+	if i < n && rs[i] == '.' {
+		// Don't swallow ".eq." style: only treat as decimal point when
+		// followed by a digit or by a non-letter.
+		if i+1 < n && isIdentStart(rs[i+1]) {
+			// e.g. "1.and." — rare; treat '.' as operator start.
+		} else {
+			isReal = true
+			i++
+			for i < n && isDigit(rs[i]) {
+				i++
+			}
+		}
+	}
+	if i < n && (rs[i] == 'e' || rs[i] == 'E' || rs[i] == 'd' || rs[i] == 'D') {
+		j := i + 1
+		if j < n && (rs[j] == '+' || rs[j] == '-') {
+			j++
+		}
+		if j < n && isDigit(rs[j]) {
+			isReal = true
+			for j < n && isDigit(rs[j]) {
+				j++
+			}
+			i = j
+		}
+	}
+	text := strings.ToLower(string(rs[start:i]))
+	// Normalize the d exponent to e for strconv.
+	text = strings.ReplaceAll(text, "d", "e")
+	kind := INTLIT
+	if isReal {
+		kind = REALLIT
+	}
+	return Token{Kind: kind, Text: text, Line: lineNo, Col: start + 1}, i, nil
+}

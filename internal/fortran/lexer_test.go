@@ -1,0 +1,167 @@
+package fortran
+
+import "testing"
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func lexOK(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex("test.f", src)
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	return toks
+}
+
+func TestLexSimpleAssign(t *testing.T) {
+	toks := lexOK(t, "      a(i) = 2*i + 1.5\n")
+	want := []TokKind{IDENT, LPAREN, IDENT, RPAREN, EQUALS, INTLIT, STAR, IDENT, PLUS, REALLIT, NEWLINE, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexCommentForms(t *testing.T) {
+	src := "c a column-1 comment\n! bang comment\n* star comment\n      x = 1 ! trailing\n"
+	toks := lexOK(t, src)
+	got := kinds(toks)
+	want := []TokKind{IDENT, EQUALS, INTLIT, NEWLINE, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestLexCallIsNotComment(t *testing.T) {
+	toks := lexOK(t, "call foo(x)\n")
+	if toks[0].Kind != IDENT || toks[0].Text != "call" {
+		t.Fatalf("'call' at column 1 mis-lexed: %v", toks[0])
+	}
+}
+
+func TestLexDirective(t *testing.T) {
+	toks := lexOK(t, "c$doacross local(i) shared(a)\n")
+	if toks[0].Kind != DIRECTIVE {
+		t.Fatalf("directive not recognized: %v", toks[0])
+	}
+	if toks[1].Kind != IDENT || toks[1].Text != "doacross" {
+		t.Fatalf("directive body wrong: %v", toks[1])
+	}
+}
+
+func TestLexDirectiveUppercase(t *testing.T) {
+	toks := lexOK(t, "C$DISTRIBUTE A(*, BLOCK)\n")
+	if toks[0].Kind != DIRECTIVE || toks[1].Text != "distribute" {
+		t.Fatalf("uppercase directive mis-lexed: %v %v", toks[0], toks[1])
+	}
+	// identifiers lower-cased
+	if toks[2].Text != "a" {
+		t.Fatalf("case folding broken: %v", toks[2])
+	}
+}
+
+func TestLexContinuation(t *testing.T) {
+	toks := lexOK(t, "      x = 1 + &\n     2\n")
+	got := kinds(toks)
+	want := []TokKind{IDENT, EQUALS, INTLIT, PLUS, INTLIT, NEWLINE, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("continuation broken: %v", toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexDotOperators(t *testing.T) {
+	toks := lexOK(t, "      if (i .le. n .and. j .ne. 0) x = 1\n")
+	var seenLE, seenAND, seenNE bool
+	for _, tk := range toks {
+		switch tk.Kind {
+		case LE:
+			seenLE = true
+		case AND:
+			seenAND = true
+		case NE:
+			seenNE = true
+		}
+	}
+	if !seenLE || !seenAND || !seenNE {
+		t.Fatalf("dot operators missing: %v", toks)
+	}
+}
+
+func TestLexModernRelops(t *testing.T) {
+	toks := lexOK(t, "      if (i <= n) x = y >= z\n")
+	var le, ge bool
+	for _, tk := range toks {
+		if tk.Kind == LE {
+			le = true
+		}
+		if tk.Kind == GE {
+			ge = true
+		}
+	}
+	if !le || !ge {
+		t.Fatalf("modern relops missing: %v", toks)
+	}
+}
+
+func TestLexRealLiterals(t *testing.T) {
+	cases := map[string]string{
+		"1.5":    "1.5",
+		"2.5e-3": "2.5e-3",
+		"1.0d0":  "1.0e0",
+		"3.":     "3.",
+		"1e6":    "1e6",
+	}
+	for in, wantText := range cases {
+		toks := lexOK(t, "      x = "+in+"\n")
+		lit := toks[2]
+		if lit.Kind != REALLIT {
+			t.Errorf("%q lexed as %v", in, lit)
+			continue
+		}
+		if lit.Text != wantText {
+			t.Errorf("%q text %q, want %q", in, lit.Text, wantText)
+		}
+	}
+}
+
+func TestLexIntegerLiteral(t *testing.T) {
+	toks := lexOK(t, "      n = 1000\n")
+	if toks[2].Kind != INTLIT || toks[2].Text != "1000" {
+		t.Fatalf("integer literal wrong: %v", toks[2])
+	}
+}
+
+func TestLexErrorUnknownChar(t *testing.T) {
+	if _, err := Lex("t.f", "      x = #1\n"); err == nil {
+		t.Fatal("unknown character accepted")
+	}
+}
+
+func TestLexErrorBadDotOp(t *testing.T) {
+	if _, err := Lex("t.f", "      x = a .foo. b\n"); err == nil {
+		t.Fatal("bad dot operator accepted")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexOK(t, "x = 1\ny = 2\n")
+	if toks[0].Line != 1 || toks[4].Line != 2 {
+		t.Fatalf("line numbers wrong: %v %v", toks[0], toks[4])
+	}
+}

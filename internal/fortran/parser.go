@@ -1,0 +1,996 @@
+package fortran
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser over the token stream. Fortran has
+// no reserved words, so statement dispatch matches identifier spellings at
+// statement start.
+
+// ParseError is a syntax diagnostic.
+type ParseError struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+type parser struct {
+	file string
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses one source file.
+func Parse(file, src string) (*File, error) {
+	toks, err := Lex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	return p.parseFile()
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) peekKind() TokKind { return p.toks[p.pos].Kind }
+
+func (p *parser) at(k TokKind) bool { return p.toks[p.pos].Kind == k }
+
+// atWord reports whether the current token is the identifier w.
+func (p *parser) atWord(w string) bool {
+	t := p.cur()
+	return t.Kind == IDENT && t.Text == w
+}
+
+func (p *parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptWord(w string) bool {
+	if p.atWord(w) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) fail(format string, args ...any) error {
+	t := p.cur()
+	return &ParseError{File: p.file, Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if p.at(k) {
+		return p.next(), nil
+	}
+	return Token{}, p.fail("expected %s, found %s", k, p.cur())
+}
+
+func (p *parser) expectWord(w string) error {
+	if p.acceptWord(w) {
+		return nil
+	}
+	return p.fail("expected %q, found %s", w, p.cur())
+}
+
+func (p *parser) expectEOL() error {
+	if p.accept(NEWLINE) {
+		return nil
+	}
+	if p.at(EOF) {
+		return nil
+	}
+	return p.fail("expected end of line, found %s", p.cur())
+}
+
+func (p *parser) skipNewlines() {
+	for p.accept(NEWLINE) {
+	}
+}
+
+func (p *parser) parseFile() (*File, error) {
+	f := &File{Name: p.file}
+	p.skipNewlines()
+	for !p.at(EOF) {
+		u, err := p.parseUnit()
+		if err != nil {
+			return nil, err
+		}
+		f.Units = append(f.Units, u)
+		p.skipNewlines()
+	}
+	if len(f.Units) == 0 {
+		return nil, p.fail("empty source file")
+	}
+	return f, nil
+}
+
+// parseUnit parses "program name" or "subroutine name(params)" through its
+// matching "end".
+func (p *parser) parseUnit() (*Unit, error) {
+	u := &Unit{Line: p.cur().Line}
+	switch {
+	case p.acceptWord("program"):
+		u.Kind = ProgramUnit
+	case p.acceptWord("subroutine"):
+		u.Kind = SubroutineUnit
+	default:
+		return nil, p.fail("expected 'program' or 'subroutine', found %s", p.cur())
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	u.Name = name.Text
+	if u.Kind == SubroutineUnit && p.accept(LPAREN) {
+		if !p.accept(RPAREN) {
+			for {
+				a, err := p.expect(IDENT)
+				if err != nil {
+					return nil, err
+				}
+				u.Params = append(u.Params, a.Text)
+				if p.accept(RPAREN) {
+					break
+				}
+				if _, err := p.expect(COMMA); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := p.expectEOL(); err != nil {
+		return nil, err
+	}
+
+	// Declaration part: runs until the first executable statement.
+	for {
+		p.skipNewlines()
+		ds, isDecl, err := p.tryParseDecl()
+		if err != nil {
+			return nil, err
+		}
+		if !isDecl {
+			break
+		}
+		u.Decls = append(u.Decls, ds...)
+	}
+
+	// Executable part.
+	body, err := p.parseStmts(func() bool { return p.atWord("end") && p.isPlainEnd() })
+	if err != nil {
+		return nil, err
+	}
+	u.Body = body
+	if err := p.expectWord("end"); err != nil {
+		return nil, err
+	}
+	if err := p.expectEOL(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// isPlainEnd distinguishes the unit-terminating "end" line from "end do" /
+// "end if".
+func (p *parser) isPlainEnd() bool {
+	return p.toks[p.pos+1].Kind == NEWLINE || p.toks[p.pos+1].Kind == EOF
+}
+
+// tryParseDecl parses one declaration line if the current line starts one;
+// a c$distribute line may declare several arrays and so yields several
+// decls.
+func (p *parser) tryParseDecl() ([]Decl, bool, error) {
+	if p.at(DIRECTIVE) {
+		// distribute / distribute_reshape are declarations; doacross
+		// and redistribute belong to the executable part.
+		t := p.toks[p.pos+1]
+		if t.Kind == IDENT && (t.Text == "distribute" || t.Text == "distribute_reshape") {
+			p.next() // DIRECTIVE
+			ds, err := p.parseDistribute()
+			return ds, true, err
+		}
+		return nil, false, nil
+	}
+	one := func(d Decl, err error) ([]Decl, bool, error) {
+		if err != nil {
+			return nil, true, err
+		}
+		return []Decl{d}, true, nil
+	}
+	switch {
+	case p.atWord("integer"), p.atWord("real"):
+		return one(p.parseTypeDecl())
+	case p.atWord("parameter"):
+		return one(p.parseParamDecl())
+	case p.atWord("common"):
+		return one(p.parseCommonDecl())
+	case p.atWord("equivalence"):
+		return one(p.parseEquivDecl())
+	}
+	return nil, false, nil
+}
+
+func (p *parser) parseTypeDecl() (Decl, error) {
+	d := &TypeDecl{Line: p.cur().Line}
+	switch {
+	case p.acceptWord("integer"):
+		d.Type = TInteger
+	case p.acceptWord("real"):
+		d.Type = TReal8
+		// Optional *8 width.
+		if p.accept(STAR) {
+			w, err := p.expect(INTLIT)
+			if err != nil {
+				return nil, err
+			}
+			if w.Text != "8" && w.Text != "4" {
+				return nil, p.fail("unsupported real width *%s", w.Text)
+			}
+		}
+	}
+	for {
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		item := Declarator{Name: name.Text, Line: name.Line}
+		if p.accept(LPAREN) {
+			for {
+				if p.at(STAR) {
+					p.next()
+					item.Dims = append(item.Dims, nil) // assumed size
+				} else {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					item.Dims = append(item.Dims, e)
+				}
+				if p.accept(RPAREN) {
+					break
+				}
+				if _, err := p.expect(COMMA); err != nil {
+					return nil, err
+				}
+			}
+		}
+		d.Items = append(d.Items, item)
+		if p.accept(NEWLINE) {
+			return d, nil
+		}
+		if _, err := p.expect(COMMA); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseParamDecl() (Decl, error) {
+	d := &ParamDecl{Line: p.cur().Line}
+	p.next() // parameter
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(EQUALS); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Names = append(d.Names, name.Text)
+		d.Values = append(d.Values, v)
+		if p.accept(RPAREN) {
+			break
+		}
+		if _, err := p.expect(COMMA); err != nil {
+			return nil, err
+		}
+	}
+	return d, p.expectEOL()
+}
+
+func (p *parser) parseCommonDecl() (Decl, error) {
+	d := &CommonDecl{Line: p.cur().Line}
+	p.next() // common
+	if _, err := p.expect(SLASH); err != nil {
+		return nil, err
+	}
+	blk, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d.Block = blk.Text
+	if _, err := p.expect(SLASH); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		d.Names = append(d.Names, name.Text)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	return d, p.expectEOL()
+}
+
+func (p *parser) parseEquivDecl() (Decl, error) {
+	d := &EquivDecl{Line: p.cur().Line}
+	p.next() // equivalence
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	a, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COMMA); err != nil {
+		return nil, err
+	}
+	b, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	d.A, d.B = a.Text, b.Text
+	return d, p.expectEOL()
+}
+
+// parseDistSpec parses "name(<dist>, <dist>, ...)".
+func (p *parser) parseDistSpec() (string, []DistDim, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return "", nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return "", nil, err
+	}
+	var dims []DistDim
+	for {
+		var dd DistDim
+		switch {
+		case p.accept(STAR):
+			dd.Kind = DStar
+		case p.acceptWord("block"):
+			dd.Kind = DBlock
+		case p.acceptWord("cyclic"):
+			dd.Kind = DCyclic
+			if p.accept(LPAREN) {
+				e, err := p.parseExpr()
+				if err != nil {
+					return "", nil, err
+				}
+				if _, err := p.expect(RPAREN); err != nil {
+					return "", nil, err
+				}
+				dd.Kind = DCyclicExpr
+				dd.Chunk = e
+			}
+		default:
+			return "", nil, p.fail("expected distribution specifier, found %s", p.cur())
+		}
+		dims = append(dims, dd)
+		if p.accept(RPAREN) {
+			break
+		}
+		if _, err := p.expect(COMMA); err != nil {
+			return "", nil, err
+		}
+	}
+	return name.Text, dims, nil
+}
+
+// parseDistribute parses the rest of a c$distribute[_reshape] line, which
+// may name several arrays: "c$distribute A(*,block), B(block,*)" as in the
+// paper's examples (§8.2).
+func (p *parser) parseDistribute() ([]Decl, error) {
+	line := p.cur().Line
+	reshape := false
+	switch {
+	case p.acceptWord("distribute"):
+	case p.acceptWord("distribute_reshape"):
+		reshape = true
+	default:
+		return nil, p.fail("expected distribute directive")
+	}
+	var out []Decl
+	for {
+		d := &DistDecl{Line: line, Reshape: reshape}
+		name, dims, err := p.parseDistSpec()
+		if err != nil {
+			return nil, err
+		}
+		d.Array, d.Dims = name, dims
+		if p.acceptWord("onto") {
+			if _, err := p.expect(LPAREN); err != nil {
+				return nil, err
+			}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				d.Onto = append(d.Onto, e)
+				if p.accept(RPAREN) {
+					break
+				}
+				if _, err := p.expect(COMMA); err != nil {
+					return nil, err
+				}
+			}
+		}
+		out = append(out, d)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	return out, p.expectEOL()
+}
+
+// parseStmts parses statements until stop() is true at a statement
+// boundary.
+func (p *parser) parseStmts(stop func() bool) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		p.skipNewlines()
+		if p.at(EOF) || stop() {
+			return out, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	if p.at(DIRECTIVE) {
+		return p.parseExecDirective()
+	}
+	switch {
+	case p.atWord("do"):
+		return p.parseDo(nil)
+	case p.atWord("enddo"), p.atWord("endif"):
+		return nil, p.fail("unexpected %q", p.cur().Text)
+	case p.atWord("if"):
+		return p.parseIf()
+	case p.atWord("call"):
+		return p.parseCall()
+	case p.atWord("return"):
+		line := p.next().Line
+		return &Return{Line: line}, p.expectEOL()
+	case p.atWord("continue"):
+		line := p.next().Line
+		return &Continue{Line: line}, p.expectEOL()
+	case p.atWord("end"):
+		// "end do" / "end if" are consumed by their constructs; a bare
+		// "end" here is the caller's terminator.
+		return nil, p.fail("unexpected 'end'")
+	}
+	return p.parseAssign()
+}
+
+// parseExecDirective handles c$doacross and c$redistribute.
+func (p *parser) parseExecDirective() (Stmt, error) {
+	p.next() // DIRECTIVE
+	switch {
+	case p.atWord("doacross"):
+		da, err := p.parseDoacross()
+		if err != nil {
+			return nil, err
+		}
+		p.skipNewlines()
+		if !p.atWord("do") {
+			return nil, p.fail("c$doacross must be followed by a do loop")
+		}
+		return p.parseDo(da)
+	case p.atWord("redistribute"):
+		line := p.next().Line
+		name, dims, err := p.parseDistSpec()
+		if err != nil {
+			return nil, err
+		}
+		return &Redistribute{Array: name, Dims: dims, Line: line}, p.expectEOL()
+	case p.atWord("distribute"), p.atWord("distribute_reshape"):
+		return nil, p.fail("c$%s must appear in the declaration part", p.cur().Text)
+	}
+	return nil, p.fail("unknown directive c$%s", p.cur().Text)
+}
+
+func (p *parser) parseDoacross() (*Doacross, error) {
+	da := &Doacross{Line: p.cur().Line}
+	p.next() // doacross
+	for !p.at(NEWLINE) && !p.at(EOF) {
+		switch {
+		case p.acceptWord("nest"):
+			names, err := p.parseNameList()
+			if err != nil {
+				return nil, err
+			}
+			da.Nest = names
+		case p.acceptWord("local"):
+			names, err := p.parseNameList()
+			if err != nil {
+				return nil, err
+			}
+			da.Local = append(da.Local, names...)
+		case p.acceptWord("shared"):
+			names, err := p.parseNameList()
+			if err != nil {
+				return nil, err
+			}
+			da.Shared = append(da.Shared, names...)
+		case p.acceptWord("affinity"):
+			aff, err := p.parseAffinity()
+			if err != nil {
+				return nil, err
+			}
+			da.Affinity = aff
+		case p.acceptWord("schedtype"):
+			if _, err := p.expect(LPAREN); err != nil {
+				return nil, err
+			}
+			switch {
+			case p.acceptWord("simple"):
+				da.Sched = SchedSimple
+			case p.acceptWord("interleave"), p.acceptWord("dynamic"):
+				if p.toks[p.pos-1].Text == "dynamic" {
+					da.Sched = SchedDynamic
+				} else {
+					da.Sched = SchedInterleave
+				}
+				if p.accept(COMMA) {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					da.Chunk = e
+				}
+			case p.acceptWord("gss"):
+				da.Sched = SchedGSS
+			default:
+				return nil, p.fail("unknown schedtype %s", p.cur())
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.fail("unknown doacross clause %s", p.cur())
+		}
+	}
+	return da, p.expectEOL()
+}
+
+func (p *parser) parseNameList() ([]string, error) {
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	var names []string
+	for {
+		t, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, t.Text)
+		if p.accept(RPAREN) {
+			return names, nil
+		}
+		if _, err := p.expect(COMMA); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// parseAffinity parses "(i[,j]) = data(A(e1[,e2,...]))".
+func (p *parser) parseAffinity() (*Affinity, error) {
+	aff := &Affinity{Line: p.cur().Line}
+	vars, err := p.parseNameList()
+	if err != nil {
+		return nil, err
+	}
+	aff.Vars = vars
+	if _, err := p.expect(EQUALS); err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("data"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	aff.Array = name.Text
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		aff.Index = append(aff.Index, e)
+		if p.accept(RPAREN) {
+			break
+		}
+		if _, err := p.expect(COMMA); err != nil {
+			return nil, err
+		}
+	}
+	_, err = p.expect(RPAREN)
+	return aff, err
+}
+
+func (p *parser) parseDo(da *Doacross) (Stmt, error) {
+	d := &Do{Doacross: da, Line: p.cur().Line}
+	p.next() // do
+	v, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d.Var = v.Text
+	if _, err := p.expect(EQUALS); err != nil {
+		return nil, err
+	}
+	if d.Lo, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COMMA); err != nil {
+		return nil, err
+	}
+	if d.Hi, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	if p.accept(COMMA) {
+		if d.Step, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectEOL(); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmts(func() bool { return p.atEndDo() })
+	if err != nil {
+		return nil, err
+	}
+	d.Body = body
+	if !p.consumeEndDo() {
+		return nil, p.fail("expected 'end do', found %s", p.cur())
+	}
+	return d, p.expectEOL()
+}
+
+func (p *parser) atEndDo() bool {
+	if p.atWord("enddo") {
+		return true
+	}
+	return p.atWord("end") && p.toks[p.pos+1].Kind == IDENT && p.toks[p.pos+1].Text == "do"
+}
+
+func (p *parser) consumeEndDo() bool {
+	if p.acceptWord("enddo") {
+		return true
+	}
+	if p.atEndDo() {
+		p.pos += 2
+		return true
+	}
+	return false
+}
+
+func (p *parser) atEndIf() bool {
+	if p.atWord("endif") {
+		return true
+	}
+	return p.atWord("end") && p.toks[p.pos+1].Kind == IDENT && p.toks[p.pos+1].Text == "if"
+}
+
+func (p *parser) consumeEndIf() bool {
+	if p.acceptWord("endif") {
+		return true
+	}
+	if p.atEndIf() {
+		p.pos += 2
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	s := &If{Line: p.cur().Line}
+	p.next() // if
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	s.Cond = cond
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if !p.acceptWord("then") {
+		// Logical if: one statement on the same line.
+		one, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Then = []Stmt{one}
+		return s, nil
+	}
+	if err := p.expectEOL(); err != nil {
+		return nil, err
+	}
+	s.Then, err = p.parseStmts(func() bool { return p.atEndIf() || p.atWord("else") })
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptWord("else") {
+		if err := p.expectEOL(); err != nil {
+			return nil, err
+		}
+		s.Else, err = p.parseStmts(func() bool { return p.atEndIf() })
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !p.consumeEndIf() {
+		return nil, p.fail("expected 'end if', found %s", p.cur())
+	}
+	return s, p.expectEOL()
+}
+
+func (p *parser) parseCall() (Stmt, error) {
+	c := &Call{Line: p.cur().Line}
+	p.next() // call
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	c.Name = name.Text
+	if p.accept(LPAREN) {
+		if !p.accept(RPAREN) {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, e)
+				if p.accept(RPAREN) {
+					break
+				}
+				if _, err := p.expect(COMMA); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return c, p.expectEOL()
+}
+
+func (p *parser) parseAssign() (Stmt, error) {
+	s := &Assign{Line: p.cur().Line}
+	lhs, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	switch lhs.(type) {
+	case *Ident, *CallExpr:
+	default:
+		return nil, p.fail("invalid assignment target")
+	}
+	s.Lhs = lhs
+	if _, err := p.expect(EQUALS); err != nil {
+		return nil, err
+	}
+	if s.Rhs, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	return s, p.expectEOL()
+}
+
+// Expression grammar (lowest to highest):
+//   or:   and (.or. and)*
+//   and:  rel (.and. rel)*
+//   rel:  add ((< <= > >= == /=) add)?
+//   add:  mul ((+|-) mul)*
+//   mul:  unary ((*|/) unary)*
+//   unary: (-|.not.)? primary
+//   primary: literal | ident | ident(args) | (expr)
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(OR) {
+		line := p.next().Line
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: OpOr, L: l, R: r, Line: line}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseRel()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(AND) {
+		line := p.next().Line
+		r, err := p.parseRel()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: OpAnd, L: l, R: r, Line: line}
+	}
+	return l, nil
+}
+
+var relOps = map[TokKind]BinOpKind{
+	LT: OpLT, LE: OpLE, GT: OpGT, GE: OpGE, EQ: OpEQ, NE: OpNE,
+}
+
+func (p *parser) parseRel() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := relOps[p.peekKind()]; ok {
+		line := p.next().Line
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: op, L: l, R: r, Line: line}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(PLUS) || p.at(MINUS) {
+		op := OpAdd
+		if p.at(MINUS) {
+			op = OpSub
+		}
+		line := p.next().Line
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r, Line: line}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(STAR) || p.at(SLASH) {
+		op := OpMul
+		if p.at(SLASH) {
+			op = OpDiv
+		}
+		line := p.next().Line
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r, Line: line}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.at(MINUS) {
+		line := p.next().Line
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Neg: true, X: x, Line: line}, nil
+	}
+	if p.at(NOT) {
+		line := p.next().Line
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Neg: false, X: x, Line: line}, nil
+	}
+	if p.at(PLUS) {
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INTLIT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.fail("bad integer literal %q", t.Text)
+		}
+		return &IntLit{Value: v, Line: t.Line}, nil
+	case REALLIT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.fail("bad real literal %q", t.Text)
+		}
+		return &RealLit{Value: v, Line: t.Line}, nil
+	case IDENT:
+		p.next()
+		if !p.accept(LPAREN) {
+			return &Ident{Name: t.Text, Line: t.Line}, nil
+		}
+		c := &CallExpr{Name: t.Text, Line: t.Line}
+		if p.accept(RPAREN) {
+			return c, nil
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.Args = append(c.Args, e)
+			if p.accept(RPAREN) {
+				return c, nil
+			}
+			if _, err := p.expect(COMMA); err != nil {
+				return nil, err
+			}
+		}
+	case LPAREN:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(RPAREN)
+		return e, err
+	}
+	return nil, p.fail("expected expression, found %s", t)
+}

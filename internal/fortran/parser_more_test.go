@@ -1,0 +1,122 @@
+package fortran
+
+import "testing"
+
+func TestParseSchedtypeDynamicGss(t *testing.T) {
+	f := parseOK(t, `
+      program p
+      real*8 a(10)
+      integer i
+c$doacross local(i) shared(a) schedtype(dynamic, 8)
+      do i = 1, 10
+        a(i) = 0.0
+      end do
+c$doacross local(i) shared(a) schedtype(dynamic)
+      do i = 1, 10
+        a(i) = 0.0
+      end do
+c$doacross local(i) shared(a) schedtype(gss)
+      do i = 1, 10
+        a(i) = 0.0
+      end do
+      end
+`)
+	d0 := f.Units[0].Body[0].(*Do).Doacross
+	if d0.Sched != SchedDynamic || d0.Chunk == nil {
+		t.Fatalf("dynamic,8 = %+v", d0)
+	}
+	d1 := f.Units[0].Body[1].(*Do).Doacross
+	if d1.Sched != SchedDynamic || d1.Chunk != nil {
+		t.Fatalf("dynamic = %+v", d1)
+	}
+	d2 := f.Units[0].Body[2].(*Do).Doacross
+	if d2.Sched != SchedGSS {
+		t.Fatalf("gss = %+v", d2)
+	}
+}
+
+func TestParseMultiArrayDistribute(t *testing.T) {
+	f := parseOK(t, `
+      program p
+      real*8 a(10, 10), b(10, 10), c(10)
+c$distribute a(*, block), b(block, *), c(cyclic)
+      a(1,1) = 0.0
+      end
+`)
+	var dd []*DistDecl
+	for _, d := range f.Units[0].Decls {
+		if x, ok := d.(*DistDecl); ok {
+			dd = append(dd, x)
+		}
+	}
+	if len(dd) != 3 {
+		t.Fatalf("decls = %d", len(dd))
+	}
+	if dd[0].Array != "a" || dd[1].Array != "b" || dd[2].Array != "c" {
+		t.Fatalf("arrays = %s %s %s", dd[0].Array, dd[1].Array, dd[2].Array)
+	}
+	if dd[1].Dims[0].Kind != DBlock || dd[2].Dims[0].Kind != DCyclic {
+		t.Fatal("kinds wrong")
+	}
+}
+
+func TestParseDirectiveContinuation(t *testing.T) {
+	f := parseOK(t, `
+      program p
+      real*8 a(100)
+      integer i
+c$doacross local(i) &
+     shared(a)
+      do i = 1, 100
+        a(i) = 0.0
+      end do
+      end
+`)
+	da := f.Units[0].Body[0].(*Do).Doacross
+	if len(da.Local) != 1 || len(da.Shared) != 1 {
+		t.Fatalf("continued directive clauses: %+v", da)
+	}
+}
+
+func TestParseLowerUpperMixedKeywords(t *testing.T) {
+	f := parseOK(t, `
+      PROGRAM P
+      REAL*8 X(4)
+      INTEGER I
+      DO I = 1, 4
+        X(I) = 1.0
+      END DO
+      END
+`)
+	if f.Units[0].Name != "p" {
+		t.Fatalf("case folding: %q", f.Units[0].Name)
+	}
+}
+
+func TestParseNegativeStepLoop(t *testing.T) {
+	f := parseOK(t, `
+      program p
+      integer i, s
+      do i = 10, 1, -1
+        s = i
+      end do
+      end
+`)
+	do := f.Units[0].Body[0].(*Do)
+	un, ok := do.Step.(*UnOp)
+	if !ok || !un.Neg {
+		t.Fatalf("step = %+v", do.Step)
+	}
+}
+
+func TestParseDeeplyNestedExpr(t *testing.T) {
+	f := parseOK(t, `
+      program p
+      real*8 x
+      x = ((((1.0 + 2.0) * 3.0) - 4.0) / 5.0)
+      end
+`)
+	if _, ok := f.Units[0].Body[0].(*Assign).Rhs.(*BinOp); !ok {
+		t.Fatal("nested parens broke parsing")
+	}
+}

@@ -1,0 +1,356 @@
+package fortran
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("test.f", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func parseErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := Parse("test.f", src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err.Error(), wantSub)
+	}
+}
+
+const transposeSrc = `
+      program transpose
+      integer n
+      parameter (n = 64)
+      real*8 a(n, n), b(n, n)
+c$distribute a(*, block)
+c$distribute b(block, *)
+      integer i, j
+c$doacross local(i, j) shared(a, b)
+      do i = 1, n
+        do j = 1, n
+          a(j, i) = b(i, j)
+        end do
+      end do
+      end
+`
+
+func TestParseTranspose(t *testing.T) {
+	f := parseOK(t, transposeSrc)
+	if len(f.Units) != 1 {
+		t.Fatalf("units = %d", len(f.Units))
+	}
+	u := f.Units[0]
+	if u.Kind != ProgramUnit || u.Name != "transpose" {
+		t.Fatalf("unit = %+v", u)
+	}
+	var dists []*DistDecl
+	for _, d := range u.Decls {
+		if dd, ok := d.(*DistDecl); ok {
+			dists = append(dists, dd)
+		}
+	}
+	if len(dists) != 2 {
+		t.Fatalf("distribute directives = %d", len(dists))
+	}
+	if dists[0].Array != "a" || dists[0].Dims[0].Kind != DStar || dists[0].Dims[1].Kind != DBlock {
+		t.Fatalf("first distribute wrong: %+v", dists[0])
+	}
+	if len(u.Body) != 1 {
+		t.Fatalf("body statements = %d", len(u.Body))
+	}
+	do, ok := u.Body[0].(*Do)
+	if !ok || do.Doacross == nil {
+		t.Fatalf("doacross loop missing: %+v", u.Body[0])
+	}
+	if len(do.Doacross.Local) != 2 || len(do.Doacross.Shared) != 2 {
+		t.Fatalf("clauses: %+v", do.Doacross)
+	}
+	inner, ok := do.Body[0].(*Do)
+	if !ok || inner.Var != "j" {
+		t.Fatalf("inner loop wrong: %+v", do.Body[0])
+	}
+}
+
+func TestParseSubroutineParams(t *testing.T) {
+	f := parseOK(t, `
+      subroutine mysub(x, n)
+      integer n
+      real*8 x(n)
+      x(1) = 0.0
+      return
+      end
+`)
+	u := f.Units[0]
+	if u.Kind != SubroutineUnit || len(u.Params) != 2 || u.Params[0] != "x" {
+		t.Fatalf("unit = %+v", u)
+	}
+}
+
+func TestParseAffinityClause(t *testing.T) {
+	f := parseOK(t, `
+      program p
+      real*8 a(100)
+c$distribute a(block)
+      integer i
+c$doacross local(i) shared(a) affinity(i) = data(a(i))
+      do i = 1, 100
+        a(i) = 1.0
+      end do
+      end
+`)
+	do := f.Units[0].Body[0].(*Do)
+	aff := do.Doacross.Affinity
+	if aff == nil || aff.Array != "a" || len(aff.Vars) != 1 || aff.Vars[0] != "i" {
+		t.Fatalf("affinity = %+v", aff)
+	}
+	if _, ok := aff.Index[0].(*Ident); !ok {
+		t.Fatalf("affinity index = %+v", aff.Index[0])
+	}
+}
+
+func TestParseNestAffinity2D(t *testing.T) {
+	f := parseOK(t, `
+      program p
+      real*8 a(10,10)
+c$distribute_reshape a(block, block)
+      integer i, j
+c$doacross nest(i,j) local(i,j) affinity(j,i) = data(a(i,j))
+      do j = 1, 10
+        do i = 1, 10
+          a(i,j) = 0.0
+        end do
+      end do
+      end
+`)
+	do := f.Units[0].Body[0].(*Do)
+	da := do.Doacross
+	if len(da.Nest) != 2 || da.Nest[0] != "i" || da.Nest[1] != "j" {
+		t.Fatalf("nest = %v", da.Nest)
+	}
+	if len(da.Affinity.Index) != 2 {
+		t.Fatalf("affinity index = %+v", da.Affinity)
+	}
+}
+
+func TestParseCyclicExprAndOnto(t *testing.T) {
+	f := parseOK(t, `
+      program p
+      integer k
+      parameter (k = 5)
+      real*8 a(1000, 1000)
+c$distribute_reshape a(cyclic(k), block) onto(2, 1)
+      a(1,1) = 0.0
+      end
+`)
+	var dd *DistDecl
+	for _, d := range f.Units[0].Decls {
+		if x, ok := d.(*DistDecl); ok {
+			dd = x
+		}
+	}
+	if dd == nil || !dd.Reshape {
+		t.Fatalf("distribute_reshape missing")
+	}
+	if dd.Dims[0].Kind != DCyclicExpr || dd.Dims[0].Chunk == nil {
+		t.Fatalf("cyclic(k) wrong: %+v", dd.Dims[0])
+	}
+	if len(dd.Onto) != 2 {
+		t.Fatalf("onto = %+v", dd.Onto)
+	}
+}
+
+func TestParseRedistribute(t *testing.T) {
+	f := parseOK(t, `
+      program p
+      real*8 a(100)
+c$distribute a(block)
+c$redistribute a(cyclic)
+      end
+`)
+	rd, ok := f.Units[0].Body[0].(*Redistribute)
+	if !ok || rd.Array != "a" || rd.Dims[0].Kind != DCyclic {
+		t.Fatalf("redistribute = %+v", f.Units[0].Body[0])
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	f := parseOK(t, `
+      program p
+      integer i
+      if (i .lt. 10) then
+        i = 1
+      else
+        i = 2
+      end if
+      if (i .eq. 1) i = 3
+      end
+`)
+	s1 := f.Units[0].Body[0].(*If)
+	if len(s1.Then) != 1 || len(s1.Else) != 1 {
+		t.Fatalf("if/else arms: %+v", s1)
+	}
+	s2 := f.Units[0].Body[1].(*If)
+	if len(s2.Then) != 1 || s2.Else != nil {
+		t.Fatalf("logical if: %+v", s2)
+	}
+}
+
+func TestParseCommonEquivalence(t *testing.T) {
+	f := parseOK(t, `
+      subroutine s
+      real*8 a(10), b(10)
+      common /blk/ a, b
+      equivalence (a, b)
+      return
+      end
+`)
+	var c *CommonDecl
+	var e *EquivDecl
+	for _, d := range f.Units[0].Decls {
+		switch x := d.(type) {
+		case *CommonDecl:
+			c = x
+		case *EquivDecl:
+			e = x
+		}
+	}
+	if c == nil || c.Block != "blk" || len(c.Names) != 2 {
+		t.Fatalf("common = %+v", c)
+	}
+	if e == nil || e.A != "a" || e.B != "b" {
+		t.Fatalf("equivalence = %+v", e)
+	}
+}
+
+func TestParseCallAndExprPrecedence(t *testing.T) {
+	f := parseOK(t, `
+      program p
+      real*8 x
+      integer i
+      x = 1.0 + 2.0*3.0 - x/2.0
+      i = mod(i, 4) + min(i, 3, 2)
+      call work(x, i+1)
+      end
+`)
+	a := f.Units[0].Body[0].(*Assign)
+	// 1.0 + 2.0*3.0 - x/2.0 parses as (1+ (2*3)) - (x/2)
+	top := a.Rhs.(*BinOp)
+	if top.Op != OpSub {
+		t.Fatalf("top op = %v", top.Op)
+	}
+	add := top.L.(*BinOp)
+	if add.Op != OpAdd {
+		t.Fatalf("left op = %v", add.Op)
+	}
+	if mul := add.R.(*BinOp); mul.Op != OpMul {
+		t.Fatalf("mul missing: %+v", add.R)
+	}
+	call := f.Units[0].Body[2].(*Call)
+	if call.Name != "work" || len(call.Args) != 2 {
+		t.Fatalf("call = %+v", call)
+	}
+}
+
+func TestParseSchedtype(t *testing.T) {
+	f := parseOK(t, `
+      program p
+      real*8 a(100)
+      integer i
+c$doacross local(i) shared(a) schedtype(interleave, 4)
+      do i = 1, 100
+        a(i) = 0.0
+      end do
+      end
+`)
+	da := f.Units[0].Body[0].(*Do).Doacross
+	if da.Sched != SchedInterleave || da.Chunk == nil {
+		t.Fatalf("schedtype = %+v", da)
+	}
+}
+
+func TestParseStep(t *testing.T) {
+	f := parseOK(t, `
+      program p
+      integer i, s
+      do i = 1, 100, 5
+        s = i
+      end do
+      end
+`)
+	do := f.Units[0].Body[0].(*Do)
+	if do.Step == nil {
+		t.Fatal("step missing")
+	}
+	if lit, ok := do.Step.(*IntLit); !ok || lit.Value != 5 {
+		t.Fatalf("step = %+v", do.Step)
+	}
+}
+
+func TestParseMultiUnitFile(t *testing.T) {
+	f := parseOK(t, `
+      program main
+      call s1
+      end
+
+      subroutine s1
+      return
+      end
+`)
+	if len(f.Units) != 2 {
+		t.Fatalf("units = %d", len(f.Units))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	parseErr(t, "      x = 1\n", "expected 'program' or 'subroutine'")
+	parseErr(t, "      program p\n      do i = 1, 10\n      end\n", "unexpected 'end'")
+	parseErr(t, "      program p\n      do i = 1, 10\n      x = 1\n", "expected 'end do'")
+	parseErr(t, "      program p\nc$doacross local(i)\n      x = 1\n      end\n", "must be followed by a do loop")
+	parseErr(t, "      program p\nc$bogus\n      end\n", "unknown directive")
+	parseErr(t, "      program p\n      if (x then\n      end\n", "expected )")
+	parseErr(t, "      program p\nc$distribute a(pancake)\n      end\n", "expected distribution specifier")
+	parseErr(t, "", "empty source file")
+	parseErr(t, "      program p\n      x = \n      end\n", "expected expression")
+}
+
+func TestParseAssumedSizeDim(t *testing.T) {
+	f := parseOK(t, `
+      subroutine s(x, n)
+      integer n
+      real*8 x(*)
+      x(1) = 0.0
+      end
+`)
+	var td *TypeDecl
+	for _, d := range f.Units[0].Decls {
+		if x, ok := d.(*TypeDecl); ok && x.Type == TReal8 {
+			td = x
+		}
+	}
+	if td == nil || td.Items[0].Dims[0] != nil {
+		t.Fatalf("assumed-size dim not nil: %+v", td)
+	}
+}
+
+func TestParseContinue(t *testing.T) {
+	f := parseOK(t, `
+      program p
+      integer i
+      do i = 1, 3
+        continue
+      end do
+      end
+`)
+	do := f.Units[0].Body[0].(*Do)
+	if _, ok := do.Body[0].(*Continue); !ok {
+		t.Fatalf("continue = %+v", do.Body[0])
+	}
+}

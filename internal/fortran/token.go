@@ -1,0 +1,83 @@
+// Package fortran implements the front end for the Fortran-77 subset the
+// paper's directives extend: a line-oriented lexer that recognizes
+// c$-directive lines (paper §3), an AST, and a recursive-descent parser.
+// Semantic analysis lives in internal/sema.
+package fortran
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+const (
+	EOF TokKind = iota
+	NEWLINE
+	IDENT
+	INTLIT
+	REALLIT
+
+	// punctuation and operators
+	LPAREN
+	RPAREN
+	COMMA
+	PLUS
+	MINUS
+	STAR
+	SLASH
+	EQUALS
+	COLON
+
+	// relational/logical (either F77 dot form or modern form)
+	LT
+	LE
+	GT
+	GE
+	EQ
+	NE
+	AND
+	OR
+	NOT
+
+	// directive introducers; the lexer emits one of these at the start
+	// of a c$ line, then lexes the rest of the line normally.
+	DIRECTIVE // the c$ prefix itself
+)
+
+var tokNames = map[TokKind]string{
+	EOF: "end of file", NEWLINE: "end of line", IDENT: "identifier",
+	INTLIT: "integer literal", REALLIT: "real literal",
+	LPAREN: "(", RPAREN: ")", COMMA: ",", PLUS: "+", MINUS: "-",
+	STAR: "*", SLASH: "/", EQUALS: "=", COLON: ":",
+	LT: ".lt.", LE: ".le.", GT: ".gt.", GE: ".ge.", EQ: ".eq.", NE: ".ne.",
+	AND: ".and.", OR: ".or.", NOT: ".not.",
+	DIRECTIVE: "c$",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string // lower-cased identifier text or literal text
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, REALLIT:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Pos renders a source position for diagnostics.
+func (t Token) Pos(file string) string {
+	return fmt.Sprintf("%s:%d:%d", file, t.Line, t.Col)
+}

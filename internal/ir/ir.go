@@ -1,0 +1,462 @@
+// Package ir defines the typed mid-level representation the compiler
+// optimizes: structured loop nests over scalars and arrays, with explicit
+// nodes for the constructs the paper's transformations introduce —
+// descriptor-field reads (block sizes, processor counts), processor-array
+// portion bases (the indirect loads of §7.2), and raw memory references
+// produced by the reshaped-reference transformation of Table 1.
+//
+// Scalars live in virtual registers unless their address is taken (Fortran
+// argument passing); arrays live in simulated memory. Expressions carry
+// their type; sema inserts explicit conversions.
+package ir
+
+import (
+	"dsmdist/internal/dist"
+)
+
+// Type is the subset's value types.
+type Type int
+
+const (
+	Int Type = iota
+	Real
+)
+
+func (t Type) String() string {
+	if t == Int {
+		return "integer"
+	}
+	return "real*8"
+}
+
+// SymKind distinguishes scalars from arrays.
+type SymKind int
+
+const (
+	Scalar SymKind = iota
+	Array
+)
+
+// Sym is a variable (or compiler temporary) in one unit.
+type Sym struct {
+	Name string
+	Type Type
+	Kind SymKind
+
+	// Array extents, one per dimension, innermost (fastest-varying,
+	// column-major) first. A nil entry is an assumed-size final
+	// dimension of a formal parameter.
+	Dims []Expr
+
+	Common      string // enclosing common block name, or ""
+	CommonIndex int    // position within the common block member list
+
+	IsParam    bool
+	ParamIndex int
+
+	// Dist is the attached distribution, nil when undistributed.
+	Dist *dist.Spec
+	// Redistributed marks regular-distributed arrays that appear in a
+	// c$redistribute (their descriptors stay mutable).
+	Redistributed bool
+
+	// Addressed marks scalars whose address escapes (passed as an
+	// argument); they live in stack memory rather than a register.
+	Addressed bool
+
+	// ID is the index of this symbol in Unit.Syms.
+	ID int
+
+	Line int
+}
+
+// IsReshaped reports whether the symbol is a reshaped distributed array.
+func (s *Sym) IsReshaped() bool { return s.Dist != nil && s.Dist.Reshape }
+
+// IsDistributed reports whether the symbol carries any distribution.
+func (s *Sym) IsDistributed() bool { return s.Dist != nil && s.Dist.Distributed() }
+
+// ConstDims returns the extents as int64s when all are compile-time
+// constants.
+func (s *Sym) ConstDims() ([]int64, bool) {
+	out := make([]int64, len(s.Dims))
+	for i, d := range s.Dims {
+		c, ok := d.(*ConstInt)
+		if !ok {
+			return nil, false
+		}
+		out[i] = c.V
+	}
+	return out, true
+}
+
+// Unit is one compiled program unit.
+type Unit struct {
+	Name       string
+	IsProgram  bool
+	SourceFile string
+	Params     []*Sym
+	Syms       []*Sym
+	Body       []Stmt
+	Line       int
+
+	// CommonBlocks lists, per block declared in this unit, the member
+	// symbols in declaration order (needed for layout and the link-time
+	// consistency checks of §6).
+	CommonBlocks []*CommonBlock
+
+	nextTemp int
+}
+
+// CommonBlock records one common declaration in a unit.
+type CommonBlock struct {
+	Name    string
+	Members []*Sym
+}
+
+// NewTemp creates a fresh scalar temporary of the given type.
+func (u *Unit) NewTemp(t Type, name string) *Sym {
+	s := &Sym{
+		Name: "~" + name + string(rune('0'+u.nextTemp%10)) + string(rune('0'+(u.nextTemp/10)%10)),
+		Type: t,
+		Kind: Scalar,
+		ID:   len(u.Syms),
+	}
+	u.nextTemp++
+	u.Syms = append(u.Syms, s)
+	return s
+}
+
+// AddSym registers a symbol, assigning its ID.
+func (u *Unit) AddSym(s *Sym) *Sym {
+	s.ID = len(u.Syms)
+	u.Syms = append(u.Syms, s)
+	return s
+}
+
+// --- Expressions ---
+
+// Expr is an expression node; every node knows its type.
+type Expr interface {
+	Type() Type
+	exprNode()
+}
+
+// ConstInt is an integer constant.
+type ConstInt struct{ V int64 }
+
+// ConstReal is a real*8 constant.
+type ConstReal struct{ V float64 }
+
+// VarRef reads a scalar symbol.
+type VarRef struct{ Sym *Sym }
+
+// ArrayRef reads (or, as an assignment target, writes) one element; Idx are
+// the one-based Fortran subscripts, innermost dimension first.
+type ArrayRef struct {
+	Sym *Sym
+	Idx []Expr
+}
+
+// BinOp codes for Bin.
+type BinOp int
+
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div // integer division truncates toward zero
+	Mod
+	Lt
+	Le
+	Gt
+	Ge
+	Eq
+	Ne
+	And
+	Or
+)
+
+var binNames = [...]string{"+", "-", "*", "/", "mod", "<", "<=", ">", ">=", "==", "!=", ".and.", ".or."}
+
+func (op BinOp) String() string { return binNames[op] }
+
+// Compare reports whether the op yields a boolean (integer 0/1).
+func (op BinOp) Compare() bool { return op >= Lt && op <= Ne }
+
+// Bin is a binary operation; Ty is the operand type (comparisons yield
+// Int regardless).
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+	Ty   Type
+}
+
+// Un is unary negation (arithmetic when Ty says so) or logical not.
+type Un struct {
+	Not bool // logical not; otherwise arithmetic negation
+	X   Expr
+	Ty  Type
+}
+
+// Cvt converts between Int and Real.
+type Cvt struct {
+	X  Expr
+	To Type
+}
+
+// IntrOp identifies an intrinsic.
+type IntrOp int
+
+const (
+	IMin IntrOp = iota
+	IMax
+	IAbs
+	ISqrt
+)
+
+var intrNames = [...]string{"min", "max", "abs", "sqrt"}
+
+func (op IntrOp) String() string { return intrNames[op] }
+
+// Intrinsic is a call to a math intrinsic (binary for min/max, unary
+// otherwise).
+type Intrinsic struct {
+	Op   IntrOp
+	Args []Expr
+	Ty   Type
+}
+
+// Myid is the executing processor's id within the current parallel region
+// (0 outside any region).
+type Myid struct{}
+
+// Nprocs is the processor count of the run.
+type Nprocs struct{}
+
+// DescFieldKind selects a runtime descriptor field.
+type DescFieldKind int
+
+const (
+	FieldN  DescFieldKind = iota // dimension extent
+	FieldP                       // processors on this dimension
+	FieldB                       // block size ceil(N/P)
+	FieldK                       // cyclic chunk
+	FieldML                      // max portion length (uniform portion stride)
+)
+
+// DescFields is the number of descriptor words per array dimension.
+const DescFields = 5
+
+var descFieldNames = [...]string{"n", "p", "b", "k", "ml"}
+
+func (k DescFieldKind) String() string { return descFieldNames[k] }
+
+// DescField reads a field of a distributed array's runtime descriptor. It
+// compiles to a memory load; marking it loop-invariant lets the hoister
+// treat it as the paper's "constant" descriptor variables (§7.2).
+type DescField struct {
+	Sym   *Sym
+	Dim   int
+	Field DescFieldKind
+}
+
+// PortionBase is the byte address of processor Proc's portion of a reshaped
+// array: the indirect load through the processor array (§4.3, Figure 3).
+// Proc is the linearized processor-grid coordinate.
+type PortionBase struct {
+	Sym  *Sym
+	Proc Expr
+}
+
+// MemRef reads (or writes, as an lvalue) the 8-byte word at the given byte
+// address. The reshaped-reference transformation lowers ArrayRefs on
+// reshaped arrays into MemRefs; the regular-optimization pass lowers plain
+// ArrayRefs the same way so address arithmetic is visible to hoisting.
+type MemRef struct {
+	Addr Expr
+	Ty   Type
+}
+
+// ArrayBase is the data base address of a non-reshaped array (static
+// storage or the incoming argument pointer).
+type ArrayBase struct{ Sym *Sym }
+
+// ArgArray passes a whole array (its base address, or its descriptor
+// address for reshaped arrays) as a call argument.
+type ArgArray struct{ Sym *Sym }
+
+// RTFuncKind identifies runtime-library functions usable in expressions.
+type RTFuncKind int
+
+const (
+	RTNumProcs  RTFuncKind = iota // dsm_numthreads()
+	RTMyProc                      // dsm_this_thread()
+	RTPortionLo                   // dsm_portion_lo(array, dim, proc): first owned 1-based index
+	RTPortionHi                   // dsm_portion_hi(array, dim, proc)
+	RTNestGrid                    // nest-grid factorization: (ndims, dim) -> procs
+	RTDynGrab                     // dynamic/gss chunk grab: (total, chunk, mode) -> start*2^31+len
+)
+
+// RTFunc is a runtime intrinsic call in an expression.
+type RTFunc struct {
+	Kind RTFuncKind
+	Sym  *Sym // array operand for the portion intrinsics
+	Args []Expr
+}
+
+func (*ConstInt) exprNode()    {}
+func (*ConstReal) exprNode()   {}
+func (*VarRef) exprNode()      {}
+func (*ArrayRef) exprNode()    {}
+func (*Bin) exprNode()         {}
+func (*Un) exprNode()          {}
+func (*Cvt) exprNode()         {}
+func (*Intrinsic) exprNode()   {}
+func (*Myid) exprNode()        {}
+func (*Nprocs) exprNode()      {}
+func (*DescField) exprNode()   {}
+func (*PortionBase) exprNode() {}
+func (*MemRef) exprNode()      {}
+func (*ArrayBase) exprNode()   {}
+func (*ArgArray) exprNode()    {}
+func (*RTFunc) exprNode()      {}
+
+func (*ConstInt) Type() Type   { return Int }
+func (*ConstReal) Type() Type  { return Real }
+func (e *VarRef) Type() Type   { return e.Sym.Type }
+func (e *ArrayRef) Type() Type { return e.Sym.Type }
+func (e *Bin) Type() Type {
+	if e.Op.Compare() || e.Op == And || e.Op == Or {
+		return Int
+	}
+	return e.Ty
+}
+func (e *Un) Type() Type        { return e.Ty }
+func (e *Cvt) Type() Type       { return e.To }
+func (e *Intrinsic) Type() Type { return e.Ty }
+func (*Myid) Type() Type        { return Int }
+func (*Nprocs) Type() Type      { return Int }
+func (*DescField) Type() Type   { return Int }
+func (*PortionBase) Type() Type { return Int }
+func (e *MemRef) Type() Type    { return e.Ty }
+func (*ArrayBase) Type() Type   { return Int }
+func (*ArgArray) Type() Type    { return Int }
+func (*RTFunc) Type() Type      { return Int }
+
+// --- Statements ---
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Assign stores Rhs into Lhs (a *VarRef, *ArrayRef or *MemRef).
+type Assign struct {
+	Lhs Expr
+	Rhs Expr
+}
+
+// SchedKind is the doacross scheduling policy.
+type SchedKind int
+
+const (
+	SchedSimple SchedKind = iota
+	SchedInterleave
+	SchedDynamic
+	SchedGSS
+)
+
+// AffinityDim describes how one distributed dimension of the affinity array
+// is indexed: by loop variable Var (with zero-based affine index
+// A*Var + C0), or by nothing (Var == nil, constant subscript).
+type AffinityDim struct {
+	Var *Sym
+	A   int64 // coefficient (literal, non-negative per §3.4)
+	C0  int64 // zero-based constant offset (Fortran c minus 1)
+}
+
+// Par marks a loop nest as a doacross parallel region.
+type Par struct {
+	// Nest is the number of perfectly nested parallel loops (1, or more
+	// with the nest clause). The Do carrying the Par is the outermost.
+	Nest  int
+	Local []*Sym
+	// Affinity, when non-nil, maps each distributed dimension of Array
+	// to an AffinityDim. Dims is indexed by array dimension.
+	Affinity *Affinity
+	Sched    SchedKind
+	Chunk    Expr
+	Line     int
+}
+
+// Affinity is the analyzed affinity clause.
+type Affinity struct {
+	Array *Sym
+	Dims  []AffinityDim // one per array dimension; Var nil for unkeyed dims
+}
+
+// Do is a do loop; Par is non-nil on the outermost loop of a doacross nest.
+type Do struct {
+	Var    *Sym
+	Lo, Hi Expr
+	Step   Expr // nil means 1
+	Body   []Stmt
+	Par    *Par
+	Line   int
+	// NoDivMod marks loops already tiled so codegen and later passes
+	// know inner references were strength-reduced.
+	NoDivMod bool
+}
+
+// If is a conditional.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// CallStmt invokes a subroutine. Args align with ArgSyms: for each
+// argument, ArgSyms[i] is non-nil when the argument is a whole array or an
+// addressed scalar; otherwise Args[i] is an expression whose value is
+// passed via a compiler temporary.
+type CallStmt struct {
+	Callee string
+	Args   []Expr
+	Line   int
+}
+
+// Return leaves the unit.
+type Return struct{}
+
+// Redist executes c$redistribute on a regular-distributed array.
+type Redist struct {
+	Sym  *Sym
+	Spec dist.Spec
+	Line int
+}
+
+// Barrier is an explicit dsm_barrier() call.
+type Barrier struct{}
+
+// TimerMark brackets the timed section of a benchmark program
+// (dsm_timer_start / dsm_timer_stop): NAS-style region-of-interest timing
+// that excludes initialization, as the paper's measurements do.
+type TimerMark struct{ Stop bool }
+
+// Region is an outlined doacross body produced by the scheduling
+// transformation: every processor executes Body (which computes its own
+// iteration bounds from Myid); an implicit barrier follows. Codegen turns
+// it into a separate region function dispatched by the executor.
+type Region struct {
+	Par  *Par
+	Body []Stmt
+}
+
+func (*Assign) stmtNode()    {}
+func (*Do) stmtNode()        {}
+func (*If) stmtNode()        {}
+func (*CallStmt) stmtNode()  {}
+func (*Return) stmtNode()    {}
+func (*Redist) stmtNode()    {}
+func (*Barrier) stmtNode()   {}
+func (*TimerMark) stmtNode() {}
+func (*Region) stmtNode()    {}

@@ -1,0 +1,111 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"dsmdist/internal/dist"
+)
+
+// buildKitchenSink constructs a statement list containing every Stmt and
+// Expr node type, so the Clone/Walk/Rewrite/print switches are all
+// exercised (they panic on unknown nodes by design).
+func buildKitchenSink() (*Unit, []Stmt) {
+	u := &Unit{Name: "k"}
+	i := u.AddSym(&Sym{Name: "i", Type: Int, Kind: Scalar})
+	x := u.AddSym(&Sym{Name: "x", Type: Real, Kind: Scalar})
+	spec := &dist.Spec{Reshape: true, Dims: []dist.Dim{{Kind: dist.Block}}}
+	a := u.AddSym(&Sym{Name: "a", Type: Real, Kind: Array, Dims: []Expr{CI(16)}, Dist: spec})
+	b := u.AddSym(&Sym{Name: "b", Type: Real, Kind: Array, Dims: []Expr{CI(16)}})
+
+	exprs := []Expr{
+		CI(1),
+		&ConstReal{V: 2.5},
+		&VarRef{Sym: i},
+		&ArrayRef{Sym: b, Idx: []Expr{&VarRef{Sym: i}}},
+		&Bin{Op: Add, L: CI(1), R: CI(2), Ty: Int},
+		&Un{X: CI(3), Ty: Int},
+		&Un{Not: true, X: CI(0), Ty: Int},
+		&Cvt{X: CI(4), To: Real},
+		&Intrinsic{Op: IMin, Args: []Expr{CI(1), CI(2)}, Ty: Int},
+		&Intrinsic{Op: ISqrt, Args: []Expr{&ConstReal{V: 4}}, Ty: Real},
+		&Myid{},
+		&Nprocs{},
+		&DescField{Sym: a, Dim: 0, Field: FieldB},
+		&PortionBase{Sym: a, Proc: CI(0)},
+		&MemRef{Addr: CI(4096), Ty: Real},
+		&ArrayBase{Sym: b},
+		&ArgArray{Sym: a},
+		&RTFunc{Kind: RTPortionLo, Sym: a, Args: []Expr{CI(1), CI(0)}},
+		&RTFunc{Kind: RTNestGrid, Args: []Expr{CI(2), CI(0)}},
+	}
+	// Fold every expression into one assignment chain via statements.
+	var stmts []Stmt
+	for _, e := range exprs {
+		lhs := Expr(&VarRef{Sym: x})
+		if e.Type() == Int {
+			lhs = &VarRef{Sym: i}
+		}
+		stmts = append(stmts, &Assign{Lhs: lhs, Rhs: e})
+	}
+	stmts = append(stmts,
+		&Do{Var: i, Lo: CI(1), Hi: CI(4), Step: CI(1), Body: []Stmt{
+			&Assign{Lhs: &ArrayRef{Sym: b, Idx: []Expr{&VarRef{Sym: i}}}, Rhs: &ConstReal{V: 0}},
+		}},
+		&If{Cond: CI(1), Then: []Stmt{&Barrier{}}, Else: []Stmt{&TimerMark{Stop: true}}},
+		&CallStmt{Callee: "s", Args: []Expr{&VarRef{Sym: x}}},
+		&Redist{Sym: a, Spec: *spec},
+		&TimerMark{},
+		&Region{Par: &Par{Nest: 1}, Body: []Stmt{&Assign{Lhs: &VarRef{Sym: i}, Rhs: &Myid{}}}},
+		&Return{},
+	)
+	return u, stmts
+}
+
+func TestKitchenSinkCloneWalkPrint(t *testing.T) {
+	_, stmts := buildKitchenSink()
+
+	// Clone must not panic and must deep-copy.
+	clone := CloneStmts(stmts)
+	if len(clone) != len(stmts) {
+		t.Fatal("clone length")
+	}
+
+	// Walk must visit every node without panicking; count a few kinds.
+	var nStmts, nExprs int
+	WalkStmts(stmts, func(Stmt) bool { nStmts++; return true },
+		func(Expr) bool { nExprs++; return true })
+	if nStmts < 25 || nExprs < 25 {
+		t.Fatalf("walk counted %d stmts, %d exprs", nStmts, nExprs)
+	}
+
+	// Rewrite (identity) must not panic and preserve the printout.
+	before := StmtsString(stmts)
+	MapExprs(stmts, func(e Expr) Expr { return RewriteExpr(e, func(n Expr) Expr { return n }) })
+	after := StmtsString(stmts)
+	if before != after {
+		t.Fatal("identity rewrite changed the program")
+	}
+
+	// Printer mentions every distinctive construct.
+	for _, want := range []string{
+		"desc.a.b[0]", "portion(a,", "mem[", "base(b)", "&a",
+		"dsm_portion_lo", "nest_grid", "MYID", "NPROCS",
+		"barrier", "timer stop", "timer start", "redistribute a",
+		"region", "call s", "return", "min(", "sqrt(",
+	} {
+		if !strings.Contains(before, want) {
+			t.Fatalf("printout missing %q:\n%s", want, before)
+		}
+	}
+
+	// The clone prints identically but mutating it leaves the original
+	// untouched.
+	if StmtsString(clone) != before {
+		t.Fatal("clone prints differently")
+	}
+	clone[0].(*Assign).Rhs = CI(999)
+	if StmtsString(stmts) != before {
+		t.Fatal("mutating clone changed original")
+	}
+}

@@ -1,0 +1,554 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CloneExpr deep-copies an expression (symbols are shared, structure is
+// copied). The peeling transformation duplicates loop bodies with it.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *ConstInt:
+		c := *x
+		return &c
+	case *ConstReal:
+		c := *x
+		return &c
+	case *VarRef:
+		c := *x
+		return &c
+	case *ArrayRef:
+		c := &ArrayRef{Sym: x.Sym, Idx: make([]Expr, len(x.Idx))}
+		for i, ix := range x.Idx {
+			c.Idx[i] = CloneExpr(ix)
+		}
+		return c
+	case *Bin:
+		return &Bin{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R), Ty: x.Ty}
+	case *Un:
+		return &Un{Not: x.Not, X: CloneExpr(x.X), Ty: x.Ty}
+	case *Cvt:
+		return &Cvt{X: CloneExpr(x.X), To: x.To}
+	case *Intrinsic:
+		c := &Intrinsic{Op: x.Op, Ty: x.Ty, Args: make([]Expr, len(x.Args))}
+		for i, a := range x.Args {
+			c.Args[i] = CloneExpr(a)
+		}
+		return c
+	case *Myid:
+		return &Myid{}
+	case *Nprocs:
+		return &Nprocs{}
+	case *DescField:
+		c := *x
+		return &c
+	case *PortionBase:
+		return &PortionBase{Sym: x.Sym, Proc: CloneExpr(x.Proc)}
+	case *MemRef:
+		return &MemRef{Addr: CloneExpr(x.Addr), Ty: x.Ty}
+	case *ArrayBase:
+		c := *x
+		return &c
+	case *ArgArray:
+		c := *x
+		return &c
+	case *RTFunc:
+		c := &RTFunc{Kind: x.Kind, Sym: x.Sym, Args: make([]Expr, len(x.Args))}
+		for i, a := range x.Args {
+			c.Args[i] = CloneExpr(a)
+		}
+		return c
+	}
+	panic(fmt.Sprintf("ir: CloneExpr: unknown node %T", e))
+}
+
+// CloneStmt deep-copies a statement.
+func CloneStmt(s Stmt) Stmt {
+	switch x := s.(type) {
+	case *Assign:
+		return &Assign{Lhs: CloneExpr(x.Lhs), Rhs: CloneExpr(x.Rhs)}
+	case *Do:
+		d := &Do{Var: x.Var, Lo: CloneExpr(x.Lo), Hi: CloneExpr(x.Hi),
+			Body: CloneStmts(x.Body), Par: x.Par, Line: x.Line, NoDivMod: x.NoDivMod}
+		if x.Step != nil {
+			d.Step = CloneExpr(x.Step)
+		}
+		return d
+	case *If:
+		return &If{Cond: CloneExpr(x.Cond), Then: CloneStmts(x.Then), Else: CloneStmts(x.Else)}
+	case *CallStmt:
+		c := &CallStmt{Callee: x.Callee, Line: x.Line, Args: make([]Expr, len(x.Args))}
+		for i, a := range x.Args {
+			c.Args[i] = CloneExpr(a)
+		}
+		return c
+	case *Return:
+		return &Return{}
+	case *Redist:
+		c := *x
+		return &c
+	case *Barrier:
+		return &Barrier{}
+	case *TimerMark:
+		c := *x
+		return &c
+	case *Region:
+		return &Region{Par: x.Par, Body: CloneStmts(x.Body)}
+	}
+	panic(fmt.Sprintf("ir: CloneStmt: unknown node %T", s))
+}
+
+// CloneStmts deep-copies a statement list.
+func CloneStmts(ss []Stmt) []Stmt {
+	out := make([]Stmt, len(ss))
+	for i, s := range ss {
+		out[i] = CloneStmt(s)
+	}
+	return out
+}
+
+// WalkExpr visits e and all sub-expressions, pre-order. Returning false
+// from f stops descent into that subtree.
+func WalkExpr(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *ArrayRef:
+		for _, ix := range x.Idx {
+			WalkExpr(ix, f)
+		}
+	case *Bin:
+		WalkExpr(x.L, f)
+		WalkExpr(x.R, f)
+	case *Un:
+		WalkExpr(x.X, f)
+	case *Cvt:
+		WalkExpr(x.X, f)
+	case *Intrinsic:
+		for _, a := range x.Args {
+			WalkExpr(a, f)
+		}
+	case *PortionBase:
+		WalkExpr(x.Proc, f)
+	case *MemRef:
+		WalkExpr(x.Addr, f)
+	case *RTFunc:
+		for _, a := range x.Args {
+			WalkExpr(a, f)
+		}
+	}
+}
+
+// WalkStmts visits every statement in the list (recursively) and every
+// expression inside each, pre-order.
+func WalkStmts(ss []Stmt, fs func(Stmt) bool, fe func(Expr) bool) {
+	for _, s := range ss {
+		walkStmt(s, fs, fe)
+	}
+}
+
+func walkStmt(s Stmt, fs func(Stmt) bool, fe func(Expr) bool) {
+	if fs != nil && !fs(s) {
+		return
+	}
+	we := func(e Expr) {
+		if fe != nil && e != nil {
+			WalkExpr(e, fe)
+		}
+	}
+	switch x := s.(type) {
+	case *Assign:
+		we(x.Lhs)
+		we(x.Rhs)
+	case *Do:
+		we(x.Lo)
+		we(x.Hi)
+		we(x.Step)
+		WalkStmts(x.Body, fs, fe)
+	case *If:
+		we(x.Cond)
+		WalkStmts(x.Then, fs, fe)
+		WalkStmts(x.Else, fs, fe)
+	case *CallStmt:
+		for _, a := range x.Args {
+			we(a)
+		}
+	case *Region:
+		WalkStmts(x.Body, fs, fe)
+	case *Redist, *Return, *Barrier, *TimerMark:
+	}
+}
+
+// MapExprs rewrites every expression in a statement list in place by
+// applying f bottom-up to each expression tree root position (statement
+// operands). f receives each full expression and returns its replacement.
+func MapExprs(ss []Stmt, f func(Expr) Expr) {
+	for _, s := range ss {
+		mapStmtExprs(s, f)
+	}
+}
+
+func mapStmtExprs(s Stmt, f func(Expr) Expr) {
+	switch x := s.(type) {
+	case *Assign:
+		x.Lhs = f(x.Lhs)
+		x.Rhs = f(x.Rhs)
+	case *Do:
+		x.Lo = f(x.Lo)
+		x.Hi = f(x.Hi)
+		if x.Step != nil {
+			x.Step = f(x.Step)
+		}
+		MapExprs(x.Body, f)
+	case *If:
+		x.Cond = f(x.Cond)
+		MapExprs(x.Then, f)
+		MapExprs(x.Else, f)
+	case *CallStmt:
+		for i, a := range x.Args {
+			x.Args[i] = f(a)
+		}
+	case *Region:
+		MapExprs(x.Body, f)
+	}
+}
+
+// RewriteExpr applies f bottom-up over an expression tree, replacing each
+// node with f's result.
+func RewriteExpr(e Expr, f func(Expr) Expr) Expr {
+	switch x := e.(type) {
+	case *ArrayRef:
+		for i, ix := range x.Idx {
+			x.Idx[i] = RewriteExpr(ix, f)
+		}
+	case *Bin:
+		x.L = RewriteExpr(x.L, f)
+		x.R = RewriteExpr(x.R, f)
+	case *Un:
+		x.X = RewriteExpr(x.X, f)
+	case *Cvt:
+		x.X = RewriteExpr(x.X, f)
+	case *Intrinsic:
+		for i, a := range x.Args {
+			x.Args[i] = RewriteExpr(a, f)
+		}
+	case *PortionBase:
+		x.Proc = RewriteExpr(x.Proc, f)
+	case *MemRef:
+		x.Addr = RewriteExpr(x.Addr, f)
+	case *RTFunc:
+		for i, a := range x.Args {
+			x.Args[i] = RewriteExpr(a, f)
+		}
+	}
+	return f(e)
+}
+
+// --- Constant folding and expression construction helpers ---
+
+// IntConst extracts a constant integer value.
+func IntConst(e Expr) (int64, bool) {
+	if c, ok := e.(*ConstInt); ok {
+		return c.V, true
+	}
+	return 0, false
+}
+
+// CI builds an integer constant.
+func CI(v int64) *ConstInt { return &ConstInt{V: v} }
+
+// IAdd, ISub, IMul, IDiv, IModE build folded integer arithmetic.
+func IAdd(l, r Expr) Expr  { return foldBin(Add, l, r) }
+func ISub(l, r Expr) Expr  { return foldBin(Sub, l, r) }
+func IMul(l, r Expr) Expr  { return foldBin(Mul, l, r) }
+func IDiv(l, r Expr) Expr  { return foldBin(Div, l, r) }
+func IModE(l, r Expr) Expr { return foldBin(Mod, l, r) }
+
+func foldBin(op BinOp, l, r Expr) Expr {
+	lc, lok := IntConst(l)
+	rc, rok := IntConst(r)
+	if lok && rok {
+		switch op {
+		case Add:
+			return CI(lc + rc)
+		case Sub:
+			return CI(lc - rc)
+		case Mul:
+			return CI(lc * rc)
+		case Div:
+			if rc != 0 {
+				return CI(lc / rc)
+			}
+		case Mod:
+			if rc != 0 {
+				return CI(lc % rc)
+			}
+		}
+	}
+	// Identities.
+	switch op {
+	case Add:
+		if lok && lc == 0 {
+			return r
+		}
+		if rok && rc == 0 {
+			return l
+		}
+	case Sub:
+		if rok && rc == 0 {
+			return l
+		}
+	case Mul:
+		if lok && lc == 1 {
+			return r
+		}
+		if rok && rc == 1 {
+			return l
+		}
+		if lok && lc == 0 || rok && rc == 0 {
+			return CI(0)
+		}
+	case Div:
+		if rok && rc == 1 {
+			return l
+		}
+	case Mod:
+		if rok && rc == 1 {
+			return CI(0)
+		}
+	}
+	return &Bin{Op: op, L: l, R: r, Ty: Int}
+}
+
+// IMinE and IMaxE build folded integer min/max intrinsics.
+func IMinE(l, r Expr) Expr {
+	if lc, ok := IntConst(l); ok {
+		if rc, ok := IntConst(r); ok {
+			if lc < rc {
+				return CI(lc)
+			}
+			return CI(rc)
+		}
+	}
+	return &Intrinsic{Op: IMin, Args: []Expr{l, r}, Ty: Int}
+}
+
+func IMaxE(l, r Expr) Expr {
+	if lc, ok := IntConst(l); ok {
+		if rc, ok := IntConst(r); ok {
+			if lc > rc {
+				return CI(lc)
+			}
+			return CI(rc)
+		}
+	}
+	return &Intrinsic{Op: IMax, Args: []Expr{l, r}, Ty: Int}
+}
+
+// --- Affine subscript analysis ---
+
+// Affine holds the decomposition e == A*Var + C (Var nil means constant).
+type Affine struct {
+	Var *Sym
+	A   int64
+	C   int64
+}
+
+// MatchAffine decomposes an integer expression into a*v + c where v is a
+// scalar variable and a, c are compile-time constants. It accepts sums,
+// differences and products of constants with at most one variable
+// occurrence chain (the "simple form s*i+c" the paper's optimizations
+// require, §7.1).
+func MatchAffine(e Expr) (Affine, bool) {
+	switch x := e.(type) {
+	case *ConstInt:
+		return Affine{C: x.V}, true
+	case *VarRef:
+		if x.Sym.Kind != Scalar || x.Sym.Type != Int {
+			return Affine{}, false
+		}
+		return Affine{Var: x.Sym, A: 1}, true
+	case *Un:
+		if x.Not {
+			return Affine{}, false
+		}
+		in, ok := MatchAffine(x.X)
+		if !ok {
+			return Affine{}, false
+		}
+		return Affine{Var: in.Var, A: -in.A, C: -in.C}, true
+	case *Bin:
+		l, lok := MatchAffine(x.L)
+		r, rok := MatchAffine(x.R)
+		if !lok || !rok {
+			return Affine{}, false
+		}
+		switch x.Op {
+		case Add, Sub:
+			sign := int64(1)
+			if x.Op == Sub {
+				sign = -1
+			}
+			switch {
+			case l.Var == nil:
+				return Affine{Var: r.Var, A: sign * r.A, C: l.C + sign*r.C}, true
+			case r.Var == nil:
+				return Affine{Var: l.Var, A: l.A, C: l.C + sign*r.C}, true
+			case l.Var == r.Var:
+				a := l.A + sign*r.A
+				v := l.Var
+				if a == 0 {
+					v = nil
+				}
+				return Affine{Var: v, A: a, C: l.C + sign*r.C}, true
+			}
+			return Affine{}, false
+		case Mul:
+			switch {
+			case l.Var == nil:
+				return Affine{Var: r.Var, A: l.C * r.A, C: l.C * r.C}, true
+			case r.Var == nil:
+				return Affine{Var: l.Var, A: r.C * l.A, C: r.C * l.C}, true
+			}
+			return Affine{}, false
+		}
+		return Affine{}, false
+	}
+	return Affine{}, false
+}
+
+// --- Printer (debugging and golden tests) ---
+
+// ExprString renders an expression compactly.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *ConstInt:
+		return fmt.Sprintf("%d", x.V)
+	case *ConstReal:
+		return fmt.Sprintf("%g", x.V)
+	case *VarRef:
+		return x.Sym.Name
+	case *ArrayRef:
+		parts := make([]string, len(x.Idx))
+		for i, ix := range x.Idx {
+			parts[i] = ExprString(ix)
+		}
+		return fmt.Sprintf("%s(%s)", x.Sym.Name, strings.Join(parts, ","))
+	case *Bin:
+		return fmt.Sprintf("(%s %s %s)", ExprString(x.L), x.Op, ExprString(x.R))
+	case *Un:
+		if x.Not {
+			return fmt.Sprintf("(.not. %s)", ExprString(x.X))
+		}
+		return fmt.Sprintf("(-%s)", ExprString(x.X))
+	case *Cvt:
+		return fmt.Sprintf("%s(%s)", x.To, ExprString(x.X))
+	case *Intrinsic:
+		parts := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			parts[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Op, strings.Join(parts, ","))
+	case *Myid:
+		return "MYID"
+	case *Nprocs:
+		return "NPROCS"
+	case *DescField:
+		return fmt.Sprintf("desc.%s.%s[%d]", x.Sym.Name, x.Field, x.Dim)
+	case *PortionBase:
+		return fmt.Sprintf("portion(%s,%s)", x.Sym.Name, ExprString(x.Proc))
+	case *MemRef:
+		return fmt.Sprintf("mem[%s]", ExprString(x.Addr))
+	case *ArrayBase:
+		return fmt.Sprintf("base(%s)", x.Sym.Name)
+	case *ArgArray:
+		return fmt.Sprintf("&%s", x.Sym.Name)
+	case *RTFunc:
+		parts := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			parts[i] = ExprString(a)
+		}
+		name := [...]string{"dsm_numthreads", "dsm_this_thread", "dsm_portion_lo", "dsm_portion_hi", "nest_grid", "dyn_grab"}[x.Kind]
+		if x.Sym != nil {
+			return fmt.Sprintf("%s(%s%s)", name, x.Sym.Name+",", strings.Join(parts, ","))
+		}
+		return fmt.Sprintf("%s(%s)", name, strings.Join(parts, ","))
+	}
+	return fmt.Sprintf("?%T", e)
+}
+
+// StmtString renders a statement tree with indentation.
+func StmtString(s Stmt) string {
+	var b strings.Builder
+	printStmt(&b, s, 0)
+	return b.String()
+}
+
+// StmtsString renders a statement list.
+func StmtsString(ss []Stmt) string {
+	var b strings.Builder
+	for _, s := range ss {
+		printStmt(&b, s, 0)
+	}
+	return b.String()
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch x := s.(type) {
+	case *Assign:
+		fmt.Fprintf(b, "%s%s = %s\n", ind, ExprString(x.Lhs), ExprString(x.Rhs))
+	case *Do:
+		par := ""
+		if x.Par != nil {
+			par = " !$par"
+		}
+		step := ""
+		if x.Step != nil {
+			step = ", " + ExprString(x.Step)
+		}
+		fmt.Fprintf(b, "%sdo %s = %s, %s%s%s\n", ind, x.Var.Name, ExprString(x.Lo), ExprString(x.Hi), step, par)
+		for _, st := range x.Body {
+			printStmt(b, st, depth+1)
+		}
+		fmt.Fprintf(b, "%send do\n", ind)
+	case *If:
+		fmt.Fprintf(b, "%sif (%s) then\n", ind, ExprString(x.Cond))
+		for _, st := range x.Then {
+			printStmt(b, st, depth+1)
+		}
+		if len(x.Else) > 0 {
+			fmt.Fprintf(b, "%selse\n", ind)
+			for _, st := range x.Else {
+				printStmt(b, st, depth+1)
+			}
+		}
+		fmt.Fprintf(b, "%send if\n", ind)
+	case *CallStmt:
+		parts := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			parts[i] = ExprString(a)
+		}
+		fmt.Fprintf(b, "%scall %s(%s)\n", ind, x.Callee, strings.Join(parts, ","))
+	case *Return:
+		fmt.Fprintf(b, "%sreturn\n", ind)
+	case *Redist:
+		fmt.Fprintf(b, "%sredistribute %s %s\n", ind, x.Sym.Name, x.Spec)
+	case *Barrier:
+		fmt.Fprintf(b, "%sbarrier\n", ind)
+	case *TimerMark:
+		if x.Stop {
+			fmt.Fprintf(b, "%stimer stop\n", ind)
+		} else {
+			fmt.Fprintf(b, "%stimer start\n", ind)
+		}
+	case *Region:
+		fmt.Fprintf(b, "%sregion\n", ind)
+		for _, st := range x.Body {
+			printStmt(b, st, depth+1)
+		}
+		fmt.Fprintf(b, "%send region\n", ind)
+	}
+}

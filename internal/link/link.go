@@ -1,0 +1,340 @@
+// Package link implements the pre-linker and linker of §5 and the
+// link-time error detection of §6.
+//
+// The pre-linker examines every object's shadow section, propagates
+// distribute_reshape directives from call sites down the call graph, and
+// clones subroutines — one instance per distinct combination of incoming
+// reshaped distributions — by re-invoking the compiler (sema + xform) on
+// the AST embedded in the object, exactly as the paper re-invokes the
+// compiler on the source file for each requested clone. Requests that no
+// call site needs are never instantiated, which is the paper's
+// stale-request garbage collection. It also verifies that all declarations
+// of a common block agree on the offset, shape, size and distribution of
+// every reshaped member.
+package link
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dsmdist/internal/codegen"
+	"dsmdist/internal/dist"
+	"dsmdist/internal/fortran"
+	"dsmdist/internal/ir"
+	"dsmdist/internal/obj"
+	"dsmdist/internal/sema"
+	"dsmdist/internal/xform"
+)
+
+// Config controls the optimization level and runtime checking of the
+// linked program.
+type Config struct {
+	Opt           xform.Options
+	RuntimeChecks bool
+}
+
+// Image is a linked executable.
+type Image struct {
+	Res *codegen.Result
+	// Instances lists the unit instances in function-index order
+	// (clones carry mangled names).
+	Instances []*ir.Unit
+	// Clones maps original subroutine names to the number of instances
+	// generated (diagnostics; the paper expects this to stay small).
+	Clones map[string]int
+}
+
+// LinkError is a link-time diagnostic.
+type LinkError struct{ Msg string }
+
+func (e *LinkError) Error() string { return "link: " + e.Msg }
+
+func errf(format string, args ...any) error {
+	return &LinkError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// sigKey builds the canonical instance key for a (name, signature) pair.
+func sigKey(name string, sig []*dist.Spec) string {
+	if len(sig) == 0 {
+		return name
+	}
+	all := true
+	parts := make([]string, len(sig))
+	for i, s := range sig {
+		if s == nil {
+			parts[i] = "_"
+		} else {
+			parts[i] = s.String()
+			all = false
+		}
+	}
+	if all {
+		return name
+	}
+	return name + "$" + strings.Join(parts, "$")
+}
+
+// instance is one unit instance being linked.
+type instance struct {
+	key  string
+	name string // original name
+	sig  []*dist.Spec
+	unit *ir.Unit
+}
+
+// Link runs the pre-linker and produces an executable image.
+func Link(objs []*obj.Object, cfg Config) (*Image, error) {
+	// Index definitions.
+	type def struct {
+		file string
+		ast  *fortran.Unit
+	}
+	defs := map[string]def{}
+	var mainName string
+	for _, o := range objs {
+		for _, u := range o.File.Units {
+			if prev, dup := defs[u.Name]; dup {
+				return nil, errf("%s defined in both %s and %s", u.Name, prev.file, o.FileName)
+			}
+			defs[u.Name] = def{file: o.FileName, ast: u}
+			if u.Kind == fortran.ProgramUnit {
+				if mainName != "" {
+					return nil, errf("multiple program units: %s and %s", mainName, u.Name)
+				}
+				mainName = u.Name
+			}
+		}
+	}
+	if mainName == "" {
+		return nil, errf("no program unit")
+	}
+
+	if err := checkCommons(objs); err != nil {
+		return nil, err
+	}
+
+	// Worklist closure over clone requests, starting from the program.
+	instances := []*instance{}
+	index := map[string]int{}
+	clones := map[string]int{}
+
+	var instantiate func(name string, sig []*dist.Spec, dims [][]int64, from string, line int) (int, error)
+	instantiate = func(name string, sig []*dist.Spec, dims [][]int64, from string, line int) (int, error) {
+		key := sigKey(name, sig)
+		if i, ok := index[key]; ok {
+			if err := checkActualShapes(instances[i].unit, sig, dims, from, line); err != nil {
+				return 0, err
+			}
+			return i, nil
+		}
+		d, ok := defs[name]
+		if !ok {
+			return 0, errf("%s:%d: call to undefined subroutine %s", from, line, name)
+		}
+		// Bind the propagated distributions to the formals (§5).
+		bindings := map[string]dist.Spec{}
+		for i, s := range sig {
+			if s == nil {
+				continue
+			}
+			if i >= len(d.ast.Params) {
+				return 0, errf("%s:%d: %s takes %d arguments but reshaped argument %d supplied",
+					from, line, name, len(d.ast.Params), i+1)
+			}
+			bindings[d.ast.Params[i]] = *s
+		}
+		iu, errs := sema.AnalyzeUnit(d.file, d.ast, sema.Options{ParamDists: bindings})
+		if errs.Err() != nil {
+			return 0, errs.Err()
+		}
+		if len(sig) > 0 && len(sig) != len(iu.Params) {
+			return 0, errf("%s:%d: %s expects %d arguments, call passes %d",
+				from, line, name, len(iu.Params), len(sig))
+		}
+		if err := checkActualShapes(iu, sig, dims, from, line); err != nil {
+			return 0, err
+		}
+		xform.Transform(iu, cfg.Opt)
+		iu.Name = key // mangled instance name
+		inst := &instance{key: key, name: name, sig: sig, unit: iu}
+		idx := len(instances)
+		instances = append(instances, inst)
+		index[key] = idx
+		clones[name]++
+
+		// Walk the instance's calls, requesting callees (the shadow
+		// entries of §5; computed from the transformed IR so clones
+		// request their own callees with the right distributions).
+		var walkErr error
+		ir.WalkStmts(iu.Body, func(s ir.Stmt) bool {
+			if walkErr != nil {
+				return false
+			}
+			call, ok := s.(*ir.CallStmt)
+			if !ok {
+				return true
+			}
+			csig := make([]*dist.Spec, len(call.Args))
+			cdims := make([][]int64, len(call.Args))
+			for i, a := range call.Args {
+				if aa, ok := a.(*ir.ArgArray); ok && aa.Sym.IsReshaped() {
+					csig[i] = aa.Sym.Dist
+					if dd, ok := aa.Sym.ConstDims(); ok {
+						cdims[i] = dd
+					}
+				}
+			}
+			if _, err := instantiate(call.Callee, csig, cdims, d.file, call.Line); err != nil {
+				walkErr = err
+			}
+			return true
+		}, nil)
+		if walkErr != nil {
+			return 0, walkErr
+		}
+		return idx, nil
+	}
+
+	if _, err := instantiate(mainName, nil, nil, "", 0); err != nil {
+		return nil, err
+	}
+
+	units := make([]*ir.Unit, len(instances))
+	for i, in := range instances {
+		units[i] = in.unit
+	}
+	env := codegen.Env{
+		Resolve: func(name string, sig []*dist.Spec) (int, error) {
+			if i, ok := index[sigKey(name, sig)]; ok {
+				return i, nil
+			}
+			return 0, fmt.Errorf("unresolved call to %s", sigKey(name, sig))
+		},
+	}
+	res, err := codegen.Program(units, env, codegen.Options{
+		FPDiv:         cfg.Opt.FPDiv,
+		RuntimeChecks: cfg.RuntimeChecks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Image{Res: res, Instances: units, Clones: clones}, nil
+}
+
+// checkActualShapes enforces the §3.2.1 whole-array rule at link time: when
+// an entire reshaped array is passed, the formal's declared rank and every
+// extent must match the actual exactly.
+func checkActualShapes(iu *ir.Unit, sig []*dist.Spec, dims [][]int64, from string, line int) error {
+	for i, s := range sig {
+		if s == nil || i >= len(iu.Params) || dims == nil || dims[i] == nil {
+			continue
+		}
+		p := iu.Params[i]
+		pd, ok := p.ConstDims()
+		if !ok {
+			return errf("%s:%d: reshaped formal %s of %s needs constant extents", from, line, p.Name, iu.Name)
+		}
+		if len(pd) != len(dims[i]) {
+			return errf("%s:%d: %s formal %s has rank %d, actual has rank %d",
+				from, line, iu.Name, p.Name, len(pd), len(dims[i]))
+		}
+		for d := range pd {
+			if pd[d] != dims[i][d] {
+				return errf("%s:%d: %s formal %s extent %d is %d, actual has %d (reshaped arrays must match exactly, §3.2.1)",
+					from, line, iu.Name, p.Name, d+1, pd[d], dims[i][d])
+			}
+		}
+	}
+	return nil
+}
+
+// checkCommons performs the link-time common-block consistency check
+// (§6): every declaration of a block containing a reshaped array must
+// declare that array at the same offset, with the same shape, size and
+// distribution. Blocks without reshaped members are not affected.
+func checkCommons(objs []*obj.Object) error {
+	byBlock := map[string][]obj.CommonAnn{}
+	var order []string
+	for _, o := range objs {
+		for _, ann := range o.Commons {
+			if _, seen := byBlock[ann.Block]; !seen {
+				order = append(order, ann.Block)
+			}
+			byBlock[ann.Block] = append(byBlock[ann.Block], ann)
+		}
+	}
+	sort.Strings(order)
+	for _, blk := range order {
+		decls := byBlock[blk]
+		// Find a declaration with a reshaped member to serve as the
+		// reference.
+		var ref *obj.CommonAnn
+		for i := range decls {
+			for _, m := range decls[i].Members {
+				if m.Spec.Has && m.Spec.Spec.Reshape {
+					ref = &decls[i]
+					break
+				}
+			}
+			if ref != nil {
+				break
+			}
+		}
+		if ref == nil {
+			continue // no reshaped members: unconstrained (§6)
+		}
+		for i := range decls {
+			d := &decls[i]
+			if d == ref {
+				continue
+			}
+			if err := compareCommonDecls(blk, ref, d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func compareCommonDecls(blk string, ref, d *obj.CommonAnn) error {
+	// Each reshaped member of ref must appear identically in d, and vice
+	// versa.
+	check := func(a, b *obj.CommonAnn) error {
+		for _, m := range a.Members {
+			if !m.Spec.Has || !m.Spec.Spec.Reshape {
+				continue
+			}
+			var found *obj.CommonMember
+			for j := range b.Members {
+				if b.Members[j].Offset == m.Offset {
+					found = &b.Members[j]
+					break
+				}
+			}
+			if found == nil {
+				return errf("%s:%d: common /%s/ declares no member at offset %d where %s declares reshaped array %s (§6)",
+					b.File, b.Line, blk, m.Offset, a.Unit, m.Name)
+			}
+			if len(found.Dims) != len(m.Dims) {
+				return errf("%s:%d: common /%s/ member %s has rank %d here but rank %d in %s (§6)",
+					b.File, b.Line, blk, found.Name, len(found.Dims), len(m.Dims), a.Unit)
+			}
+			for k := range m.Dims {
+				if found.Dims[k] != m.Dims[k] {
+					return errf("%s:%d: common /%s/ member %s extent %d is %d here but %d in %s (§6)",
+						b.File, b.Line, blk, found.Name, k+1, found.Dims[k], m.Dims[k], a.Unit)
+				}
+			}
+			if !found.Spec.Has || !found.Spec.Spec.Equal(m.Spec.Spec) {
+				return errf("%s:%d: common /%s/ member %s distribution differs from the reshaped declaration in %s (§6)",
+					b.File, b.Line, blk, found.Name, a.Unit)
+			}
+		}
+		return nil
+	}
+	if err := check(ref, d); err != nil {
+		return err
+	}
+	return check(d, ref)
+}

@@ -1,0 +1,256 @@
+package link
+
+import (
+	"strings"
+	"testing"
+
+	"dsmdist/internal/dist"
+	"dsmdist/internal/obj"
+	"dsmdist/internal/xform"
+)
+
+func compile(t *testing.T, name, src string) *obj.Object {
+	t.Helper()
+	o, err := obj.Compile(name, src)
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return o
+}
+
+func linkAll(t *testing.T, srcs map[string]string) (*Image, error) {
+	t.Helper()
+	var objs []*obj.Object
+	// deterministic order
+	for _, name := range []string{"a.f", "b.f", "c.f", "main.f"} {
+		if src, ok := srcs[name]; ok {
+			objs = append(objs, compile(t, name, src))
+		}
+	}
+	return Link(objs, Config{Opt: xform.O3(), RuntimeChecks: true})
+}
+
+func TestCloneOnePerSignature(t *testing.T) {
+	img, err := linkAll(t, map[string]string{
+		"main.f": `
+      program p
+      real*8 a(40), b(40), c(40), d(40)
+c$distribute_reshape a(block), b(block)
+c$distribute_reshape c(cyclic)
+      call f(a)
+      call f(b)
+      call f(c)
+      call f(d)
+      end
+`,
+		"b.f": `
+      subroutine f(x)
+      real*8 x(40)
+      x(1) = 1.0
+      end
+`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// block (shared by a and b), cyclic, plain: 3 instances.
+	if img.Clones["f"] != 3 {
+		t.Fatalf("clones = %d, want 3", img.Clones["f"])
+	}
+	// Clone names are mangled with the spec.
+	var names []string
+	for _, u := range img.Instances {
+		names = append(names, u.Name)
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"f$distribute_reshape(block)", "f$distribute_reshape(cyclic)", " f"} {
+		if !strings.Contains(joined+" ", want) {
+			t.Fatalf("instances %v missing %q", names, want)
+		}
+	}
+}
+
+func TestTransitivePropagation(t *testing.T) {
+	// §5: distributions propagate down a call CHAIN across files.
+	img, err := linkAll(t, map[string]string{
+		"main.f": `
+      program p
+      real*8 a(64)
+c$distribute_reshape a(block)
+      call outer(a)
+      end
+`,
+		"a.f": `
+      subroutine outer(x)
+      real*8 x(64)
+      call inner(x)
+      end
+`,
+		"b.f": `
+      subroutine inner(y)
+      real*8 y(64)
+      y(1) = 1.0
+      end
+`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both outer and inner must have a reshaped instance.
+	found := 0
+	for _, u := range img.Instances {
+		if strings.Contains(u.Name, "$distribute_reshape(block)") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("propagated instances = %d, want 2 (outer and inner)", found)
+	}
+}
+
+func TestStaleRequestsNeverBuilt(t *testing.T) {
+	// A subroutine defined but only called with plain arrays gets no
+	// reshaped clones (the paper's stale-request GC: only requested
+	// combinations are instantiated).
+	img, err := linkAll(t, map[string]string{
+		"main.f": `
+      program p
+      real*8 a(10)
+      call g(a)
+      end
+`,
+		"b.f": `
+      subroutine g(x)
+      real*8 x(10)
+      x(1) = 1.0
+      end
+
+      subroutine nevercalled(x)
+      real*8 x(10)
+      x(2) = 2.0
+      end
+`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range img.Instances {
+		if u.Name == "nevercalled" {
+			t.Fatal("unreferenced subroutine instantiated")
+		}
+		if strings.Contains(u.Name, "$") {
+			t.Fatalf("unexpected clone %s", u.Name)
+		}
+	}
+	if img.Clones["g"] != 1 {
+		t.Fatalf("g instances = %d", img.Clones["g"])
+	}
+}
+
+func TestUndefinedAndDuplicate(t *testing.T) {
+	_, err := linkAll(t, map[string]string{
+		"main.f": "      program p\n      call ghost\n      end\n",
+	})
+	if err == nil || !strings.Contains(err.Error(), "undefined subroutine ghost") {
+		t.Fatalf("err = %v", err)
+	}
+
+	_, err = linkAll(t, map[string]string{
+		"main.f": "      program p\n      end\n",
+		"a.f":    "      subroutine s\n      end\n",
+		"b.f":    "      subroutine s\n      end\n",
+	})
+	if err == nil || !strings.Contains(err.Error(), "defined in both") {
+		t.Fatalf("err = %v", err)
+	}
+
+	_, err = linkAll(t, map[string]string{
+		"a.f": "      subroutine s\n      end\n",
+	})
+	if err == nil || !strings.Contains(err.Error(), "no program unit") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestArgCountMismatch(t *testing.T) {
+	_, err := linkAll(t, map[string]string{
+		"main.f": `
+      program p
+      real*8 a(10), b(10)
+c$distribute_reshape a(block)
+      call s(a, b, a)
+      end
+`,
+		"a.f": `
+      subroutine s(x, y)
+      real*8 x(10), y(10)
+      x(1) = 0.0
+      end
+`,
+	})
+	if err == nil || !strings.Contains(err.Error(), "takes 2 arguments") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSigKeyStability(t *testing.T) {
+	spec := &dist.Spec{Reshape: true, Dims: []dist.Dim{{Kind: dist.Block}}}
+	a := sigKey("f", []*dist.Spec{spec, nil})
+	b := sigKey("f", []*dist.Spec{spec, nil})
+	if a != b {
+		t.Fatal("sigKey unstable")
+	}
+	if sigKey("f", nil) != "f" || sigKey("f", []*dist.Spec{nil, nil}) != "f" {
+		t.Fatal("all-plain signature must map to the base name")
+	}
+}
+
+func TestCommonWithoutReshapeUnconstrained(t *testing.T) {
+	// §6: blocks without reshaped members are NOT flagged even when
+	// declarations differ (classic Fortran allows it).
+	_, err := linkAll(t, map[string]string{
+		"main.f": `
+      program p
+      real*8 a(32)
+      common /blk/ a
+      a(1) = 0.0
+      call s
+      end
+`,
+		"a.f": `
+      subroutine s
+      real*8 a(16)
+      common /blk/ a
+      a(1) = 1.0
+      end
+`,
+	})
+	if err != nil {
+		t.Fatalf("non-reshaped common inconsistency wrongly rejected: %v", err)
+	}
+}
+
+func TestCommonReshapeDistributionMismatch(t *testing.T) {
+	_, err := linkAll(t, map[string]string{
+		"main.f": `
+      program p
+      real*8 a(32)
+c$distribute_reshape a(block)
+      common /blk/ a
+      a(1) = 0.0
+      call s
+      end
+`,
+		"a.f": `
+      subroutine s
+      real*8 a(32)
+c$distribute_reshape a(cyclic)
+      common /blk/ a
+      a(1) = 1.0
+      end
+`,
+	})
+	if err == nil || !strings.Contains(err.Error(), "distribution differs") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsmdist/internal/machine"
+	"dsmdist/internal/ospage"
+)
+
+// TestRandomAccessesAgainstShadow drives the simulator with random loads
+// and stores from random processors and checks, against a plain Go shadow
+// map, that the memory system never loses or corrupts data regardless of
+// coherence traffic, and that the statistics stay internally consistent.
+func TestRandomAccessesAgainstShadow(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := machine.Tiny(4)
+		sys, err := New(cfg, ospage.New(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const words = 512
+		base := sys.Alloc(words*8, int64(cfg.PageBytes))
+		shadow := make(map[int64]uint64)
+
+		for i := 0; i < 4000; i++ {
+			p := rng.Intn(4)
+			addr := base + int64(rng.Intn(words))*8
+			if rng.Intn(2) == 0 {
+				v := rng.Uint64()
+				sys.StoreWord(p, addr, v)
+				shadow[addr] = v
+			} else {
+				got := sys.LoadWord(p, addr)
+				want := shadow[addr] // zero if never written
+				if got != want {
+					t.Logf("seed %d: read %#x at %#x, want %#x", seed, got, addr, want)
+					return false
+				}
+			}
+		}
+
+		// Statistic invariants.
+		var tot ProcStats
+		for p := 0; p < 4; p++ {
+			st := sys.Stats(p)
+			if st.L2Miss > st.L1Miss || st.L1Miss > st.Loads+st.Stores {
+				t.Logf("seed %d: miss counters inconsistent: %+v", seed, st)
+				return false
+			}
+			if st.L2MissLocal+st.L2MissRemote != st.L2Miss {
+				t.Logf("seed %d: local+remote != L2Miss: %+v", seed, st)
+				return false
+			}
+			if sys.Clock(p) < 0 {
+				return false
+			}
+			tot.Add(st)
+		}
+		// Invalidations are symmetric in aggregate.
+		if tot.InvSent != tot.InvRecv {
+			t.Logf("seed %d: invSent %d != invRecv %d", seed, tot.InvSent, tot.InvRecv)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequentialConsistencyPerLocation: a single processor always reads its
+// own last write even through capacity evictions.
+func TestSequentialConsistencyPerLocation(t *testing.T) {
+	cfg := machine.Tiny(1)
+	sys, _ := New(cfg, ospage.New(cfg))
+	footprint := int64(cfg.L2Bytes * 4)
+	base := sys.Alloc(footprint, int64(cfg.PageBytes))
+	// Write a value everywhere, thrash, read back.
+	for off := int64(0); off < footprint; off += 8 {
+		sys.StoreWord(0, base+off, uint64(off)^0xdead)
+	}
+	for off := int64(0); off < footprint; off += 8 {
+		if got := sys.LoadWord(0, base+off); got != uint64(off)^0xdead {
+			t.Fatalf("lost write at %#x: %#x", base+off, got)
+		}
+	}
+	if sys.Stats(0).Writebacks == 0 {
+		t.Fatal("thrashing produced no writebacks")
+	}
+}

@@ -1,0 +1,181 @@
+// Package obj implements the compiler's object-file format. Mirroring the
+// paper's scheme (§5), every compiled source file carries, alongside its
+// code, a "shadow" section with (a) the subroutines it defines, (b) every
+// call site that passes a reshaped array (with the distribution
+// combination), and (c) an annotation for each common-block declaration
+// with the shape, size and distribution of each member — the input to the
+// link-time consistency checks of §6.
+//
+// Because the pre-linker must be able to re-invoke the compiler to create
+// clones for new distribution combinations, the object also embeds the
+// analyzed source (the AST): this plays the role of the paper's "compiler
+// is reinvoked on that file" step without shipping a second copy of the
+// source text.
+package obj
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"dsmdist/internal/dist"
+	"dsmdist/internal/fortran"
+	"dsmdist/internal/ir"
+	"dsmdist/internal/sema"
+)
+
+// OptSpec is an optional distribution (gob cannot carry nil pointers).
+type OptSpec struct {
+	Has  bool
+	Spec dist.Spec
+}
+
+// CommonMember is one annotated member of a common-block declaration.
+type CommonMember struct {
+	Name   string
+	Offset int64 // byte offset within the block
+	Dims   []int64
+	Spec   OptSpec
+}
+
+// CommonAnn annotates one declaration of a common block in one unit.
+type CommonAnn struct {
+	Block   string
+	Unit    string
+	File    string
+	Line    int
+	Members []CommonMember
+}
+
+// ShadowCall records a call site that passes reshaped arrays: the §5
+// propagation input. Sig has one entry per argument (nil for non-reshaped
+// arguments); Dims carries the actual's extents for whole-array arguments
+// so the pre-linker can verify the exact-shape rule of §3.2.1.
+type ShadowCall struct {
+	Caller string
+	Callee string
+	Line   int
+	Sig    []OptSpec
+	Dims   [][]int64
+}
+
+// Object is one compiled source file.
+type Object struct {
+	FileName string
+	File     *fortran.File // embedded AST for clone recompilation
+	Units    []string      // unit names defined here (program first if any)
+	Program  string        // name of the program unit, "" if none
+	Commons  []CommonAnn
+	Shadow   []ShadowCall
+}
+
+// Compile parses and analyzes one source file into an object. Semantic
+// errors abort compilation, as in any compiler.
+func Compile(filename, src string) (*Object, error) {
+	file, err := fortran.Parse(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	o := &Object{FileName: filename, File: file}
+	for _, u := range file.Units {
+		iu, errs := sema.AnalyzeUnit(filename, u, sema.Options{})
+		if errs.Err() != nil {
+			return nil, errs.Err()
+		}
+		o.Units = append(o.Units, iu.Name)
+		if iu.IsProgram {
+			if o.Program != "" {
+				return nil, fmt.Errorf("%s: multiple program units", filename)
+			}
+			o.Program = iu.Name
+		}
+		o.annotate(iu, u.Line)
+	}
+	return o, nil
+}
+
+// annotate extracts the shadow section from an analyzed unit.
+func (o *Object) annotate(iu *ir.Unit, line int) {
+	for _, cb := range iu.CommonBlocks {
+		ann := CommonAnn{Block: cb.Name, Unit: iu.Name, File: o.FileName, Line: line}
+		off := int64(0)
+		for _, m := range cb.Members {
+			cm := CommonMember{Name: m.Name, Offset: off}
+			if m.Dist != nil {
+				cm.Spec = OptSpec{Has: true, Spec: *m.Dist}
+			}
+			if dims, ok := m.ConstDims(); ok {
+				cm.Dims = dims
+				sz := int64(8)
+				for _, d := range dims {
+					sz *= d
+				}
+				off += sz
+			} else {
+				off += 8
+			}
+			ann.Members = append(ann.Members, cm)
+		}
+		o.Commons = append(o.Commons, ann)
+	}
+	ir.WalkStmts(iu.Body, func(s ir.Stmt) bool {
+		call, ok := s.(*ir.CallStmt)
+		if !ok {
+			return true
+		}
+		entry := ShadowCall{Caller: iu.Name, Callee: call.Callee, Line: call.Line,
+			Sig: make([]OptSpec, len(call.Args)), Dims: make([][]int64, len(call.Args))}
+		for i, a := range call.Args {
+			if aa, ok := a.(*ir.ArgArray); ok && aa.Sym.IsReshaped() {
+				entry.Sig[i] = OptSpec{Has: true, Spec: *aa.Sym.Dist}
+				if dims, ok := aa.Sym.ConstDims(); ok {
+					entry.Dims[i] = dims
+				}
+			}
+		}
+		// Every call is recorded (the pre-linker also resolves plain
+		// calls); reshaped ones drive cloning.
+		o.Shadow = append(o.Shadow, entry)
+		return true
+	}, nil)
+}
+
+func init() {
+	// AST node registrations for gob round-tripping.
+	gob.Register(&fortran.TypeDecl{})
+	gob.Register(&fortran.ParamDecl{})
+	gob.Register(&fortran.CommonDecl{})
+	gob.Register(&fortran.EquivDecl{})
+	gob.Register(&fortran.DistDecl{})
+	gob.Register(&fortran.Assign{})
+	gob.Register(&fortran.Do{})
+	gob.Register(&fortran.If{})
+	gob.Register(&fortran.Call{})
+	gob.Register(&fortran.Return{})
+	gob.Register(&fortran.Redistribute{})
+	gob.Register(&fortran.Continue{})
+	gob.Register(&fortran.Ident{})
+	gob.Register(&fortran.IntLit{})
+	gob.Register(&fortran.RealLit{})
+	gob.Register(&fortran.BinOp{})
+	gob.Register(&fortran.UnOp{})
+	gob.Register(&fortran.CallExpr{})
+}
+
+// Encode serializes the object (the .o file contents).
+func (o *Object) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(o); err != nil {
+		return nil, fmt.Errorf("obj: encode %s: %w", o.FileName, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes an object file.
+func Decode(data []byte) (*Object, error) {
+	var o Object
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&o); err != nil {
+		return nil, fmt.Errorf("obj: decode: %w", err)
+	}
+	return &o, nil
+}

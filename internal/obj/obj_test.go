@@ -1,0 +1,130 @@
+package obj
+
+import (
+	"strings"
+	"testing"
+
+	"dsmdist/internal/dist"
+)
+
+const multiSrc = `
+      program main
+      real*8 a(32), b(16)
+c$distribute_reshape a(block)
+      common /shared/ b
+      integer i
+      do i = 1, 32
+        a(i) = 0.0
+      end do
+      call work(a, b)
+      end
+
+      subroutine work(x, y)
+      real*8 x(32), y(16)
+      x(1) = y(1)
+      return
+      end
+`
+
+func TestCompileAnnotations(t *testing.T) {
+	o, err := Compile("m.f", multiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Program != "main" || len(o.Units) != 2 {
+		t.Fatalf("units = %v, program = %q", o.Units, o.Program)
+	}
+	// Common annotation for /shared/ with b's shape.
+	if len(o.Commons) != 1 {
+		t.Fatalf("commons = %d", len(o.Commons))
+	}
+	ca := o.Commons[0]
+	if ca.Block != "shared" || len(ca.Members) != 1 || ca.Members[0].Name != "b" {
+		t.Fatalf("common ann = %+v", ca)
+	}
+	if len(ca.Members[0].Dims) != 1 || ca.Members[0].Dims[0] != 16 {
+		t.Fatalf("member dims = %v", ca.Members[0].Dims)
+	}
+	// Shadow entry for the call with a's reshaped spec in slot 0.
+	var found *ShadowCall
+	for i := range o.Shadow {
+		if o.Shadow[i].Callee == "work" {
+			found = &o.Shadow[i]
+		}
+	}
+	if found == nil {
+		t.Fatal("shadow entry for call to work missing")
+	}
+	if !found.Sig[0].Has || !found.Sig[0].Spec.Reshape || found.Sig[0].Spec.Dims[0].Kind != dist.Block {
+		t.Fatalf("shadow sig = %+v", found.Sig)
+	}
+	if found.Sig[1].Has {
+		t.Fatalf("plain argument carried a spec: %+v", found.Sig[1])
+	}
+	if len(found.Dims[0]) != 1 || found.Dims[0][0] != 32 {
+		t.Fatalf("shadow dims = %v", found.Dims)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	o, err := Compile("m.f", multiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := o.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.FileName != o.FileName || back.Program != o.Program {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	if len(back.File.Units) != 2 {
+		t.Fatalf("AST units = %d", len(back.File.Units))
+	}
+	if len(back.Shadow) != len(o.Shadow) || len(back.Commons) != len(o.Commons) {
+		t.Fatal("shadow/commons lost")
+	}
+	// The decoded AST must be reusable: re-encode and compare sizes as a
+	// cheap structural check.
+	data2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data2) != len(data) {
+		t.Fatalf("re-encode size %d != %d", len(data2), len(data))
+	}
+}
+
+func TestCompileReportsSemaErrors(t *testing.T) {
+	_, err := Compile("bad.f", `
+      program p
+      real*8 a(10)
+c$distribute a(block, block)
+      end
+`)
+	if err == nil || !strings.Contains(err.Error(), "2 specifiers") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompileRejectsTwoPrograms(t *testing.T) {
+	_, err := Compile("two.f", `
+      program p1
+      end
+      program p2
+      end
+`)
+	if err == nil || !strings.Contains(err.Error(), "multiple program units") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not an object")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}

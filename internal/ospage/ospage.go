@@ -1,0 +1,273 @@
+// Package ospage simulates the operating-system page-placement layer the
+// paper's runtime sits on (paper §2, §4.2): physical pages of 2^k bytes
+// allocated per node, a default first-touch policy, an optional round-robin
+// policy, and the explicit placement call the compiler-generated code uses
+// to implement regular data distribution ("This system call is the only OS
+// support required to implement both regular and reshaped data
+// distribution, and it overrides the default first-touch page allocation
+// policy").
+//
+// Placement is recorded per virtual page. Node memories have finite
+// capacity; when the preferred node is full the allocation spills to the
+// node with the most free pages, which is how the simulator reproduces the
+// paper's observation that a 360 MB LU dataset does not fit in one node's
+// ~250 MB memory (§8.1). The OS also runs a best-effort page-coloring
+// algorithm (§8.2) whose success/failure is recorded in the statistics.
+package ospage
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dsmdist/internal/machine"
+)
+
+// Policy selects what happens when an unmapped page is first touched.
+type Policy int
+
+const (
+	// FirstTouch allocates the page from the toucher's node (IRIX
+	// default).
+	FirstTouch Policy = iota
+	// RoundRobin deals pages across nodes in order.
+	RoundRobin
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FirstTouch:
+		return "first-touch"
+	case RoundRobin:
+		return "round-robin"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Page is the placement record for one virtual page.
+type Page struct {
+	Mapped  bool
+	Node    int
+	Color   int
+	Matched bool // page color matches the virtual color (coloring succeeded)
+}
+
+// Stats counts page-level events.
+type Stats struct {
+	Mapped       int64 // pages currently mapped
+	FirstTouch   int64 // pages placed by first-touch
+	RoundRobin   int64 // pages placed by round-robin
+	Placed       int64 // pages placed by the explicit distribution call
+	Migrated     int64 // pages moved by redistribute
+	Spilled      int64 // pages that could not go to the preferred node
+	ColorMatched int64
+	ColorMissed  int64
+	PerNode      []int64 // pages resident per node
+}
+
+// Manager is the simulated OS memory manager.
+type Manager struct {
+	cfg       *machine.Config
+	policy    Policy
+	pageShift uint
+	nnodes    int
+	ncolors   int
+
+	pages []Page // indexed by virtual page number
+
+	free     []int64 // free pages per node
+	nextScan []int64 // next local physical index per node (colors cycle)
+	rrNext   int
+
+	stats Stats
+}
+
+// New creates a manager for the machine configuration.
+func New(cfg *machine.Config) *Manager {
+	shift := uint(bits.TrailingZeros(uint(cfg.PageBytes)))
+	nn := cfg.NNodes()
+	nc := 1 << cfg.PageColorBits
+	m := &Manager{
+		cfg:       cfg,
+		pageShift: shift,
+		nnodes:    nn,
+		ncolors:   nc,
+		free:      make([]int64, nn),
+		nextScan:  make([]int64, nn),
+	}
+	perNode := int64(cfg.NodeMemBytes / cfg.PageBytes)
+	for i := range m.free {
+		m.free[i] = perNode
+	}
+	m.stats.PerNode = make([]int64, nn)
+	return m
+}
+
+// PageShift returns log2 of the page size.
+func (m *Manager) PageShift() uint { return m.pageShift }
+
+// PageBytes returns the page size.
+func (m *Manager) PageBytes() int64 { return int64(m.cfg.PageBytes) }
+
+// NPages returns the number of virtual pages currently tracked.
+func (m *Manager) NPages() int { return len(m.pages) }
+
+// Policy returns the active default policy.
+func (m *Manager) Policy() Policy { return m.policy }
+
+// SetPolicy selects the default allocation policy (the paper's runs choose
+// first-touch or round-robin at program start).
+func (m *Manager) SetPolicy(p Policy) { m.policy = p }
+
+// VPage converts a virtual byte address to its virtual page number.
+func (m *Manager) VPage(vaddr int64) int64 { return vaddr >> m.pageShift }
+
+func (m *Manager) ensure(vp int64) {
+	for int64(len(m.pages)) <= vp {
+		m.pages = append(m.pages, Page{})
+	}
+}
+
+// pickNode returns the node the page should live on, honouring capacity:
+// if preferred is full, the fullest-preferred fallback is the node with the
+// most free pages (lowest id wins ties), counting a spill.
+func (m *Manager) pickNode(preferred int) int {
+	if m.free[preferred] > 0 {
+		return preferred
+	}
+	best, bestFree := -1, int64(0)
+	for n, f := range m.free {
+		if f > bestFree {
+			best, bestFree = n, f
+		}
+	}
+	if best < 0 {
+		// All node memories full: the simulated machine has no swap;
+		// keep allocating on the preferred node (treat as infinite
+		// last-resort memory) but record the pressure.
+		m.stats.Spilled++
+		return preferred
+	}
+	m.stats.Spilled++
+	return best
+}
+
+// allocOn places virtual page vp on the given node, running the coloring
+// algorithm: the OS tries to give contiguous virtual pages non-conflicting
+// physical colors by matching physical color to vp mod ncolors; under spill
+// or reuse pressure the match can fail.
+func (m *Manager) allocOn(vp int64, node int, spilledFrom bool) {
+	m.ensure(vp)
+	wantColor := int(vp) & (m.ncolors - 1)
+	matched := !spilledFrom
+	if matched {
+		m.stats.ColorMatched++
+	} else {
+		m.stats.ColorMissed++
+	}
+	if m.free[node] > 0 {
+		m.free[node]--
+	}
+	m.pages[vp] = Page{Mapped: true, Node: node, Color: wantColor, Matched: matched}
+	m.stats.Mapped++
+	m.stats.PerNode[node]++
+}
+
+// Lookup returns the placement of the page containing vaddr without
+// allocating.
+func (m *Manager) Lookup(vaddr int64) (Page, bool) {
+	vp := m.VPage(vaddr)
+	if vp < 0 || vp >= int64(len(m.pages)) || !m.pages[vp].Mapped {
+		return Page{}, false
+	}
+	return m.pages[vp], true
+}
+
+// Touch resolves the page containing vaddr for a toucher on the given node,
+// allocating it according to the default policy if unmapped, and returns
+// the home node. This is the page-fault path.
+func (m *Manager) Touch(vaddr int64, toucherNode int) int {
+	vp := m.VPage(vaddr)
+	m.ensure(vp)
+	if m.pages[vp].Mapped {
+		return m.pages[vp].Node
+	}
+	var preferred int
+	switch m.policy {
+	case RoundRobin:
+		preferred = m.rrNext
+		m.rrNext = (m.rrNext + 1) % m.nnodes
+		m.stats.RoundRobin++
+	default:
+		preferred = toucherNode
+		m.stats.FirstTouch++
+	}
+	node := m.pickNode(preferred)
+	m.allocOn(vp, node, node != preferred)
+	return node
+}
+
+// Place maps every page overlapping the byte range [lo, hi) onto the given
+// node. This is the explicit OS placement call generated for c$distribute
+// (paper §4.2). Pages already mapped are re-placed only if migrate is true
+// (the redistribute path); otherwise the existing mapping wins — which
+// means a boundary page claimed by several processors' portions ends up on
+// whichever placed it last among the unmapped claims, matching the paper's
+// "a page requested by multiple processors is simply allocated from within
+// the local memory of the processor to last request the page" (§8.3).
+// It returns the number of pages newly placed or migrated.
+func (m *Manager) Place(lo, hi int64, node int, migrate bool) int {
+	if hi <= lo {
+		return 0
+	}
+	moved := 0
+	first := m.VPage(lo)
+	last := m.VPage(hi - 1)
+	for vp := first; vp <= last; vp++ {
+		m.ensure(vp)
+		pg := &m.pages[vp]
+		if pg.Mapped {
+			if !migrate || pg.Node == node {
+				continue
+			}
+			m.stats.PerNode[pg.Node]--
+			m.free[pg.Node]++
+			m.stats.Mapped--
+			m.stats.Migrated++
+			real := m.pickNode(node)
+			m.allocOn(vp, real, real != node)
+			moved++
+			continue
+		}
+		real := m.pickNode(node)
+		m.allocOn(vp, real, real != node)
+		m.stats.Placed++
+		moved++
+	}
+	return moved
+}
+
+// PlaceLast overrides the mapping of every page overlapping [lo, hi),
+// always re-placing. The regular-distribution runtime uses Place for
+// portion interiors and relies on call order for boundary pages.
+func (m *Manager) PlaceLast(lo, hi int64, node int) int {
+	return m.Place(lo, hi, node, true)
+}
+
+// NodeOf returns the home node of vaddr, or -1 when unmapped.
+func (m *Manager) NodeOf(vaddr int64) int {
+	if pg, ok := m.Lookup(vaddr); ok {
+		return pg.Node
+	}
+	return -1
+}
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats {
+	s := m.stats
+	s.PerNode = append([]int64(nil), m.stats.PerNode...)
+	return s
+}
+
+// FreePages returns the free-page count of a node (tests and capacity
+// assertions).
+func (m *Manager) FreePages(node int) int64 { return m.free[node] }

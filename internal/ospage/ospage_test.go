@@ -1,0 +1,197 @@
+package ospage
+
+import (
+	"testing"
+
+	"dsmdist/internal/machine"
+)
+
+func tiny(nprocs int) *Manager { return New(machine.Tiny(nprocs)) }
+
+func TestFirstTouch(t *testing.T) {
+	m := tiny(8) // 4 nodes
+	m.SetPolicy(FirstTouch)
+	n := m.Touch(0, 2)
+	if n != 2 {
+		t.Fatalf("first touch by node 2 placed on %d", n)
+	}
+	// Second touch by another node does not move the page.
+	if n := m.Touch(8, 3); n != 2 {
+		t.Fatalf("retouch moved page to %d", n)
+	}
+	if got := m.NodeOf(100); got != 2 {
+		t.Fatalf("NodeOf within same page = %d", got)
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	m := tiny(8) // 4 nodes
+	m.SetPolicy(RoundRobin)
+	pb := m.PageBytes()
+	var nodes []int
+	for i := int64(0); i < 8; i++ {
+		nodes = append(nodes, m.Touch(i*pb, 0))
+	}
+	want := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("rr sequence %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestPlaceOverridesPolicy(t *testing.T) {
+	m := tiny(8)
+	pb := m.PageBytes()
+	placed := m.Place(0, 3*pb, 3, false)
+	if placed != 3 {
+		t.Fatalf("placed %d pages, want 3", placed)
+	}
+	if m.NodeOf(0) != 3 || m.NodeOf(2*pb) != 3 {
+		t.Fatal("placement ignored")
+	}
+	// First-touch afterwards must not move it.
+	if n := m.Touch(0, 1); n != 3 {
+		t.Fatalf("touch after place moved page to %d", n)
+	}
+}
+
+func TestPlaceBoundaryLastRequestWins(t *testing.T) {
+	// Two portions sharing a boundary page: with migrate=true the later
+	// placement wins (the paper's "last request" behaviour); with
+	// migrate=false the first mapping sticks.
+	m := tiny(8)
+	pb := m.PageBytes()
+	m.PlaceLast(0, pb/2, 0)  // proc 0's half page
+	m.PlaceLast(pb/2, pb, 1) // proc 1's half of the same page
+	if got := m.NodeOf(0); got != 1 {
+		t.Fatalf("boundary page on node %d, want last requester 1", got)
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	m := tiny(8)
+	pb := m.PageBytes()
+	m.Place(0, pb, 0, false)
+	moved := m.Place(0, pb, 2, true)
+	if moved != 1 {
+		t.Fatalf("migrated %d, want 1", moved)
+	}
+	if m.NodeOf(0) != 2 {
+		t.Fatal("migration did not move page")
+	}
+	st := m.Stats()
+	if st.Migrated != 1 {
+		t.Fatalf("stats.Migrated = %d", st.Migrated)
+	}
+	if st.PerNode[0] != 0 || st.PerNode[2] != 1 {
+		t.Fatalf("PerNode = %v", st.PerNode)
+	}
+}
+
+func TestCapacitySpill(t *testing.T) {
+	cfg := machine.Tiny(4) // 2 nodes
+	cfg.NodeMemBytes = 4 * cfg.PageBytes
+	m := New(cfg)
+	m.SetPolicy(FirstTouch)
+	pb := m.PageBytes()
+	// Fill node 0.
+	for i := int64(0); i < 4; i++ {
+		if n := m.Touch(i*pb, 0); n != 0 {
+			t.Fatalf("page %d on node %d", i, n)
+		}
+	}
+	// Fifth page must spill to node 1.
+	if n := m.Touch(4*pb, 0); n != 1 {
+		t.Fatalf("spill went to node %d, want 1", n)
+	}
+	st := m.Stats()
+	if st.Spilled != 1 {
+		t.Fatalf("Spilled = %d", st.Spilled)
+	}
+	if st.ColorMissed == 0 {
+		t.Fatal("spilled page should count a color miss")
+	}
+}
+
+func TestAllNodesFull(t *testing.T) {
+	cfg := machine.Tiny(4) // 2 nodes
+	cfg.NodeMemBytes = cfg.PageBytes
+	m := New(cfg)
+	pb := m.PageBytes()
+	m.Touch(0, 0)
+	m.Touch(pb, 1)
+	// Everything full: allocation still succeeds on the preferred node.
+	if n := m.Touch(2*pb, 0); n != 0 {
+		t.Fatalf("overflow page on node %d, want preferred 0", n)
+	}
+}
+
+func TestLookupUnmapped(t *testing.T) {
+	m := tiny(4)
+	if _, ok := m.Lookup(12345); ok {
+		t.Fatal("unmapped page reported mapped")
+	}
+	if m.NodeOf(12345) != -1 {
+		t.Fatal("NodeOf unmapped != -1")
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	m := tiny(8)
+	m.SetPolicy(RoundRobin)
+	pb := m.PageBytes()
+	for i := int64(0); i < 6; i++ {
+		m.Touch(i*pb, 0)
+	}
+	m.Place(6*pb, 8*pb, 1, false)
+	st := m.Stats()
+	if st.RoundRobin != 6 || st.Placed != 2 || st.Mapped != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+	total := int64(0)
+	for _, n := range st.PerNode {
+		total += n
+	}
+	if total != st.Mapped {
+		t.Fatalf("PerNode sums to %d, Mapped %d", total, st.Mapped)
+	}
+}
+
+func TestPlaceEmptyRange(t *testing.T) {
+	m := tiny(4)
+	if n := m.Place(100, 100, 0, false); n != 0 {
+		t.Fatalf("empty range placed %d pages", n)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FirstTouch.String() != "first-touch" || RoundRobin.String() != "round-robin" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestColorStats(t *testing.T) {
+	m := tiny(8)
+	pb := m.PageBytes()
+	for i := int64(0); i < 10; i++ {
+		m.Touch(i*pb, 0)
+	}
+	st := m.Stats()
+	if st.ColorMatched != 10 || st.ColorMissed != 0 {
+		t.Fatalf("colors: matched=%d missed=%d", st.ColorMatched, st.ColorMissed)
+	}
+}
+
+func TestPlacePartialPageRanges(t *testing.T) {
+	m := tiny(8)
+	pb := m.PageBytes()
+	// A range ending mid-page still claims that page.
+	n := m.Place(0, pb+1, 2, false)
+	if n != 2 {
+		t.Fatalf("placed %d pages, want 2", n)
+	}
+	if m.NodeOf(pb) != 2 {
+		t.Fatal("second page unplaced")
+	}
+}

@@ -1,0 +1,548 @@
+package sema
+
+import (
+	"dsmdist/internal/fortran"
+	"dsmdist/internal/ir"
+)
+
+// Expression lowering, the doacross analysis, and call lowering.
+
+// coerce inserts a conversion so e has type want.
+func (a *analyzer) coerce(e ir.Expr, want ir.Type) ir.Expr {
+	if e == nil || e.Type() == want {
+		return e
+	}
+	// Fold constant conversions.
+	switch x := e.(type) {
+	case *ir.ConstInt:
+		if want == ir.Real {
+			return &ir.ConstReal{V: float64(x.V)}
+		}
+	case *ir.ConstReal:
+		if want == ir.Int {
+			return ir.CI(int64(x.V))
+		}
+	}
+	return &ir.Cvt{X: e, To: want}
+}
+
+var binOpMap = map[fortran.BinOpKind]ir.BinOp{
+	fortran.OpAdd: ir.Add, fortran.OpSub: ir.Sub, fortran.OpMul: ir.Mul,
+	fortran.OpDiv: ir.Div, fortran.OpLT: ir.Lt, fortran.OpLE: ir.Le,
+	fortran.OpGT: ir.Gt, fortran.OpGE: ir.Ge, fortran.OpEQ: ir.Eq,
+	fortran.OpNE: ir.Ne, fortran.OpAnd: ir.And, fortran.OpOr: ir.Or,
+}
+
+// lowerExpr lowers an expression, reporting nil after emitting an error.
+func (a *analyzer) lowerExpr(e fortran.Expr) ir.Expr {
+	switch x := e.(type) {
+	case *fortran.IntLit:
+		return ir.CI(x.Value)
+	case *fortran.RealLit:
+		return &ir.ConstReal{V: x.Value}
+	case *fortran.Ident:
+		if cv, ok := a.consts[x.Name]; ok {
+			if cv.isInt {
+				return ir.CI(cv.i)
+			}
+			return &ir.ConstReal{V: cv.f}
+		}
+		s := a.lookupOrImplicit(x.Name, x.Line)
+		if s.Kind == ir.Array {
+			a.errorf(x.Line, "array %s used without subscripts", x.Name)
+			return nil
+		}
+		return &ir.VarRef{Sym: s}
+	case *fortran.UnOp:
+		in := a.lowerExpr(x.X)
+		if in == nil {
+			return nil
+		}
+		if x.Neg {
+			if c, ok := in.(*ir.ConstInt); ok {
+				return ir.CI(-c.V)
+			}
+			if c, ok := in.(*ir.ConstReal); ok {
+				return &ir.ConstReal{V: -c.V}
+			}
+			return &ir.Un{X: in, Ty: in.Type()}
+		}
+		return &ir.Un{Not: true, X: a.coerce(in, ir.Int), Ty: ir.Int}
+	case *fortran.BinOp:
+		l := a.lowerExpr(x.L)
+		r := a.lowerExpr(x.R)
+		if l == nil || r == nil {
+			return nil
+		}
+		op := binOpMap[x.Op]
+		switch op {
+		case ir.And, ir.Or:
+			return &ir.Bin{Op: op, L: a.coerce(l, ir.Int), R: a.coerce(r, ir.Int), Ty: ir.Int}
+		}
+		ty := ir.Int
+		if l.Type() == ir.Real || r.Type() == ir.Real {
+			ty = ir.Real
+		}
+		l, r = a.coerce(l, ty), a.coerce(r, ty)
+		if ty == ir.Int {
+			switch op {
+			case ir.Add, ir.Sub, ir.Mul, ir.Div:
+				return ir.RewriteExpr(&ir.Bin{Op: op, L: l, R: r, Ty: ty}, foldInts)
+			}
+		}
+		return &ir.Bin{Op: op, L: l, R: r, Ty: ty}
+	case *fortran.CallExpr:
+		return a.lowerCallExpr(x)
+	}
+	a.errorf(fortran.ExprLine(e), "unsupported expression")
+	return nil
+}
+
+// foldInts performs local constant folding on integer nodes.
+func foldInts(e ir.Expr) ir.Expr {
+	b, ok := e.(*ir.Bin)
+	if !ok || b.Ty != ir.Int {
+		return e
+	}
+	switch b.Op {
+	case ir.Add:
+		return ir.IAdd(b.L, b.R)
+	case ir.Sub:
+		return ir.ISub(b.L, b.R)
+	case ir.Mul:
+		return ir.IMul(b.L, b.R)
+	case ir.Div:
+		return ir.IDiv(b.L, b.R)
+	case ir.Mod:
+		return ir.IModE(b.L, b.R)
+	}
+	return e
+}
+
+// lowerCallExpr resolves name(args): array reference, intrinsic, or runtime
+// function.
+func (a *analyzer) lowerCallExpr(x *fortran.CallExpr) ir.Expr {
+	// Array reference?
+	if s, ok := a.syms[x.Name]; ok && s.Kind == ir.Array {
+		if len(x.Args) != len(s.Dims) {
+			a.errorf(x.Line, "%s has %d dimensions, %d subscripts given", x.Name, len(s.Dims), len(x.Args))
+			return nil
+		}
+		idx := make([]ir.Expr, len(x.Args))
+		for i, ae := range x.Args {
+			ie := a.lowerExpr(ae)
+			if ie == nil {
+				return nil
+			}
+			if ie.Type() != ir.Int {
+				a.errorf(x.Line, "subscript %d of %s is not an integer", i+1, x.Name)
+				return nil
+			}
+			idx[i] = ie
+		}
+		return &ir.ArrayRef{Sym: s, Idx: idx}
+	}
+
+	lowerAll := func() []ir.Expr {
+		out := make([]ir.Expr, len(x.Args))
+		for i, ae := range x.Args {
+			out[i] = a.lowerExpr(ae)
+			if out[i] == nil {
+				return nil
+			}
+		}
+		return out
+	}
+	need := func(n int) bool {
+		if len(x.Args) != n {
+			a.errorf(x.Line, "%s expects %d arguments, got %d", x.Name, n, len(x.Args))
+			return false
+		}
+		return true
+	}
+
+	switch x.Name {
+	case "mod":
+		if !need(2) {
+			return nil
+		}
+		args := lowerAll()
+		if args == nil {
+			return nil
+		}
+		if args[0].Type() != ir.Int || args[1].Type() != ir.Int {
+			a.errorf(x.Line, "mod requires integer arguments")
+			return nil
+		}
+		return ir.RewriteExpr(&ir.Bin{Op: ir.Mod, L: args[0], R: args[1], Ty: ir.Int}, foldInts)
+	case "min", "max":
+		if len(x.Args) < 2 {
+			a.errorf(x.Line, "%s needs at least 2 arguments", x.Name)
+			return nil
+		}
+		args := lowerAll()
+		if args == nil {
+			return nil
+		}
+		ty := ir.Int
+		for _, ag := range args {
+			if ag.Type() == ir.Real {
+				ty = ir.Real
+			}
+		}
+		op := ir.IMin
+		if x.Name == "max" {
+			op = ir.IMax
+		}
+		acc := a.coerce(args[0], ty)
+		for _, ag := range args[1:] {
+			acc = &ir.Intrinsic{Op: op, Args: []ir.Expr{acc, a.coerce(ag, ty)}, Ty: ty}
+		}
+		return acc
+	case "abs", "iabs", "dabs":
+		if !need(1) {
+			return nil
+		}
+		args := lowerAll()
+		if args == nil {
+			return nil
+		}
+		return &ir.Intrinsic{Op: ir.IAbs, Args: args, Ty: args[0].Type()}
+	case "sqrt", "dsqrt":
+		if !need(1) {
+			return nil
+		}
+		args := lowerAll()
+		if args == nil {
+			return nil
+		}
+		return &ir.Intrinsic{Op: ir.ISqrt, Args: []ir.Expr{a.coerce(args[0], ir.Real)}, Ty: ir.Real}
+	case "dble", "dfloat", "float", "real":
+		if !need(1) {
+			return nil
+		}
+		args := lowerAll()
+		if args == nil {
+			return nil
+		}
+		return a.coerce(args[0], ir.Real)
+	case "int", "idint", "ifix":
+		if !need(1) {
+			return nil
+		}
+		args := lowerAll()
+		if args == nil {
+			return nil
+		}
+		return a.coerce(args[0], ir.Int)
+	case "dsm_numthreads":
+		if !need(0) {
+			return nil
+		}
+		return &ir.Nprocs{}
+	case "dsm_this_thread":
+		if !need(0) {
+			return nil
+		}
+		if a.parDepth == 0 {
+			// Outside a parallel region the value is processor 0;
+			// still useful, allowed.
+			return ir.CI(0)
+		}
+		return &ir.Myid{}
+	case "dsm_portion_lo", "dsm_portion_hi":
+		// dsm_portion_lo(array, dim, proc): first/last 1-based global
+		// index of proc's portion along dim (paper §3.2.1 intrinsics).
+		if !need(3) {
+			return nil
+		}
+		arr, ok := x.Args[0].(*fortran.Ident)
+		if !ok {
+			a.errorf(x.Line, "%s: first argument must be an array name", x.Name)
+			return nil
+		}
+		s, ok := a.syms[arr.Name]
+		if !ok || s.Kind != ir.Array || s.Dist == nil {
+			a.errorf(x.Line, "%s: %s is not a distributed array", x.Name, arr.Name)
+			return nil
+		}
+		dimE := a.lowerExpr(x.Args[1])
+		procE := a.lowerExpr(x.Args[2])
+		if dimE == nil || procE == nil {
+			return nil
+		}
+		kind := ir.RTPortionLo
+		if x.Name == "dsm_portion_hi" {
+			kind = ir.RTPortionHi
+		}
+		return &ir.RTFunc{Kind: kind, Sym: s, Args: []ir.Expr{a.coerce(dimE, ir.Int), a.coerce(procE, ir.Int)}}
+	}
+	a.errorf(x.Line, "unknown function or array %s", x.Name)
+	return nil
+}
+
+// lowerLvalue lowers an assignment target.
+func (a *analyzer) lowerLvalue(e fortran.Expr, line int) ir.Expr {
+	switch x := e.(type) {
+	case *fortran.Ident:
+		if _, isConst := a.consts[x.Name]; isConst {
+			a.errorf(line, "cannot assign to parameter constant %s", x.Name)
+			return nil
+		}
+		s := a.lookupOrImplicit(x.Name, x.Line)
+		if s.Kind == ir.Array {
+			a.errorf(line, "cannot assign to whole array %s", x.Name)
+			return nil
+		}
+		return &ir.VarRef{Sym: s}
+	case *fortran.CallExpr:
+		le := a.lowerCallExpr(x)
+		if le == nil {
+			return nil
+		}
+		if _, ok := le.(*ir.ArrayRef); !ok {
+			a.errorf(line, "invalid assignment target %s", x.Name)
+			return nil
+		}
+		return le
+	}
+	a.errorf(line, "invalid assignment target")
+	return nil
+}
+
+// lowerDo lowers a (possibly doacross-annotated) do loop.
+func (a *analyzer) lowerDo(x *fortran.Do) ir.Stmt {
+	vs := a.lookupOrImplicit(x.Var, x.Line)
+	if vs.Kind != ir.Scalar || vs.Type != ir.Int {
+		a.errorf(x.Line, "do variable %s must be an integer scalar", x.Var)
+	}
+	lo := a.coerce(a.lowerExpr(x.Lo), ir.Int)
+	hi := a.coerce(a.lowerExpr(x.Hi), ir.Int)
+	var step ir.Expr
+	if x.Step != nil {
+		step = a.coerce(a.lowerExpr(x.Step), ir.Int)
+	}
+	d := &ir.Do{Var: vs, Lo: lo, Hi: hi, Step: step, Line: x.Line}
+
+	var par *ir.Par
+	if x.Doacross != nil {
+		par = a.analyzeDoacross(x, vs)
+		d.Par = par
+		a.parDepth++
+		a.parLocals = map[*ir.Sym]bool{}
+		for _, ls := range par.Local {
+			a.parLocals[ls] = true
+		}
+		defer func() {
+			a.parDepth--
+			a.parLocals = nil
+		}()
+	}
+
+	a.loopVars = append(a.loopVars, vs)
+	d.Body = a.lowerStmts(x.Body)
+	a.loopVars = a.loopVars[:len(a.loopVars)-1]
+
+	if par != nil && par.Nest > 1 {
+		a.checkNest(d, par, x.Doacross.Nest, x.Line)
+	}
+	return d
+}
+
+// checkNest verifies that the nest clause names a perfect loop nest.
+func (a *analyzer) checkNest(d *ir.Do, par *ir.Par, nest []string, line int) {
+	want := map[string]bool{}
+	for _, n := range nest {
+		want[n] = true
+	}
+	cur := d
+	seen := map[string]bool{cur.Var.Name: true}
+	for depth := 1; depth < par.Nest; depth++ {
+		if len(cur.Body) != 1 {
+			a.errorf(line, "doacross nest requires perfectly nested loops")
+			return
+		}
+		inner, ok := cur.Body[0].(*ir.Do)
+		if !ok {
+			a.errorf(line, "doacross nest requires perfectly nested loops")
+			return
+		}
+		seen[inner.Var.Name] = true
+		cur = inner
+	}
+	for n := range want {
+		if !seen[n] {
+			a.errorf(line, "nest names %s but it is not one of the nested loop variables", n)
+		}
+	}
+}
+
+// analyzeDoacross builds the ir.Par for a doacross directive.
+func (a *analyzer) analyzeDoacross(x *fortran.Do, outerVar *ir.Sym) *ir.Par {
+	da := x.Doacross
+	par := &ir.Par{Nest: 1, Sched: ir.SchedSimple, Line: da.Line}
+	if len(da.Nest) > 0 {
+		par.Nest = len(da.Nest)
+	}
+	switch da.Sched {
+	case fortran.SchedInterleave:
+		par.Sched = ir.SchedInterleave
+	case fortran.SchedDynamic:
+		par.Sched = ir.SchedDynamic
+	case fortran.SchedGSS:
+		par.Sched = ir.SchedGSS
+	}
+	if da.Chunk != nil {
+		par.Chunk = a.coerce(a.lowerExpr(da.Chunk), ir.Int)
+	}
+	if a.parDepth > 0 {
+		a.errorf(da.Line, "nested doacross regions are not supported; use the nest clause")
+	}
+
+	seenLocal := map[string]bool{}
+	addLocal := func(name string, line int) {
+		if seenLocal[name] {
+			return
+		}
+		seenLocal[name] = true
+		s := a.lookupOrImplicit(name, line)
+		if s.Kind != ir.Scalar {
+			a.errorf(line, "local clause entry %s is not a scalar", name)
+			return
+		}
+		par.Local = append(par.Local, s)
+	}
+	for _, n := range da.Local {
+		addLocal(n, da.Line)
+	}
+	// Loop variables of the parallel nest are implicitly local.
+	addLocal(x.Var, da.Line)
+	for _, n := range da.Nest {
+		addLocal(n, da.Line)
+	}
+	for _, n := range da.Shared {
+		a.lookupOrImplicit(n, da.Line)
+	}
+
+	if da.Affinity != nil {
+		par.Affinity = a.analyzeAffinity(da.Affinity, par, da.Line)
+	}
+	return par
+}
+
+// analyzeAffinity validates affinity(i[,j]) = data(A(...)) against §3.4:
+// the subscripts of distributed dimensions must be affine a*v + c with
+// literal constants, a non-negative, v one of the affinity variables.
+func (a *analyzer) analyzeAffinity(aff *fortran.Affinity, par *ir.Par, line int) *ir.Affinity {
+	s, ok := a.syms[aff.Array]
+	if !ok || s.Kind != ir.Array {
+		a.errorf(line, "affinity names unknown array %s", aff.Array)
+		return nil
+	}
+	if s.Dist == nil || !s.Dist.Distributed() {
+		a.errorf(line, "affinity array %s is not distributed", aff.Array)
+		return nil
+	}
+	if len(aff.Index) != len(s.Dims) {
+		a.errorf(line, "affinity reference to %s has %d subscripts, array has %d dimensions",
+			aff.Array, len(aff.Index), len(s.Dims))
+		return nil
+	}
+	affVars := map[*ir.Sym]bool{}
+	for _, v := range aff.Vars {
+		affVars[a.lookupOrImplicit(v, line)] = true
+	}
+	out := &ir.Affinity{Array: s, Dims: make([]ir.AffinityDim, len(s.Dims))}
+	used := map[*ir.Sym]bool{}
+	for d := range s.Dims {
+		if !s.Dist.Dims[d].Distributed() {
+			continue // subscripts of undistributed dims are irrelevant
+		}
+		ie := a.lowerExpr(aff.Index[d])
+		if ie == nil {
+			continue
+		}
+		af, ok := ir.MatchAffine(ie)
+		if !ok {
+			a.errorf(line, "affinity subscript %d of %s is not of the form a*i+c with literal constants", d+1, aff.Array)
+			continue
+		}
+		if af.Var == nil {
+			out.Dims[d] = ir.AffinityDim{A: 0, C0: af.C - 1}
+			continue
+		}
+		if !affVars[af.Var] {
+			a.errorf(line, "affinity subscript %d of %s uses %s, which is not an affinity variable",
+				d+1, aff.Array, af.Var.Name)
+			continue
+		}
+		if af.A < 0 {
+			// §3.4: "p and q must be literal constants, with p
+			// non-negative".
+			a.errorf(line, "affinity coefficient for %s must be non-negative", af.Var.Name)
+			continue
+		}
+		if used[af.Var] {
+			a.errorf(line, "affinity variable %s keys two distributed dimensions", af.Var.Name)
+			continue
+		}
+		used[af.Var] = true
+		out.Dims[d] = ir.AffinityDim{Var: af.Var, A: af.A, C0: af.C - 1}
+	}
+	return out
+}
+
+// lowerCall lowers a call statement, desugaring by-value expression
+// arguments through addressed temporaries (Fortran passes addresses).
+func (a *analyzer) lowerCall(out []ir.Stmt, x *fortran.Call) []ir.Stmt {
+	switch x.Name {
+	case "dsm_barrier":
+		if len(x.Args) != 0 {
+			a.errorf(x.Line, "dsm_barrier takes no arguments")
+		}
+		return append(out, &ir.Barrier{})
+	case "dsm_timer_start", "dsm_timer_stop":
+		if len(x.Args) != 0 {
+			a.errorf(x.Line, "%s takes no arguments", x.Name)
+		}
+		if a.parDepth > 0 {
+			a.errorf(x.Line, "%s must be called from serial code", x.Name)
+		}
+		return append(out, &ir.TimerMark{Stop: x.Name == "dsm_timer_stop"})
+	}
+	c := &ir.CallStmt{Callee: x.Name, Line: x.Line}
+	for _, ae := range x.Args {
+		switch ax := ae.(type) {
+		case *fortran.Ident:
+			if _, isConst := a.consts[ax.Name]; !isConst {
+				s := a.lookupOrImplicit(ax.Name, x.Line)
+				if s.Kind == ir.Array {
+					c.Args = append(c.Args, &ir.ArgArray{Sym: s})
+				} else {
+					s.Addressed = true
+					c.Args = append(c.Args, &ir.VarRef{Sym: s})
+				}
+				continue
+			}
+		case *fortran.CallExpr:
+			if s, ok := a.syms[ax.Name]; ok && s.Kind == ir.Array {
+				le := a.lowerCallExpr(ax)
+				if le == nil {
+					return out
+				}
+				c.Args = append(c.Args, le)
+				continue
+			}
+		}
+		// General expression: evaluate into an addressed temporary.
+		e := a.lowerExpr(ae)
+		if e == nil {
+			return out
+		}
+		tmp := a.unit.NewTemp(e.Type(), "arg")
+		tmp.Addressed = true
+		out = append(out, &ir.Assign{Lhs: &ir.VarRef{Sym: tmp}, Rhs: e})
+		c.Args = append(c.Args, &ir.VarRef{Sym: tmp})
+	}
+	return append(out, c)
+}

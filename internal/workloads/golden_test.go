@@ -1,0 +1,178 @@
+package workloads
+
+import (
+	"testing"
+
+	"dsmdist/internal/core"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/ospage"
+)
+
+// Golden-reference tests: the same computations implemented directly in Go
+// must match the simulated Fortran runs bit-for-bit (both use float64 in
+// the same evaluation order).
+
+func runVariant(t *testing.T, src string, nprocs int) map[string][]float64 {
+	t.Helper()
+	tc := core.New()
+	img, err := tc.Build(map[string]string{"g.f": src})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	res, err := core.Run(img, machine.Tiny(nprocs), core.RunOptions{Policy: ospage.FirstTouch})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := map[string][]float64{}
+	for _, st := range res.RT.Arrays {
+		out[st.Plan.Name] = res.RT.Gather(st)
+	}
+	return out
+}
+
+// goldenTranspose computes the expected A after `iters` transposes.
+func goldenTranspose(n int) (a []float64) {
+	a = make([]float64, n*n)
+	b := make([]float64, n*n)
+	at := func(m []float64, i, j int) int { return (i - 1) + (j-1)*n }
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			b[at(b, i, j)] = float64(i) + float64(j)*0.5
+		}
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			a[at(a, j, i)] = b[at(b, i, j)]
+		}
+	}
+	return a
+}
+
+func TestTransposeGolden(t *testing.T) {
+	const n = 24
+	want := goldenTranspose(n)
+	for _, v := range []Variant{Serial, Reshaped} {
+		got := runVariant(t, Transpose(n, 3, v), 4)["a"]
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("%v: a[%d] = %v, want %v", v, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// goldenConv runs the five-point stencil iters times.
+func goldenConv(n, iters int) []float64 {
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	at := func(i, j int) int { return (i - 1) + (j-1)*n }
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			b[at(i, j)] = float64(i)*0.25 + float64(j)*0.125
+		}
+	}
+	for it := 0; it < iters; it++ {
+		for j := 2; j <= n-1; j++ {
+			for i := 2; i <= n-1; i++ {
+				a[at(i, j)] = (b[at(i-1, j)] + b[at(i, j-1)] + b[at(i, j)] +
+					b[at(i, j+1)] + b[at(i+1, j)]) / 5.0
+			}
+		}
+	}
+	return a
+}
+
+func TestConvolutionGolden(t *testing.T) {
+	const n = 20
+	want := goldenConv(n, 2)
+	for _, levels := range []int{1, 2} {
+		got := runVariant(t, Convolution(n, 2, levels, Reshaped), 4)["a"]
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("levels=%d: a[%d] = %v, want %v", levels, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// goldenLU runs one SSOR-style sweep of the LU kernel.
+func goldenLU(n, iters int) (u, rsd []float64) {
+	sz := 5 * n * n * n
+	u = make([]float64, sz)
+	rsd = make([]float64, sz)
+	at := func(m, j, k, i int) int {
+		return (m - 1) + (j-1)*5 + (k-1)*5*n + (i-1)*5*n*n
+	}
+	for j := 1; j <= n; j++ {
+		for k := 1; k <= n; k++ {
+			for i := 1; i <= n; i++ {
+				for m := 1; m <= 5; m++ {
+					u[at(m, j, k, i)] = float64(m) + 0.001*float64(i+j+k)
+				}
+			}
+		}
+	}
+	for it := 0; it < iters; it++ {
+		for j := 2; j <= n-1; j++ {
+			for k := 2; k <= n-1; k++ {
+				for i := 2; i <= n-1; i++ {
+					for m := 1; m <= 5; m++ {
+						rsd[at(m, j, k, i)] = (u[at(m, j-1, k, i)] + u[at(m, j+1, k, i)] +
+							u[at(m, j, k-1, i)] + u[at(m, j, k+1, i)] +
+							u[at(m, j, k, i-1)] + u[at(m, j, k, i+1)] -
+							6.0*u[at(m, j, k, i)]) * 0.2
+					}
+				}
+			}
+		}
+		for j := 2; j <= n-1; j++ {
+			for k := 2; k <= n-1; k++ {
+				for i := 2; i <= n-1; i++ {
+					for m := 1; m <= 5; m++ {
+						u[at(m, j, k, i)] += 0.8 * rsd[at(m, j, k, i)]
+					}
+				}
+			}
+		}
+	}
+	return u, rsd
+}
+
+func TestLUGolden(t *testing.T) {
+	const n = 8
+	wantU, wantRsd := goldenLU(n, 2)
+	for _, v := range []Variant{Serial, Regular, Reshaped} {
+		got := runVariant(t, LU(n, 2, v), 4)
+		for k := range wantU {
+			if got["u"][k] != wantU[k] {
+				t.Fatalf("%v: u[%d] = %v, want %v", v, k, got["u"][k], wantU[k])
+			}
+			if got["rsd"][k] != wantRsd[k] {
+				t.Fatalf("%v: rsd[%d] = %v, want %v", v, k, got["rsd"][k], wantRsd[k])
+			}
+		}
+	}
+}
+
+// TestDeterminism: two identical runs must produce identical simulated
+// cycle counts and statistics (the simulator has no hidden nondeterminism).
+func TestDeterminism(t *testing.T) {
+	src := Transpose(32, 2, Reshaped)
+	build := func() (int64, int64) {
+		tc := core.New()
+		img, err := tc.Build(map[string]string{"d.f": src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(img, machine.Tiny(6), core.RunOptions{Policy: ospage.RoundRobin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles, res.Total.L2Miss
+	}
+	c1, m1 := build()
+	c2, m2 := build()
+	if c1 != c2 || m1 != m2 {
+		t.Fatalf("nondeterministic: run1=(%d,%d) run2=(%d,%d)", c1, m1, c2, m2)
+	}
+}

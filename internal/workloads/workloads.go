@@ -1,0 +1,218 @@
+// Package workloads generates the paper's evaluation programs (§8) in the
+// Fortran subset, parameterized by size and by distribution variant:
+//
+//   - NAS-LU (§8.1): an SSOR-style kernel over two (5,n,n,n) arrays
+//     distributed (*,block,block,*), with parallel initialization. See
+//     DESIGN.md for the substitution rationale (the class-C binary itself
+//     needs the full NAS suite; the kernel preserves layout, distribution,
+//     access pattern and footprint ratios).
+//   - Matrix transpose (§8.2): A(*,block), B(block,*), serial
+//     initialization — the distribution that *requires* reshaping because a
+//     (block,*) row portion is far smaller than a page.
+//   - 2-D convolution (§8.3): five-point stencil, one- or two-level
+//     parallelism with (*,block) or (block,block).
+//
+// Each generator emits all four paper variants: no directives (first-touch
+// and round-robin runs differ only in run policy), regular distribution,
+// and reshaped distribution; plus a fully serial build for speedup
+// baselines.
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Variant selects the distribution treatment of a generated program.
+type Variant int
+
+const (
+	// Serial has no doacross directives at all: the uniprocessor
+	// baseline the paper's speedups are relative to.
+	Serial Variant = iota
+	// Plain is explicitly parallel with no data distribution; run it
+	// under first-touch or round-robin policy for the paper's first two
+	// lines.
+	Plain
+	// Regular uses c$distribute (§4.2 page placement).
+	Regular
+	// Reshaped uses c$distribute_reshape (§4.3).
+	Reshaped
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Serial:
+		return "serial"
+	case Plain:
+		return "plain"
+	case Regular:
+		return "regular"
+	case Reshaped:
+		return "reshaped"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// distDirective renders the directive line for the variant, or "".
+func distDirective(v Variant, spec string) string {
+	switch v {
+	case Regular:
+		return "c$distribute " + spec + "\n"
+	case Reshaped:
+		return "c$distribute_reshape " + spec + "\n"
+	}
+	return ""
+}
+
+// par renders a doacross line (with affinity only when distributed), or ""
+// for the serial variant.
+func par(v Variant, clauses, affinity string) string {
+	if v == Serial {
+		return ""
+	}
+	s := "c$doacross " + clauses
+	if affinity != "" && (v == Regular || v == Reshaped) {
+		s += " " + affinity
+	}
+	return s + "\n"
+}
+
+// Transpose generates the §8.2 matrix transpose: iters repetitions of
+// A(j,i) = B(i,j) over n×n matrices, serial initialization.
+func Transpose(n, iters int, v Variant) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `      program transp
+      integer n
+      parameter (n = %d)
+      real*8 a(n, n), b(n, n)
+`, n)
+	b.WriteString(distDirective(v, "a(*, block), b(block, *)"))
+	fmt.Fprintf(&b, `      integer i, j, it
+      do j = 1, n
+        do i = 1, n
+          b(i, j) = dble(i) + dble(j)*0.5
+          a(i, j) = 0.0
+        end do
+      end do
+      call dsm_timer_start
+      do it = 1, %d
+`, iters)
+	b.WriteString(par(v, "local(i, j) shared(a, b)", "affinity(i) = data(b(i, 1))"))
+	b.WriteString(`      do i = 1, n
+        do j = 1, n
+          a(j, i) = b(i, j)
+        end do
+      end do
+      end do
+      call dsm_timer_stop
+      end
+`)
+	return b.String()
+}
+
+// Convolution generates the §8.3 five-point stencil. levels selects one- or
+// two-level parallelism ((*,block) vs (block,block) distributions).
+func Convolution(n, iters, levels int, v Variant) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `      program conv
+      integer n
+      parameter (n = %d)
+      real*8 a(n, n), b(n, n)
+`, n)
+	if levels >= 2 {
+		b.WriteString(distDirective(v, "a(block, block), b(block, block)"))
+	} else {
+		b.WriteString(distDirective(v, "a(*, block), b(*, block)"))
+	}
+	fmt.Fprintf(&b, `      integer i, j, it
+      do j = 1, n
+        do i = 1, n
+          b(i, j) = dble(i)*0.25 + dble(j)*0.125
+          a(i, j) = 0.0
+        end do
+      end do
+      call dsm_timer_start
+      do it = 1, %d
+`, iters)
+	if levels >= 2 {
+		b.WriteString(par(v, "nest(j, i) local(i, j) shared(a, b)",
+			"affinity(j, i) = data(a(i, j))"))
+	} else {
+		b.WriteString(par(v, "local(i, j) shared(a, b)",
+			"affinity(j) = data(a(1, j))"))
+	}
+	b.WriteString(`      do j = 2, n-1
+        do i = 2, n-1
+          a(i,j) = (b(i-1,j) + b(i,j-1) + b(i,j) + b(i,j+1) + b(i+1,j)) / 5.0
+        end do
+      end do
+      end do
+      call dsm_timer_stop
+      end
+`)
+	return b.String()
+}
+
+// LU generates the §8.1 SSOR-style LU kernel: two (5,n,n,n) arrays
+// distributed (*,block,block,*), parallel initialization, then iters sweeps
+// of a residual stencil and a solution update — the NAS-LU memory behaviour
+// at the paper's parallel partitioning.
+func LU(n, iters int, v Variant) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `      program lukern
+      integer n
+      parameter (n = %d)
+      real*8 u(5, n, n, n), rsd(5, n, n, n)
+`, n)
+	b.WriteString(distDirective(v, "u(*, block, block, *), rsd(*, block, block, *)"))
+	b.WriteString(`      integer i, j, k, m, it
+`)
+	// Parallel initialization (paper: "Data is initialized in parallel
+	// in this application", §8.1) — except in the serial build.
+	b.WriteString(par(v, "nest(j, k) local(i, j, k, m) shared(u, rsd)",
+		"affinity(j, k) = data(u(1, j, k, 1))"))
+	b.WriteString(`      do j = 1, n
+        do k = 1, n
+          do i = 1, n
+            do m = 1, 5
+              u(m, j, k, i) = dble(m) + 0.001*dble(i+j+k)
+              rsd(m, j, k, i) = 0.0
+            end do
+          end do
+        end do
+      end do
+`)
+	b.WriteString("      call dsm_timer_start\n")
+	fmt.Fprintf(&b, "      do it = 1, %d\n", iters)
+	b.WriteString(par(v, "nest(j, k) local(i, j, k, m) shared(u, rsd)",
+		"affinity(j, k) = data(rsd(1, j, k, 1))"))
+	b.WriteString(`      do j = 2, n-1
+        do k = 2, n-1
+          do i = 2, n-1
+            do m = 1, 5
+              rsd(m,j,k,i) = (u(m,j-1,k,i) + u(m,j+1,k,i) + u(m,j,k-1,i)&
+                 + u(m,j,k+1,i) + u(m,j,k,i-1) + u(m,j,k,i+1)&
+                 - 6.0*u(m,j,k,i)) * 0.2
+            end do
+          end do
+        end do
+      end do
+`)
+	b.WriteString(par(v, "nest(j, k) local(i, j, k, m) shared(u, rsd)",
+		"affinity(j, k) = data(u(1, j, k, 1))"))
+	b.WriteString(`      do j = 2, n-1
+        do k = 2, n-1
+          do i = 2, n-1
+            do m = 1, 5
+              u(m,j,k,i) = u(m,j,k,i) + 0.8*rsd(m,j,k,i)
+            end do
+          end do
+        end do
+      end do
+      end do
+      call dsm_timer_stop
+      end
+`)
+	return b.String()
+}

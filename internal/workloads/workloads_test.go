@@ -1,0 +1,88 @@
+package workloads
+
+import (
+	"testing"
+
+	"dsmdist/internal/core"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/ospage"
+)
+
+// buildRun compiles and runs a generated source on nprocs Tiny processors.
+func buildRun(t *testing.T, src string, nprocs int) map[string][]float64 {
+	t.Helper()
+	tc := core.New()
+	img, err := tc.Build(map[string]string{"w.f": src})
+	if err != nil {
+		t.Fatalf("build:\n%s\nerror: %v", src, err)
+	}
+	res, err := core.Run(img, machine.Tiny(nprocs), core.RunOptions{Policy: ospage.FirstTouch})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := map[string][]float64{}
+	for _, st := range res.RT.Arrays {
+		out[st.Plan.Name] = res.RT.Gather(st)
+	}
+	return out
+}
+
+// All variants of a workload must compute identical values.
+func variantsAgree(t *testing.T, gen func(Variant) string, arrays []string, nprocs int) {
+	t.Helper()
+	var ref map[string][]float64
+	for _, v := range []Variant{Serial, Plain, Regular, Reshaped} {
+		got := buildRun(t, gen(v), nprocs)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for _, name := range arrays {
+			a, b := ref[name], got[name]
+			if len(a) != len(b) {
+				t.Fatalf("%v: %s has %d elements, serial has %d", v, name, len(b), len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v: %s[%d] = %v, serial %v", v, name, i, b[i], a[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeVariantsAgree(t *testing.T) {
+	variantsAgree(t, func(v Variant) string { return Transpose(20, 2, v) }, []string{"a"}, 4)
+}
+
+func TestConvolution1LevelVariantsAgree(t *testing.T) {
+	variantsAgree(t, func(v Variant) string { return Convolution(18, 2, 1, v) }, []string{"a"}, 4)
+}
+
+func TestConvolution2LevelVariantsAgree(t *testing.T) {
+	variantsAgree(t, func(v Variant) string { return Convolution(18, 1, 2, v) }, []string{"a"}, 4)
+}
+
+func TestLUVariantsAgree(t *testing.T) {
+	variantsAgree(t, func(v Variant) string { return LU(8, 1, v) }, []string{"u", "rsd"}, 4)
+}
+
+func TestTransposeValues(t *testing.T) {
+	got := buildRun(t, Transpose(8, 1, Reshaped), 2)
+	a := got["a"]
+	// a(j,i) = b(i,j) = i + j*0.5; column-major a: a[(j-1) + (i-1)*8]
+	for i := 1; i <= 8; i++ {
+		for j := 1; j <= 8; j++ {
+			want := float64(i) + float64(j)*0.5
+			if a[(j-1)+(i-1)*8] != want {
+				t.Fatalf("a(%d,%d) = %v, want %v", j, i, a[(j-1)+(i-1)*8], want)
+			}
+		}
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Serial.String() != "serial" || Reshaped.String() != "reshaped" {
+		t.Fatal("variant names")
+	}
+}

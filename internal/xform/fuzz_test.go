@@ -1,0 +1,209 @@
+package xform_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dsmdist/internal/core"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/ospage"
+	"dsmdist/internal/xform"
+)
+
+// Randomized differential testing: generate small stencil programs with
+// random distributions, offsets and processor counts, then require every
+// optimization level to compute exactly what the unoptimized build does.
+// This is the strongest guard on the §7 transformations — tiling, peeling,
+// skewing, hoisting and CSE must never change program meaning.
+
+type fuzzProgram struct {
+	src    string
+	arrays []string
+}
+
+// genStencil1D builds a 1-D two-array program with random distribution
+// kinds and stencil offsets.
+func genStencil1D(rng *rand.Rand) fuzzProgram {
+	n := 16 + rng.Intn(80)
+	kinds := []string{"block", "cyclic", "cyclic(2)", "cyclic(3)", "cyclic(5)", "*"}
+	k1 := kinds[rng.Intn(len(kinds)-1)] // a distributed somehow
+	k2 := kinds[rng.Intn(len(kinds))]
+	reshape := "c$distribute_reshape"
+	if rng.Intn(4) == 0 {
+		reshape = "c$distribute"
+	}
+	// Stencil offsets within bounds.
+	o1 := rng.Intn(3) - 1 // -1..1
+	o2 := rng.Intn(3) - 1
+	lo := 1 + max(0, -min(o1, o2))
+	hi := n - max(0, max(o1, o2))
+	aff := ""
+	if rng.Intn(3) > 0 {
+		// a's first specifier is always distributed (k1 excludes "*").
+		aff = " affinity(i) = data(a(i))"
+	}
+	src := fmt.Sprintf(`
+      program f
+      integer n
+      parameter (n = %d)
+      real*8 a(n), b(n)
+%s a(%s), b(%s)
+      integer i
+c$doacross local(i) shared(a, b)%s
+      do i = 1, n
+        a(i) = dble(i) * 1.5
+        b(i) = dble(i) - 3.0
+      end do
+c$doacross local(i) shared(a, b)%s
+      do i = %d, %d
+        b(i) = a(i%+d) + a(i%+d) * 0.5
+      end do
+      end
+`, n, reshape, k1, k2, aff, aff, lo, hi, o1, o2)
+	return fuzzProgram{src: src, arrays: []string{"a", "b"}}
+}
+
+// genStencil2D builds a 2-D program with random 2-D distributions and a
+// nest or single-level doacross.
+func genStencil2D(rng *rand.Rand) fuzzProgram {
+	n := 8 + rng.Intn(20)
+	kinds := []string{"block", "cyclic", "cyclic(2)", "*"}
+	k1 := kinds[rng.Intn(len(kinds))]
+	k2 := kinds[rng.Intn(len(kinds))]
+	if k1 == "*" && k2 == "*" {
+		k2 = "block"
+	}
+	reshape := "c$distribute_reshape"
+	if rng.Intn(4) == 0 {
+		reshape = "c$distribute"
+	}
+	var par, aff string
+	if k2 != "*" {
+		aff = " affinity(j) = data(a(1, j))"
+	}
+	if rng.Intn(2) == 0 && k1 != "*" && k2 != "*" {
+		par = "c$doacross nest(j, i) local(i, j) shared(a, b) affinity(j, i) = data(a(i, j))"
+	} else {
+		par = "c$doacross local(i, j) shared(a, b)" + aff
+	}
+	src := fmt.Sprintf(`
+      program f
+      integer n
+      parameter (n = %d)
+      real*8 a(n, n), b(n, n)
+%s a(%s, %s), b(%s, %s)
+      integer i, j
+%s
+      do j = 1, n
+        do i = 1, n
+          a(i, j) = dble(i) + dble(j) * 0.25
+          b(i, j) = 0.0
+        end do
+      end do
+%s
+      do j = 2, n-1
+        do i = 2, n-1
+          b(i, j) = a(i-1, j) + a(i, j-1) + a(i+1, j) * 2.0
+        end do
+      end do
+      end
+`, n, reshape, k1, k2, k1, k2, par, par)
+	return fuzzProgram{src: src, arrays: []string{"a", "b"}}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func runFuzz(t *testing.T, p fuzzProgram, opt xform.Options, nprocs int) map[string][]float64 {
+	t.Helper()
+	tc := core.NewAt(opt)
+	img, err := tc.Build(map[string]string{"f.f": p.src})
+	if err != nil {
+		t.Fatalf("build failed:\n%s\nerror: %v", p.src, err)
+	}
+	res, err := core.Run(img, machine.Tiny(nprocs), core.RunOptions{Policy: ospage.FirstTouch})
+	if err != nil {
+		t.Fatalf("run failed:\n%s\nerror: %v", p.src, err)
+	}
+	out := map[string][]float64{}
+	for _, name := range p.arrays {
+		v, err := core.Array(res, "f", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = v
+	}
+	return out
+}
+
+func TestFuzzOptEquivalence1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(1997))
+	for trial := 0; trial < 30; trial++ {
+		p := genStencil1D(rng)
+		nprocs := 1 + rng.Intn(7)
+		ref := runFuzz(t, p, xform.O0(), nprocs)
+		for _, opt := range []xform.Options{xform.O1(), xform.O3()} {
+			got := runFuzz(t, p, opt, nprocs)
+			for _, name := range p.arrays {
+				for k := range ref[name] {
+					if got[name][k] != ref[name][k] {
+						t.Fatalf("trial %d opt %+v np=%d: %s[%d] = %v, O0 = %v\nprogram:\n%s",
+							trial, opt, nprocs, name, k, got[name][k], ref[name][k], p.src)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFuzzOptEquivalence2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		p := genStencil2D(rng)
+		nprocs := 1 + rng.Intn(7)
+		ref := runFuzz(t, p, xform.O0(), nprocs)
+		got := runFuzz(t, p, xform.O3(), nprocs)
+		for _, name := range p.arrays {
+			for k := range ref[name] {
+				if got[name][k] != ref[name][k] {
+					t.Fatalf("trial %d np=%d: %s[%d] = %v, O0 = %v\nprogram:\n%s",
+						trial, nprocs, name, k, got[name][k], ref[name][k], p.src)
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzProcCountInvariance: results must not depend on the processor
+// count ("the same executable [can] run with different number of
+// processors", §3.2).
+func TestFuzzProcCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		p := genStencil1D(rng)
+		ref := runFuzz(t, p, xform.O3(), 1)
+		for _, np := range []int{2, 5, 8} {
+			got := runFuzz(t, p, xform.O3(), np)
+			for _, name := range p.arrays {
+				for k := range ref[name] {
+					if got[name][k] != ref[name][k] {
+						t.Fatalf("trial %d: np=%d diverges from np=1 at %s[%d]: %v vs %v\nprogram:\n%s",
+							trial, np, name, k, got[name][k], ref[name][k], p.src)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package xform
+
+import (
+	"dsmdist/internal/ir"
+)
+
+// Hoisting and CSE (§7.2). The scalar optimizer of the paper could not
+// speculate indirect loads and div/mod, so the reshape implementation
+// hoists them itself: descriptor-field reads (the variables the paper marks
+// "constant"), portion-base indirect loads, and loop-invariant index
+// arithmetic move to loop preheaders; repeated index subexpressions across
+// statements are committed to temporaries.
+//
+// Purity rules: DescField is immutable unless the array is redistributable
+// (c$redistribute may rewrite the descriptor); PortionBase tables are
+// written once at startup; ordinary loads are never hoisted.
+
+// hoistBody processes a statement list top-down: each loop's invariants are
+// hoisted into statements preceding it, then inner bodies are processed.
+// outerAssigned is the set of scalars assigned in enclosing constructs
+// (unused for invariance — invariance is per loop — but kept for clarity).
+func hoistBody(u *ir.Unit, ss []ir.Stmt, outerAssigned map[*ir.Sym]bool) []ir.Stmt {
+	var out []ir.Stmt
+	for _, s := range ss {
+		switch st := s.(type) {
+		case *ir.Do:
+			pre := hoistLoop(u, st)
+			out = append(out, pre...)
+			st.Body = hoistBody(u, st.Body, nil)
+			out = append(out, st)
+		case *ir.If:
+			st.Then = hoistBody(u, st.Then, nil)
+			st.Else = hoistBody(u, st.Else, nil)
+			out = append(out, st)
+		case *ir.Region:
+			st.Body = hoistBody(u, st.Body, nil)
+			out = append(out, st)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// collectAssigned returns every scalar that may be written within the
+// statement list: assignment targets, do variables, loop-carried counters,
+// and scalars whose address is passed to a call.
+func collectAssigned(ss []ir.Stmt) map[*ir.Sym]bool {
+	set := map[*ir.Sym]bool{}
+	ir.WalkStmts(ss, func(s ir.Stmt) bool {
+		switch st := s.(type) {
+		case *ir.Assign:
+			if vr, ok := st.Lhs.(*ir.VarRef); ok {
+				set[vr.Sym] = true
+			}
+		case *ir.Do:
+			set[st.Var] = true
+		case *ir.CallStmt:
+			for _, a := range st.Args {
+				if vr, ok := a.(*ir.VarRef); ok {
+					set[vr.Sym] = true
+				}
+			}
+		}
+		return true
+	}, nil)
+	return set
+}
+
+// bodyHasCallOrRedist reports whether the list contains a call or
+// redistribute (which invalidates redistributable descriptors).
+func bodyHasCallOrRedist(ss []ir.Stmt) (call, redist bool) {
+	ir.WalkStmts(ss, func(s ir.Stmt) bool {
+		switch s.(type) {
+		case *ir.CallStmt:
+			call = true
+		case *ir.Redist:
+			redist = true
+		}
+		return true
+	}, nil)
+	return call, redist
+}
+
+// pureInvariant reports whether e can be evaluated once before the loop:
+// pure (no general memory reads, no side effects) and using no scalar
+// assigned within the loop. divSafe additionally demands provably nonzero
+// divisors so hoisting cannot introduce a trap.
+func pureInvariant(e ir.Expr, assigned map[*ir.Sym]bool, callInBody, redistInBody bool) bool {
+	ok := true
+	ir.WalkExpr(e, func(n ir.Expr) bool {
+		switch x := n.(type) {
+		case *ir.ConstInt, *ir.ConstReal, *ir.Myid, *ir.Nprocs, *ir.Un, *ir.Cvt, *ir.Intrinsic:
+		case *ir.VarRef:
+			if assigned[x.Sym] {
+				ok = false
+			}
+			// Addressed scalars live in memory and may be modified
+			// through calls.
+			if x.Sym.Addressed && callInBody {
+				ok = false
+			}
+		case *ir.Bin:
+			if x.Op == ir.Div || x.Op == ir.Mod {
+				if !nonZero(x.R) {
+					ok = false
+				}
+			}
+		case *ir.DescField:
+			if x.Sym.Redistributed && (redistInBody || callInBody) {
+				ok = false
+			}
+		case *ir.PortionBase:
+			// Portion tables are immutable after startup.
+		case *ir.ArrayBase:
+			// Base addresses are fixed at load time.
+		default:
+			// ArrayRef, MemRef, RTFunc, ArgArray: not hoistable.
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// nonZero reports whether an integer expression is provably nonzero
+// (positive descriptor fields and nonzero constants).
+func nonZero(e ir.Expr) bool {
+	switch x := e.(type) {
+	case *ir.ConstInt:
+		return x.V != 0
+	case *ir.DescField:
+		// N, P, B, K, ML are all >= 1 at runtime.
+		return true
+	case *ir.Nprocs:
+		return true
+	case *ir.Bin:
+		if x.Op == ir.Mul {
+			return nonZero(x.L) && nonZero(x.R)
+		}
+	case *ir.VarRef:
+		return false
+	}
+	return false
+}
+
+// exprWeight counts operator nodes; hoisting single loads (DescField,
+// PortionBase) is always worthwhile, arithmetic needs at least two nodes.
+func exprWeight(e ir.Expr) int {
+	w := 0
+	ir.WalkExpr(e, func(n ir.Expr) bool {
+		switch n.(type) {
+		case *ir.Bin, *ir.Un, *ir.Cvt, *ir.Intrinsic:
+			w++
+		case *ir.DescField, *ir.PortionBase:
+			w += 4 // a load: always worth a register
+		case *ir.ArrayBase:
+			w++
+		case *ir.Myid, *ir.Nprocs:
+			w++
+		}
+		return true
+	})
+	return w
+}
+
+// hoistLoop replaces maximal invariant subexpressions in the loop body with
+// temporaries and returns the preheader assignments.
+func hoistLoop(u *ir.Unit, d *ir.Do) []ir.Stmt {
+	assigned := collectAssigned(d.Body)
+	assigned[d.Var] = true
+	callIn, redistIn := bodyHasCallOrRedist(d.Body)
+
+	var pre []ir.Stmt
+	cache := map[string]*ir.Sym{}
+
+	var replace func(e ir.Expr) ir.Expr
+	replace = func(e ir.Expr) ir.Expr {
+		if e == nil {
+			return nil
+		}
+		// Top-down: take the largest invariant subtree.
+		if e.Type() == ir.Int || e.Type() == ir.Real {
+			switch e.(type) {
+			case *ir.VarRef, *ir.ConstInt, *ir.ConstReal:
+				return e
+			default:
+				if pureInvariant(e, assigned, callIn, redistIn) && exprWeight(e) >= 2 {
+					key := ir.ExprString(e)
+					if t, ok := cache[key]; ok {
+						return &ir.VarRef{Sym: t}
+					}
+					t := u.NewTemp(e.Type(), "h")
+					cache[key] = t
+					pre = append(pre, &ir.Assign{Lhs: &ir.VarRef{Sym: t}, Rhs: e})
+					return &ir.VarRef{Sym: t}
+				}
+			}
+		}
+		// Recurse into children.
+		switch x := e.(type) {
+		case *ir.ArrayRef:
+			for i, ix := range x.Idx {
+				x.Idx[i] = replace(ix)
+			}
+		case *ir.Bin:
+			x.L, x.R = replace(x.L), replace(x.R)
+		case *ir.Un:
+			x.X = replace(x.X)
+		case *ir.Cvt:
+			x.X = replace(x.X)
+		case *ir.Intrinsic:
+			for i, a := range x.Args {
+				x.Args[i] = replace(a)
+			}
+		case *ir.PortionBase:
+			x.Proc = replace(x.Proc)
+		case *ir.MemRef:
+			x.Addr = replace(x.Addr)
+		case *ir.RTFunc:
+			for i, a := range x.Args {
+				x.Args[i] = replace(a)
+			}
+		}
+		return e
+	}
+
+	ir.MapExprs(d.Body, replace)
+	return pre
+}
+
+// --- CSE across index expressions (§7.2) ---
+
+// cseBody applies common-subexpression elimination to every statement list
+// in the unit, returning the (possibly longer) list.
+func cseBody(u *ir.Unit, ss []ir.Stmt) []ir.Stmt {
+	ss = cseList(u, ss)
+	for _, s := range ss {
+		switch st := s.(type) {
+		case *ir.Do:
+			st.Body = cseBody(u, st.Body)
+		case *ir.If:
+			st.Then = cseBody(u, st.Then)
+			st.Else = cseBody(u, st.Else)
+		case *ir.Region:
+			st.Body = cseBody(u, st.Body)
+		}
+	}
+	return ss
+}
+
+// cseList rewrites one straight-line statement list: pure integer
+// subexpressions that occur more than once are computed into a temporary at
+// their first use. The rewritten list is returned.
+func cseList(u *ir.Unit, ss []ir.Stmt) []ir.Stmt {
+	// Pass 1: count canonical subtrees across simple statements.
+	counts := map[string]int{}
+	for _, s := range ss {
+		forEachSimpleExpr(s, func(e ir.Expr) {
+			ir.WalkExpr(e, func(n ir.Expr) bool {
+				if cseCandidate(n) {
+					counts[ir.ExprString(n)]++
+				}
+				return true
+			})
+		})
+	}
+
+	// Pass 2: replace and insert temporaries.
+	avail := map[string]*ir.Sym{}   // expr -> holding temp
+	users := map[*ir.Sym][]string{} // scalar -> dependent avail keys
+	kill := func(sym *ir.Sym) {
+		for _, k := range users[sym] {
+			delete(avail, k)
+		}
+		delete(users, sym)
+	}
+
+	out := make([]ir.Stmt, 0, len(ss))
+	for _, s := range ss {
+		switch s.(type) {
+		case *ir.Do, *ir.If, *ir.Region:
+			// Compound statement: conservatively flush everything.
+			avail = map[string]*ir.Sym{}
+			users = map[*ir.Sym][]string{}
+			out = append(out, s)
+			continue
+		}
+		var inserted []ir.Stmt
+		rewrite := func(e ir.Expr) ir.Expr {
+			return ir.RewriteExpr(e, func(n ir.Expr) ir.Expr {
+				if !cseCandidate(n) {
+					return n
+				}
+				key := ir.ExprString(n)
+				if t, ok := avail[key]; ok {
+					return &ir.VarRef{Sym: t}
+				}
+				if counts[key] > 1 {
+					t := u.NewTemp(n.Type(), "c")
+					inserted = append(inserted, &ir.Assign{Lhs: &ir.VarRef{Sym: t}, Rhs: ir.CloneExpr(n)})
+					avail[key] = t
+					ir.WalkExpr(n, func(sub ir.Expr) bool {
+						if vr, ok := sub.(*ir.VarRef); ok {
+							users[vr.Sym] = append(users[vr.Sym], key)
+						}
+						return true
+					})
+					return &ir.VarRef{Sym: t}
+				}
+				return n
+			})
+		}
+		mapSimpleExprs(s, rewrite)
+		out = append(out, inserted...)
+		out = append(out, s)
+
+		// Invalidate by effects.
+		switch st := s.(type) {
+		case *ir.Assign:
+			if vr, ok := st.Lhs.(*ir.VarRef); ok {
+				kill(vr.Sym)
+			}
+		case *ir.CallStmt:
+			for _, a := range st.Args {
+				if vr, ok := a.(*ir.VarRef); ok {
+					kill(vr.Sym)
+				}
+			}
+		case *ir.Redist:
+			// Descriptor fields of the array are stale: flush all
+			// (rare statement, simplicity over precision).
+			avail = map[string]*ir.Sym{}
+			users = map[*ir.Sym][]string{}
+		}
+	}
+	return out
+}
+
+// forEachSimpleExpr visits the expression roots of a non-compound
+// statement.
+func forEachSimpleExpr(s ir.Stmt, f func(ir.Expr)) {
+	switch st := s.(type) {
+	case *ir.Assign:
+		f(st.Lhs)
+		f(st.Rhs)
+	case *ir.CallStmt:
+		for _, a := range st.Args {
+			f(a)
+		}
+	}
+}
+
+func mapSimpleExprs(s ir.Stmt, f func(ir.Expr) ir.Expr) {
+	switch st := s.(type) {
+	case *ir.Assign:
+		st.Lhs = f(st.Lhs)
+		st.Rhs = f(st.Rhs)
+	case *ir.CallStmt:
+		for i, a := range st.Args {
+			st.Args[i] = f(a)
+		}
+	}
+}
+
+// cseCandidate: pure integer computation with enough weight to be worth a
+// register, and no memory reads other than descriptor/portion loads.
+func cseCandidate(e ir.Expr) bool {
+	switch e.(type) {
+	case *ir.Bin, *ir.Intrinsic, *ir.PortionBase:
+	default:
+		return false
+	}
+	if e.Type() != ir.Int {
+		return false
+	}
+	pure := true
+	ir.WalkExpr(e, func(n ir.Expr) bool {
+		switch x := n.(type) {
+		case *ir.ArrayRef, *ir.MemRef, *ir.RTFunc, *ir.ArgArray:
+			pure = false
+		case *ir.VarRef:
+			_ = x
+		}
+		return pure
+	})
+	return pure && exprWeight(e) >= 3
+}

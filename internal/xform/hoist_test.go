@@ -1,0 +1,88 @@
+package xform
+
+import (
+	"testing"
+
+	"dsmdist/internal/ir"
+)
+
+func TestCancelSums(t *testing.T) {
+	u := &ir.Unit{Name: "t"}
+	i := u.AddSym(&ir.Sym{Name: "i", Type: ir.Int, Kind: ir.Scalar})
+	k := u.AddSym(&ir.Sym{Name: "k", Type: ir.Int, Kind: ir.Scalar})
+	iv := func() ir.Expr { return &ir.VarRef{Sym: i} }
+	kv := func() ir.Expr { return &ir.VarRef{Sym: k} }
+
+	// (i - k) + k + 3  ->  i + 3
+	e := ir.IAdd(ir.IAdd(ir.ISub(iv(), kv()), kv()), ir.CI(3))
+	got := cancelSums(e)
+	af, ok := ir.MatchAffine(got)
+	if !ok || af.Var != i || af.A != 1 || af.C != 3 {
+		t.Fatalf("cancelSums((i-k)+k+3) = %s", ir.ExprString(got))
+	}
+
+	// k - k  ->  0
+	z := cancelSums(ir.ISub(kv(), kv()))
+	if v, ok := ir.IntConst(z); !ok || v != 0 {
+		t.Fatalf("k-k = %s", ir.ExprString(z))
+	}
+
+	// i + k stays put (nothing cancels).
+	s := cancelSums(ir.IAdd(iv(), kv()))
+	if _, ok := s.(*ir.Bin); !ok {
+		t.Fatalf("i+k = %s", ir.ExprString(s))
+	}
+
+	// 2 + 3 - 1 -> 4
+	c := cancelSums(ir.ISub(ir.IAdd(ir.CI(2), ir.CI(3)), ir.CI(1)))
+	if v, ok := ir.IntConst(c); !ok || v != 4 {
+		t.Fatalf("const sum = %s", ir.ExprString(c))
+	}
+}
+
+func TestPosMod(t *testing.T) {
+	// posMod composes mod expressions; verify the algebra on constants
+	// by folding.
+	for _, c := range []struct{ x, m, want int64 }{
+		{7, 4, 3}, {-1, 4, 3}, {-5, 4, 3}, {0, 4, 0}, {8, 4, 0},
+	} {
+		e := posMod(ir.CI(c.x), ir.CI(c.m))
+		v, ok := ir.IntConst(e)
+		if !ok || v != c.want {
+			t.Fatalf("posMod(%d,%d) = %s, want %d", c.x, c.m, ir.ExprString(e), c.want)
+		}
+	}
+}
+
+func TestExprWeight(t *testing.T) {
+	u := &ir.Unit{Name: "t"}
+	s := u.AddSym(&ir.Sym{Name: "a", Type: ir.Real, Kind: ir.Array,
+		Dims: []ir.Expr{ir.CI(8)}})
+	if exprWeight(&ir.VarRef{Sym: s}) != 0 {
+		t.Fatal("bare ref has weight")
+	}
+	if exprWeight(&ir.DescField{Sym: s}) < 4 {
+		t.Fatal("descriptor load too light to hoist")
+	}
+	if exprWeight(ir.IAdd(&ir.Myid{}, &ir.Nprocs{})) < 2 {
+		t.Fatal("arith weight wrong")
+	}
+}
+
+func TestNonZero(t *testing.T) {
+	u := &ir.Unit{Name: "t"}
+	s := u.AddSym(&ir.Sym{Name: "a", Type: ir.Real, Kind: ir.Array, Dims: []ir.Expr{ir.CI(8)}})
+	v := u.AddSym(&ir.Sym{Name: "v", Type: ir.Int, Kind: ir.Scalar})
+	if !nonZero(ir.CI(3)) || nonZero(ir.CI(0)) {
+		t.Fatal("const nonzero wrong")
+	}
+	if !nonZero(&ir.DescField{Sym: s, Field: ir.FieldP}) {
+		t.Fatal("descriptor fields are >= 1")
+	}
+	if nonZero(&ir.VarRef{Sym: v}) {
+		t.Fatal("arbitrary scalar treated as nonzero")
+	}
+	if !nonZero(ir.IMul(ir.CI(2), &ir.Nprocs{})) {
+		t.Fatal("product of nonzeros")
+	}
+}

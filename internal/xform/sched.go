@@ -1,0 +1,295 @@
+package xform
+
+import (
+	"dsmdist/internal/dist"
+	"dsmdist/internal/ir"
+)
+
+// Doacross scheduling (§3.4, §4.1): every Par-marked loop becomes a Region
+// whose body computes the executing processor's iteration set. Affinity
+// clauses map loops to the owner's portions via the Figure 2 closed forms
+// (reusing the tiling generators with the processor's own grid coordinate);
+// loops without affinity use the schedtype(simple) block partition or
+// schedtype(interleave).
+
+// schedule converts one parallel loop nest into a Region.
+func (x *xf) schedule(d *ir.Do) ir.Stmt {
+	par := d.Par
+	chain, innermost := collectParNest(d, par.Nest)
+
+	var body []ir.Stmt
+	if par.Affinity != nil && par.Affinity.Array != nil {
+		body = x.scheduleAffinity(chain, innermost, par)
+	} else {
+		body = x.scheduleSimple(chain, innermost, par)
+	}
+	return &ir.Region{Par: par, Body: body}
+}
+
+// collectParNest returns the first n perfectly nested loops (guaranteed by
+// sema's nest check) and the body of the innermost.
+func collectParNest(d *ir.Do, n int) ([]*ir.Do, []ir.Stmt) {
+	chain := []*ir.Do{d}
+	body := d.Body
+	for len(chain) < n && len(body) == 1 {
+		if inner, ok := body[0].(*ir.Do); ok {
+			chain = append(chain, inner)
+			body = inner.Body
+			continue
+		}
+		break
+	}
+	return chain, body
+}
+
+// scheduleAffinity builds the region body for an affinity-scheduled nest.
+func (x *xf) scheduleAffinity(chain []*ir.Do, innermost []ir.Stmt, par *ir.Par) []ir.Stmt {
+	aff := par.Affinity
+	arr := aff.Array
+	var out []ir.Stmt
+
+	myid := x.assign(&out, "me", &ir.Myid{})
+
+	// Decompose the linear processor id into grid coordinates along the
+	// distributed dimensions, column-major (matching dist.Grid).
+	coord := map[int]ir.Expr{} // array dim -> coordinate expr
+	rem := ir.Expr(ir.CloneExpr(myid))
+	used := ir.Expr(ir.CI(1))
+	for dim := range arr.Dims {
+		if !arr.Dist.Dims[dim].Distributed() {
+			continue
+		}
+		p := x.assign(&out, "gp", descField(arr, dim, ir.FieldP))
+		coord[dim] = x.assign(&out, "pc", ir.IModE(ir.CloneExpr(rem), p))
+		rem = x.assign(&out, "pr", ir.IDiv(ir.CloneExpr(rem), ir.CloneExpr(p)))
+		used = ir.IMul(used, ir.CloneExpr(p))
+	}
+
+	// Processors beyond the grid (when nprocs does not factor onto it)
+	// run nothing; neither do processors whose coordinate along an
+	// unkeyed distributed dimension does not own the constant subscript.
+	guard := ir.Expr(&ir.Bin{Op: ir.Lt, L: ir.CloneExpr(myid), R: used, Ty: ir.Int})
+	for dim := range arr.Dims {
+		ad := aff.Dims[dim]
+		if !arr.Dist.Dims[dim].Distributed() || ad.Var != nil {
+			continue
+		}
+		ownerE, _ := x.dimCoords(arr, dim, arr.Dist.Dims[dim], ir.CI(ad.C0), nil)
+		eq := &ir.Bin{Op: ir.Eq, L: ir.CloneExpr(coord[dim]), R: ownerE, Ty: ir.Int}
+		guard = &ir.Bin{Op: ir.And, L: guard, R: eq, Ty: ir.Int}
+	}
+
+	// Build the nest plan: loops whose variable keys a distributed
+	// dimension become parallel tiles with proc = the grid coordinate.
+	plans := make([]*nestPlan, len(chain))
+	for i, L := range chain {
+		plans[i] = &nestPlan{loop: L}
+		for dim := range arr.Dims {
+			ad := aff.Dims[dim]
+			if ad.Var != L.Var || !arr.Dist.Dims[dim].Distributed() {
+				continue
+			}
+			dd := arr.Dist.Dims[dim]
+			tp := &tilePlan{driver: arr, dim: dim, kind: dd.Kind, k: int64(dd.Chunk),
+				a: ad.A, cDrive: ad.C0, minC: ad.C0, maxC: ad.C0, proc: coord[dim]}
+			// Non-unit coefficients only have closed forms for
+			// block (Figure 2 omits cyclic with s > 1 too); other
+			// kinds fall back to the ownership filter. Non-unit
+			// steps always filter.
+			stepOK := L.Step == nil
+			if !stepOK {
+				if c, ok := ir.IntConst(L.Step); ok && c == 1 {
+					stepOK = true
+				}
+			}
+			if !stepOK || (dd.Kind != dist.Block && ad.A != 1) {
+				tp.filter = true
+			}
+			if x.opts.TilePeel && dd.Kind == dist.Block && !tp.filter {
+				if minC, maxC, any := analyzeDim(innermost, arr, dim, L.Var, ad.A); any {
+					if minC < tp.minC {
+						tp.minC = minC
+					}
+					if maxC > tp.maxC {
+						tp.maxC = maxC
+					}
+				}
+			}
+			plans[i].tile = tp
+			break
+		}
+	}
+
+	nest := x.genNest(plans, 0, innermost, nil)
+	out = append(out, &ir.If{Cond: guard, Then: nest})
+	return out
+}
+
+// scheduleSimple builds the region body for schedtype(simple) and
+// schedtype(interleave) loops: the outermost loop's iterations are
+// partitioned; inner nest loops run in full on each processor.
+func (x *xf) scheduleSimple(chain []*ir.Do, innermost []ir.Stmt, par *ir.Par) []ir.Stmt {
+	L := chain[0]
+	var out []ir.Stmt
+	myid := x.assign(&out, "me", &ir.Myid{})
+	np := x.assign(&out, "np", &ir.Nprocs{})
+	lo := x.assign(&out, "lo", x.rewriteExprRefs(ir.CloneExpr(L.Lo), nil))
+	hi := x.assign(&out, "hi", x.rewriteExprRefs(ir.CloneExpr(L.Hi), nil))
+	step := ir.Expr(ir.CI(1))
+	if L.Step != nil {
+		step = x.assign(&out, "sp", x.rewriteExprRefs(ir.CloneExpr(L.Step), nil))
+	}
+
+	// Remaining nest levels are generated unchanged (but may be serially
+	// tiled inside).
+	plans := make([]*nestPlan, len(chain))
+	for i, c := range chain {
+		plans[i] = &nestPlan{loop: c}
+	}
+
+	if par.Sched == ir.SchedDynamic || par.Sched == ir.SchedGSS {
+		// Chunks are handed out from a shared cursor:
+		//   do g = 0, total
+		//     v = grab(total, chunk, mode); len = mod(v, 2^31)
+		//     if (len == 0) g = total   ! exhausted: exit after increment
+		//     else run iterations [start, start+len) of the space
+		//   end do
+		total := x.assign(&out, "tot",
+			ir.IMaxE(ir.CI(0), ir.IAdd(ir.IDiv(ir.ISub(ir.CloneExpr(hi), ir.CloneExpr(lo)), ir.CloneExpr(step)), ir.CI(1))))
+		chunk := ir.Expr(ir.CI(1))
+		if par.Chunk != nil {
+			chunk = x.assign(&out, "ch",
+				ir.IMaxE(ir.CI(1), x.rewriteExprRefs(ir.CloneExpr(par.Chunk), nil)))
+		}
+		mode := int64(0)
+		if par.Sched == ir.SchedGSS {
+			mode = 1
+		}
+		gvar := x.unit.NewTemp(ir.Int, "g")
+		var body []ir.Stmt
+		v := x.assign(&body, "v", &ir.RTFunc{Kind: ir.RTDynGrab,
+			Args: []ir.Expr{ir.CloneExpr(total), chunk, ir.CI(mode)}})
+		lenV := x.assign(&body, "len", ir.IModE(ir.CloneExpr(v), ir.CI(1<<31)))
+		startV := ir.IDiv(ir.CloneExpr(v), ir.CI(1<<31))
+		var runBody []ir.Stmt
+		first := x.assign(&runBody, "df", ir.IAdd(ir.CloneExpr(lo), ir.IMul(startV, ir.CloneExpr(step))))
+		last := ir.IAdd(ir.CloneExpr(first),
+			ir.IMul(ir.ISub(ir.CloneExpr(lenV), ir.CI(1)), ir.CloneExpr(step)))
+		inner := x.genNest(plans[1:], 0, innermost, nil)
+		runBody = append(runBody, &ir.Do{Var: L.Var, Lo: first, Hi: last,
+			Step: ir.CloneExpr(step), Line: L.Line, Body: inner})
+		exit := []ir.Stmt{&ir.Assign{Lhs: &ir.VarRef{Sym: gvar}, Rhs: ir.CloneExpr(total)}}
+		body = append(body, &ir.If{
+			Cond: &ir.Bin{Op: ir.Eq, L: ir.CloneExpr(lenV), R: ir.CI(0), Ty: ir.Int},
+			Then: exit,
+			Else: runBody,
+		})
+		out = append(out, &ir.Do{Var: gvar, Lo: ir.CI(0), Hi: ir.CloneExpr(total),
+			Line: L.Line, Body: body})
+		return out
+	}
+
+	if par.Sched == ir.SchedInterleave {
+		chunk := ir.Expr(ir.CI(1))
+		if par.Chunk != nil {
+			chunk = x.assign(&out, "ch", x.rewriteExprRefs(ir.CloneExpr(par.Chunk), nil))
+		}
+		// Stripes of `chunk` iterations dealt round-robin:
+		//   do s = lo + myid*chunk*step, hi, np*chunk*step
+		//     do i = s, min(hi, s + (chunk-1)*step), step
+		stride := x.assign(&out, "sd", ir.IMul(ir.CloneExpr(step), ir.CloneExpr(chunk)))
+		svar := x.unit.NewTemp(ir.Int, "s")
+		sref := &ir.VarRef{Sym: svar}
+		first := ir.IAdd(ir.CloneExpr(lo), ir.IMul(ir.CloneExpr(myid), ir.CloneExpr(stride)))
+		inner := x.genNest(plans[1:], 0, innermost, nil)
+		dataHi := ir.IMinE(ir.CloneExpr(hi),
+			ir.IAdd(sref, ir.IMul(ir.ISub(ir.CloneExpr(chunk), ir.CI(1)), ir.CloneExpr(step))))
+		data := &ir.Do{Var: L.Var, Lo: ir.CloneExpr(sref), Hi: dataHi, Step: ir.CloneExpr(step),
+			Line: L.Line, Body: inner}
+		out = append(out, &ir.Do{Var: svar, Lo: first, Hi: ir.CloneExpr(hi),
+			Step: ir.IMul(ir.CloneExpr(np), ir.CloneExpr(stride)), Line: L.Line,
+			Body: []ir.Stmt{data}})
+		return out
+	}
+
+	// schedtype(simple): near-equal contiguous pieces. With a nest
+	// clause the MP runtime blocks the full nested iteration space over
+	// a near-square processor grid, so a 40-iteration outer loop still
+	// uses 96 processors.
+	nestDims := par.Nest
+	if nestDims > len(chain) {
+		nestDims = len(chain)
+	}
+	if nestDims <= 1 || len(chain) < 2 {
+		first, last := x.simplePiece(&out, lo, hi, step, myid, np)
+		inner := x.genNest(plans[1:], 0, innermost, nil)
+		// The partitioned outer loop may still be serially tiled
+		// within the processor's range when it drives reshaped
+		// references.
+		outerPlans := x.planSerialTile([]*ir.Do{{Var: L.Var, Lo: first, Hi: last,
+			Step: ir.CloneExpr(step), Line: L.Line, Body: nil}}, innermost)
+		if outerPlans[0].tile != nil && len(chain) == 1 {
+			out = append(out, x.genNest(outerPlans, 0, innermost, nil)...)
+			return out
+		}
+		out = append(out, &ir.Do{Var: L.Var, Lo: first, Hi: last, Step: ir.CloneExpr(step),
+			Line: L.Line, Body: inner})
+		return out
+	}
+
+	// Multi-dimensional partition over the first min(Nest, 2) loops.
+	if nestDims > 2 {
+		nestDims = 2
+	}
+	p1 := x.assign(&out, "g1",
+		&ir.RTFunc{Kind: ir.RTNestGrid, Args: []ir.Expr{ir.CI(int64(nestDims)), ir.CI(0)}})
+	p2 := x.assign(&out, "g2",
+		&ir.RTFunc{Kind: ir.RTNestGrid, Args: []ir.Expr{ir.CI(int64(nestDims)), ir.CI(1)}})
+	used := ir.IMul(ir.CloneExpr(p1), ir.CloneExpr(p2))
+	guard := &ir.Bin{Op: ir.Lt, L: ir.CloneExpr(myid), R: used, Ty: ir.Int}
+	c1 := x.assign(&out, "c1", ir.IModE(ir.CloneExpr(myid), ir.CloneExpr(p1)))
+	c2 := x.assign(&out, "c2", ir.IDiv(ir.CloneExpr(myid), ir.CloneExpr(p1)))
+
+	var body []ir.Stmt
+	L2 := chain[1]
+	lo2 := x.assign(&body, "lo2", x.rewriteExprRefs(ir.CloneExpr(L2.Lo), nil))
+	hi2 := x.assign(&body, "hi2", x.rewriteExprRefs(ir.CloneExpr(L2.Hi), nil))
+	step2 := ir.Expr(ir.CI(1))
+	if L2.Step != nil {
+		step2 = x.assign(&body, "sp2", x.rewriteExprRefs(ir.CloneExpr(L2.Step), nil))
+	}
+	f1, l1 := x.simplePiece(&body, lo, hi, step, c1, p1)
+	f2, l2 := x.simplePiece(&body, lo2, hi2, step2, c2, p2)
+	inner := x.genNest(plans[2:], 0, innermost, nil)
+	loop2 := &ir.Do{Var: L2.Var, Lo: f2, Hi: l2, Step: ir.CloneExpr(step2),
+		Line: L2.Line, Body: inner}
+	loop1 := &ir.Do{Var: L.Var, Lo: f1, Hi: l1, Step: ir.CloneExpr(step),
+		Line: L.Line, Body: []ir.Stmt{loop2}}
+	body = append(body, loop1)
+	out = append(out, &ir.If{Cond: guard, Then: body})
+	return out
+}
+
+// simplePiece emits the schedtype(simple) block-partition bounds for one
+// loop: piece `me` of `count`.
+//
+//	n    = (hi - lo)/step + 1        (0 when hi < lo)
+//	per  = n / count, rem = mod(n, count)
+//	base = me*per + min(me, rem)
+//	cnt  = per + (me < rem)
+//	first = lo + base*step; last = first + (cnt-1)*step
+func (x *xf) simplePiece(out *[]ir.Stmt, lo, hi, step, me, count ir.Expr) (ir.Expr, ir.Expr) {
+	n := x.assign(out, "n",
+		ir.IMaxE(ir.CI(0), ir.IAdd(ir.IDiv(ir.ISub(ir.CloneExpr(hi), ir.CloneExpr(lo)), ir.CloneExpr(step)), ir.CI(1))))
+	per := x.assign(out, "per", ir.IDiv(ir.CloneExpr(n), ir.CloneExpr(count)))
+	rem := x.assign(out, "rem", ir.IModE(ir.CloneExpr(n), ir.CloneExpr(count)))
+	base := x.assign(out, "bs", ir.IAdd(ir.IMul(ir.CloneExpr(me), ir.CloneExpr(per)),
+		ir.IMinE(ir.CloneExpr(me), ir.CloneExpr(rem))))
+	cnt := x.assign(out, "cnt", ir.IAdd(ir.CloneExpr(per),
+		&ir.Bin{Op: ir.Lt, L: ir.CloneExpr(me), R: ir.CloneExpr(rem), Ty: ir.Int}))
+	first := x.assign(out, "fst",
+		ir.IAdd(ir.CloneExpr(lo), ir.IMul(ir.CloneExpr(base), ir.CloneExpr(step))))
+	last := x.assign(out, "lst", ir.IAdd(ir.CloneExpr(first),
+		ir.IMul(ir.ISub(ir.CloneExpr(cnt), ir.CI(1)), ir.CloneExpr(step))))
+	return first, last
+}

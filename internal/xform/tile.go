@@ -1,0 +1,777 @@
+package xform
+
+import (
+	"dsmdist/internal/dist"
+	"dsmdist/internal/ir"
+)
+
+// Tiling and peeling for reshaped arrays (§7.1) and the reshaped-reference
+// transformation (Table 1, §4.3).
+//
+// A "tile" associates one loop variable with one distributed dimension of a
+// driving reshaped array. Inside the tile, references whose subscript on
+// that dimension is affine in the loop variable (with the tile's
+// coefficient) use fast addressing — the processor coordinate is the tile's
+// and the portion offset is affine — so no div/mod instructions remain in
+// the inner loop. Peeling splits off the boundary iterations whose stencil
+// neighbours fall outside the portion; those run with general Table 1
+// addressing.
+
+// dimKey identifies one distributed dimension of one array.
+type dimKey struct {
+	sym *ir.Sym
+	dim int
+}
+
+// fastCtx is the fast-addressing context a tile establishes for a
+// dimension.
+type fastCtx struct {
+	v     *ir.Sym // tile loop variable
+	a     int64   // subscript coefficient the tile was formed for
+	kind  dist.Kind
+	proc  ir.Expr // processor coordinate along the dimension
+	b     ir.Expr // block size (block kind)
+	drive int64   // driving zero-based offset (cyclic kinds: exact match only)
+	// cyclic: portion offset counter maintained by the generated loop
+	off *ir.Sym
+	// cyclic(k): off = t*k + e0 - stripeBase
+	k          int64
+	tVar       ir.Expr
+	stripeBase ir.Expr
+}
+
+// tileModes is the set of active fast contexts, keyed by (array, dim).
+// Arrays that match the driver in size and distribution share its contexts
+// (paper §7.1 "simultaneously optimize references to other reshaped arrays
+// that match the first array").
+type tileModes struct {
+	fast map[dimKey]*fastCtx
+}
+
+func (m *tileModes) clone() *tileModes {
+	n := &tileModes{fast: map[dimKey]*fastCtx{}}
+	if m != nil {
+		for k, v := range m.fast {
+			n.fast[k] = v
+		}
+	}
+	return n
+}
+
+func (m *tileModes) get(s *ir.Sym, d int) *fastCtx {
+	if m == nil {
+		return nil
+	}
+	if fc, ok := m.fast[dimKey{s, d}]; ok {
+		return fc
+	}
+	// References to arrays matching the driver in size and distribution
+	// share its tile (§7.1).
+	for k, fc := range m.fast {
+		if k.dim == d && arraysMatch(k.sym, s) {
+			return fc
+		}
+	}
+	return nil
+}
+
+// arraysMatch reports whether two reshaped arrays share distribution and
+// constant extents, making them tile-compatible.
+func arraysMatch(a, b *ir.Sym) bool {
+	if a == b {
+		return true
+	}
+	if a.Dist == nil || b.Dist == nil || !a.Dist.Equal(*b.Dist) {
+		return false
+	}
+	da, ok1 := a.ConstDims()
+	db, ok2 := b.ConstDims()
+	if !ok1 || !ok2 || len(da) != len(db) {
+		return false
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// refInfo is one reshaped reference's affine decomposition on one
+// dimension.
+type refInfo struct {
+	affine ir.Affine
+	ok     bool
+}
+
+// analyzeDim inspects every reference to arrays matching driver within body
+// and returns, for dimension d and loop variable v with coefficient a: the
+// min and max zero-based constant offsets of participating references, and
+// whether at least one reference participates.
+func analyzeDim(body []ir.Stmt, driver *ir.Sym, d int, v *ir.Sym, a int64) (minC, maxC int64, any bool) {
+	first := true
+	ir.WalkStmts(body, nil, func(e ir.Expr) bool {
+		ar, ok := e.(*ir.ArrayRef)
+		if !ok || !ar.Sym.IsReshaped() || !arraysMatch(driver, ar.Sym) {
+			return true
+		}
+		af, ok := ir.MatchAffine(ar.Idx[d])
+		if !ok || af.Var != v || af.A != a {
+			return true
+		}
+		c0 := af.C - 1 // zero-based
+		if first {
+			minC, maxC, first = c0, c0, false
+		} else {
+			if c0 < minC {
+				minC = c0
+			}
+			if c0 > maxC {
+				maxC = c0
+			}
+		}
+		any = true
+		return true
+	})
+	return minC, maxC, any
+}
+
+// reshapedRef lowers one reshaped ArrayRef to a MemRef per Table 1, using
+// fast addressing where an active tile covers the dimension and the
+// subscript matches, and the general div/mod form otherwise.
+func (x *xf) reshapedRef(ar *ir.ArrayRef, modes *tileModes) ir.Expr {
+	s := ar.Sym
+	procLin := ir.Expr(ir.CI(0))
+	procMul := ir.Expr(ir.CI(1))
+	offLin := ir.Expr(ir.CI(0))
+	offMul := ir.Expr(ir.CI(1))
+	for d := range s.Dims {
+		e0 := ir.ISub(ar.Idx[d], ir.CI(1))
+		dd := s.Dist.Dims[d]
+		var procD, offD ir.Expr
+		if !dd.Distributed() {
+			offD = e0
+		} else {
+			procD, offD = x.dimCoords(s, d, dd, e0, modes)
+			procLin = ir.IAdd(procLin, ir.IMul(procD, procMul))
+			procMul = ir.IMul(procMul, descField(s, d, ir.FieldP))
+		}
+		offLin = ir.IAdd(offLin, ir.IMul(offD, offMul))
+		offMul = ir.IMul(offMul, descField(s, d, ir.FieldML))
+	}
+	addr := ir.IAdd(&ir.PortionBase{Sym: s, Proc: procLin}, ir.IMul(offLin, ir.CI(8)))
+	return &ir.MemRef{Addr: addr, Ty: s.Type}
+}
+
+// dimCoords returns (processor, offset) expressions for zero-based element
+// index e0 along distributed dimension d.
+func (x *xf) dimCoords(s *ir.Sym, d int, dd dist.Dim, e0 ir.Expr, modes *tileModes) (ir.Expr, ir.Expr) {
+	if fc := modes.get(s, d); fc != nil && x.opts.TilePeel {
+		if af, ok := ir.MatchAffine(e0); ok && af.Var == fc.v && af.A == fc.a {
+			switch fc.kind {
+			case dist.Block:
+				// off = e0 - p*b: affine, no div/mod.
+				return ir.CloneExpr(fc.proc), ir.ISub(e0, ir.IMul(ir.CloneExpr(fc.proc), ir.CloneExpr(fc.b)))
+			case dist.Cyclic:
+				if af.C == fc.drive {
+					return ir.CloneExpr(fc.proc), &ir.VarRef{Sym: fc.off}
+				}
+			case dist.BlockCyclic:
+				if af.C == fc.drive {
+					off := ir.IAdd(ir.IMul(ir.CloneExpr(fc.tVar), ir.CI(fc.k)),
+						ir.ISub(e0, ir.CloneExpr(fc.stripeBase)))
+					return ir.CloneExpr(fc.proc), off
+				}
+			}
+		}
+	}
+	// General Table 1 addressing.
+	switch dd.Kind {
+	case dist.Block:
+		b := descField(s, d, ir.FieldB)
+		proc := ir.IDiv(e0, b)
+		off := ir.IModE(ir.CloneExpr(e0), ir.CloneExpr(b))
+		return proc, off
+	case dist.Cyclic:
+		p := descField(s, d, ir.FieldP)
+		return ir.IModE(e0, p), ir.IDiv(ir.CloneExpr(e0), ir.CloneExpr(p))
+	case dist.BlockCyclic:
+		k := ir.CI(int64(dd.Chunk))
+		p := descField(s, d, ir.FieldP)
+		proc := ir.IModE(ir.IDiv(e0, k), p)
+		kp := ir.IMul(ir.CloneExpr(k), ir.CloneExpr(p))
+		off := ir.IAdd(
+			ir.IMul(ir.IDiv(ir.CloneExpr(e0), kp), ir.CloneExpr(k)),
+			ir.IModE(ir.CloneExpr(e0), ir.CloneExpr(k)))
+		return proc, off
+	}
+	return ir.CI(0), e0
+}
+
+// nestPlan is the tiling decision for one loop of a nest.
+type nestPlan struct {
+	loop *ir.Do
+	// tile is nil when the loop is not tiled. When set, it names the
+	// driver dimension, the affine form, and (for parallel loops) the
+	// processor-coordinate expression; serial tiles get a fresh p-loop.
+	tile *tilePlan
+}
+
+type tilePlan struct {
+	driver *ir.Sym
+	dim    int
+	kind   dist.Kind
+	k      int64 // cyclic(k) chunk
+	a      int64
+	cDrive int64 // zero-based driving offset
+	minC   int64
+	maxC   int64
+	// proc is non-nil for parallel (affinity-scheduled) tiles: the
+	// processor's own coordinate. Serial tiles leave it nil and iterate
+	// a processor loop.
+	proc ir.Expr
+	// filter forces the correctness fallback: iterate the original loop
+	// and guard the body by ownership.
+	filter bool
+}
+
+// genNest generates the statement structure for a (possibly tiled) loop
+// nest. loops is the perfect nest chain; innermost is the body of the last
+// loop. Each instantiation clones the body, so peeled variants are
+// independent.
+func (x *xf) genNest(loops []*nestPlan, level int, innermost []ir.Stmt, modes *tileModes) []ir.Stmt {
+	if level == len(loops) {
+		return x.stmts(ir.CloneStmts(innermost), modes)
+	}
+	np := loops[level]
+	L := np.loop
+	lo := ir.CloneExpr(L.Lo)
+	hi := ir.CloneExpr(L.Hi)
+	var step ir.Expr
+	if L.Step != nil {
+		step = ir.CloneExpr(L.Step)
+	}
+
+	if np.tile == nil {
+		inner := x.genNest(loops, level+1, innermost, modes)
+		return []ir.Stmt{&ir.Do{Var: L.Var, Lo: x.rewriteExprRefs(lo, modes), Hi: x.rewriteExprRefs(hi, modes),
+			Step: x.rewriteExprRefs(step, modes), Line: L.Line, NoDivMod: true, Body: inner}}
+	}
+
+	t := np.tile
+	if t.proc != nil {
+		// Parallel tile: this processor's share only.
+		return x.genTiledLevel(loops, level, innermost, modes, t, t.proc, lo, hi)
+	}
+	// Serial tile: iterate the processors of the dimension in order
+	// (block distribution preserves execution order, §7.1).
+	var out []ir.Stmt
+	pvar := x.unit.NewTemp(ir.Int, "p")
+	pref := &ir.VarRef{Sym: pvar}
+	body := x.genTiledLevel(loops, level, innermost, modes, t, pref, lo, hi)
+	out = append(out, &ir.Do{
+		Var: pvar, Lo: ir.CI(0),
+		Hi:   ir.ISub(descField(t.driver, t.dim, ir.FieldP), ir.CI(1)),
+		Body: body, Line: L.Line, NoDivMod: true,
+	})
+	return out
+}
+
+// genTiledLevel emits the bounds computation, optional peeling split, and
+// data loop(s) for one tiled loop level, for a fixed processor coordinate.
+func (x *xf) genTiledLevel(loops []*nestPlan, level int, innermost []ir.Stmt,
+	modes *tileModes, t *tilePlan, proc ir.Expr, lo, hi ir.Expr) []ir.Stmt {
+
+	L := loops[level].loop
+	var out []ir.Stmt
+
+	if t.filter {
+		// Correctness fallback: original loop, body guarded by
+		// ownership of the driving element.
+		dd := t.driver.Dist.Dims[t.dim]
+		e0 := ir.IAdd(ir.IMul(ir.CI(t.a), &ir.VarRef{Sym: L.Var}), ir.CI(t.cDrive))
+		ownerE, _ := x.dimCoords(t.driver, t.dim, dd, e0, nil)
+		guard := &ir.Bin{Op: ir.Eq, L: ownerE, R: ir.CloneExpr(proc), Ty: ir.Int}
+		inner := x.genNest(loops, level+1, innermost, modes)
+		body := []ir.Stmt{&ir.If{Cond: guard, Then: inner}}
+		var step ir.Expr
+		if L.Step != nil {
+			step = ir.CloneExpr(L.Step)
+		}
+		out = append(out, &ir.Do{Var: L.Var, Lo: lo, Hi: hi, Step: step, Line: L.Line, Body: body})
+		return out
+	}
+
+	loV := x.assign(&out, "lo", lo)
+	hiV := x.assign(&out, "hi", hi)
+
+	switch t.kind {
+	case dist.Block:
+		out = append(out, x.genBlockTile(loops, level, innermost, modes, t, proc, loV, hiV)...)
+	case dist.Cyclic:
+		out = append(out, x.genCyclicTile(loops, level, innermost, modes, t, proc, loV, hiV)...)
+	case dist.BlockCyclic:
+		out = append(out, x.genCyclicKTile(loops, level, innermost, modes, t, proc, loV, hiV)...)
+	}
+	return out
+}
+
+// withFast returns modes extended with the tile's fast context.
+func withFast(modes *tileModes, t *tilePlan, fc *fastCtx) *tileModes {
+	n := modes.clone()
+	n.fast[dimKey{t.driver, t.dim}] = fc
+	return n
+}
+
+// genBlockTile: bounds per Figure 2 block case, with the §7.1 peeling split
+// when stencil offsets spread beyond the driving offset.
+func (x *xf) genBlockTile(loops []*nestPlan, level int, innermost []ir.Stmt,
+	modes *tileModes, t *tilePlan, proc ir.Expr, loV, hiV ir.Expr) []ir.Stmt {
+
+	L := loops[level].loop
+	var out []ir.Stmt
+	b := x.assign(&out, "b", descField(t.driver, t.dim, ir.FieldB))
+	pb := x.assign(&out, "pb", ir.IMul(ir.CloneExpr(proc), b))
+
+	// Iterations assigned to proc: a*i + cDrive in [p*b, (p+1)*b - 1].
+	tlo := x.assign(&out, "tlo",
+		ir.IMaxE(ir.CloneExpr(loV), x.ceilDivE(&out, ir.ISub(pb, ir.CI(t.cDrive)), ir.CI(t.a))))
+	thi := x.assign(&out, "thi",
+		ir.IMinE(ir.CloneExpr(hiV), x.floorDivE(&out,
+			ir.ISub(ir.IAdd(ir.CloneExpr(pb), b), ir.CI(t.cDrive+1)), ir.CI(t.a))))
+
+	fc := &fastCtx{v: L.Var, a: t.a, kind: dist.Block, proc: proc, b: b, drive: t.cDrive}
+	fastModes := withFast(modes, t, fc)
+
+	spread := x.opts.TilePeel && (t.minC < t.cDrive || t.maxC > t.cDrive)
+	if !spread {
+		inner := x.genNest(loops, level+1, innermost, fastModes)
+		out = append(out, &ir.Do{Var: L.Var, Lo: tlo, Hi: thi, Line: L.Line, NoDivMod: true, Body: inner})
+		return out
+	}
+
+	// Interior: all participating offsets stay inside the portion.
+	ilo := x.assign(&out, "ilo",
+		ir.IMaxE(ir.CloneExpr(tlo), x.ceilDivE(&out, ir.ISub(ir.CloneExpr(pb), ir.CI(t.minC)), ir.CI(t.a))))
+	ihi := x.assign(&out, "ihi",
+		ir.IMinE(ir.CloneExpr(thi), x.floorDivE(&out,
+			ir.ISub(ir.IAdd(ir.CloneExpr(pb), ir.CloneExpr(b)), ir.CI(t.maxC+1)), ir.CI(t.a))))
+
+	// Prefix peel (general addressing on this dimension).
+	pre := x.genNest(loops, level+1, innermost, modes)
+	out = append(out, &ir.Do{Var: L.Var,
+		Lo: ir.CloneExpr(tlo), Hi: ir.IMinE(ir.CloneExpr(thi), ir.ISub(ir.CloneExpr(ilo), ir.CI(1))),
+		Line: L.Line, Body: pre})
+	// Fast interior.
+	mid := x.genNest(loops, level+1, innermost, fastModes)
+	out = append(out, &ir.Do{Var: L.Var, Lo: ir.CloneExpr(ilo), Hi: ir.IMinE(ir.CloneExpr(thi), ir.CloneExpr(ihi)),
+		Line: L.Line, NoDivMod: true, Body: mid})
+	// Suffix peel.
+	post := x.genNest(loops, level+1, innermost, modes)
+	out = append(out, &ir.Do{Var: L.Var,
+		Lo: ir.IMaxE(ir.CloneExpr(ilo), ir.IAdd(ir.CloneExpr(ihi), ir.CI(1))), Hi: ir.CloneExpr(thi),
+		Line: L.Line, Body: post})
+	return out
+}
+
+// genCyclicTile: Figure 2 cyclic case (a == 1 guaranteed by the planner):
+// i = first, hi, P with a portion-offset counter to avoid per-iteration
+// division.
+func (x *xf) genCyclicTile(loops []*nestPlan, level int, innermost []ir.Stmt,
+	modes *tileModes, t *tilePlan, proc ir.Expr, loV, hiV ir.Expr) []ir.Stmt {
+
+	L := loops[level].loop
+	var out []ir.Stmt
+	p := x.assign(&out, "np", descField(t.driver, t.dim, ir.FieldP))
+	// First i >= lo with i + cDrive ≡ proc (mod P).
+	first := x.assign(&out, "cf", ir.IAdd(ir.CloneExpr(loV),
+		posMod(ir.ISub(ir.ISub(ir.CloneExpr(proc), ir.CI(t.cDrive)), ir.CloneExpr(loV)), p)))
+	// Portion offset of the first element: (first + cDrive - proc)/P.
+	offV := x.unit.NewTemp(ir.Int, "off")
+	out = append(out, &ir.Assign{Lhs: &ir.VarRef{Sym: offV},
+		Rhs: ir.IDiv(ir.ISub(ir.IAdd(ir.CloneExpr(first), ir.CI(t.cDrive)), ir.CloneExpr(proc)), ir.CloneExpr(p))})
+
+	fc := &fastCtx{v: L.Var, a: 1, kind: dist.Cyclic, proc: proc, drive: t.cDrive, off: offV}
+	inner := x.genNest(loops, level+1, innermost, withFast(modes, t, fc))
+	inner = append(inner, &ir.Assign{Lhs: &ir.VarRef{Sym: offV},
+		Rhs: ir.IAdd(&ir.VarRef{Sym: offV}, ir.CI(1))})
+	out = append(out, &ir.Do{Var: L.Var, Lo: first, Hi: hiV, Step: ir.CloneExpr(p),
+		Line: L.Line, NoDivMod: true, Body: inner})
+	return out
+}
+
+// genCyclicKTile: Figure 2 cyclic(k) case — a stripe loop over the
+// processor's chunks and an element loop inside each chunk (a == 1).
+func (x *xf) genCyclicKTile(loops []*nestPlan, level int, innermost []ir.Stmt,
+	modes *tileModes, t *tilePlan, proc ir.Expr, loV, hiV ir.Expr) []ir.Stmt {
+
+	L := loops[level].loop
+	var out []ir.Stmt
+	p := x.assign(&out, "np", descField(t.driver, t.dim, ir.FieldP))
+	k := ir.CI(t.k)
+	kp := x.assign(&out, "kp", ir.IMul(ir.CloneExpr(k), ir.CloneExpr(p)))
+
+	// Element range of the loop: e0 in [lo + cDrive, hi + cDrive].
+	elo := x.assign(&out, "elo", ir.IAdd(ir.CloneExpr(loV), ir.CI(t.cDrive)))
+	ehi := x.assign(&out, "ehi", ir.IAdd(ir.CloneExpr(hiV), ir.CI(t.cDrive)))
+	// Stripe t covers e0 in [(t*P + proc)*k, +k-1]. Intersect with the
+	// element range.
+	pk := x.assign(&out, "pk", ir.IMul(ir.CloneExpr(proc), ir.CloneExpr(k)))
+	tlo := x.assign(&out, "stlo",
+		ir.IMaxE(ir.CI(0), x.ceilDivE(&out,
+			ir.ISub(ir.ISub(ir.CloneExpr(elo), ir.CI(t.k-1)), ir.CloneExpr(pk)), kp)))
+	thi := x.assign(&out, "sthi",
+		x.floorDivE(&out, ir.ISub(ir.CloneExpr(ehi), ir.CloneExpr(pk)), ir.CloneExpr(kp)))
+
+	tvar := x.unit.NewTemp(ir.Int, "st")
+	tref := &ir.VarRef{Sym: tvar}
+	var body []ir.Stmt
+	base := x.assign(&body, "sb", ir.IAdd(ir.IMul(tref, ir.CloneExpr(kp)), ir.CloneExpr(pk)))
+	ilo := ir.IMaxE(ir.CloneExpr(loV), ir.ISub(ir.CloneExpr(base), ir.CI(t.cDrive)))
+	ihi := ir.IMinE(ir.CloneExpr(hiV),
+		ir.ISub(ir.IAdd(ir.CloneExpr(base), ir.CI(t.k-1)), ir.CI(t.cDrive)))
+
+	fc := &fastCtx{v: L.Var, a: 1, kind: dist.BlockCyclic, proc: proc, drive: t.cDrive,
+		k: t.k, tVar: tref, stripeBase: base}
+	inner := x.genNest(loops, level+1, innermost, withFast(modes, t, fc))
+	body = append(body, &ir.Do{Var: L.Var, Lo: ilo, Hi: ihi, Line: L.Line, NoDivMod: true, Body: inner})
+	out = append(out, &ir.Do{Var: tvar, Lo: tlo, Hi: thi, Line: L.Line, NoDivMod: true, Body: body})
+	return out
+}
+
+// collectNest returns the perfect nest chain rooted at d (always at least
+// [d]) and the innermost body.
+func collectNest(d *ir.Do, maxDepth int) ([]*ir.Do, []ir.Stmt) {
+	chain := []*ir.Do{d}
+	body := d.Body
+	for len(chain) < maxDepth {
+		if len(body) != 1 {
+			break
+		}
+		inner, ok := body[0].(*ir.Do)
+		if !ok || inner.Par != nil {
+			break
+		}
+		chain = append(chain, inner)
+		body = inner.Body
+	}
+	return chain, body
+}
+
+// planSerialTile decides the tiling of a serial loop chain: block
+// distributions only (order-preserving, hence always legal for serial
+// loops, §7.1), step 1, driven by the reshaped array with the most
+// references.
+func (x *xf) planSerialTile(chain []*ir.Do, innermost []ir.Stmt) []*nestPlan {
+	plans := make([]*nestPlan, len(chain))
+	for i, L := range chain {
+		plans[i] = &nestPlan{loop: L}
+	}
+	if !x.opts.TilePeel {
+		return plans
+	}
+	driver := x.pickDriver(innermost)
+	if driver == nil {
+		return plans
+	}
+	for i, L := range chain {
+		if L.Step != nil {
+			if c, ok := ir.IntConst(L.Step); !ok || c != 1 {
+				continue
+			}
+		}
+		for d := range driver.Dims {
+			dd := driver.Dist.Dims[d]
+			if dd.Kind != dist.Block {
+				continue // serial tiling of cyclic changes order
+			}
+			if x.dimAlreadyPlanned(plans, driver, d) {
+				continue
+			}
+			// Try coefficient from the first participating ref.
+			a := x.findCoeff(innermost, driver, d, L.Var)
+			if a < 1 {
+				continue
+			}
+			minC, maxC, any := analyzeDim(innermost, driver, d, L.Var, a)
+			if !any {
+				continue
+			}
+			plans[i].tile = &tilePlan{driver: driver, dim: d, kind: dd.Kind,
+				k: int64(dd.Chunk), a: a, cDrive: minC, minC: minC, maxC: maxC}
+			break
+		}
+	}
+	return plans
+}
+
+func (x *xf) dimAlreadyPlanned(plans []*nestPlan, driver *ir.Sym, d int) bool {
+	for _, p := range plans {
+		if p.tile != nil && p.tile.driver == driver && p.tile.dim == d {
+			return true
+		}
+	}
+	return false
+}
+
+// findCoeff returns the affine coefficient used by references to driver's
+// dimension d in terms of v, or 0 when none qualifies.
+func (x *xf) findCoeff(body []ir.Stmt, driver *ir.Sym, d int, v *ir.Sym) int64 {
+	var coeff int64
+	ir.WalkStmts(body, nil, func(e ir.Expr) bool {
+		ar, ok := e.(*ir.ArrayRef)
+		if !ok || !arraysMatch(driver, ar.Sym) {
+			return true
+		}
+		if af, ok := ir.MatchAffine(ar.Idx[d]); ok && af.Var == v && af.A >= 1 {
+			if coeff == 0 {
+				coeff = af.A
+			}
+		}
+		return true
+	})
+	return coeff
+}
+
+// pickDriver selects the reshaped array with the most references in the
+// body (the paper's "simple heuristic ... that will result in the fewest
+// div and mod operations").
+func (x *xf) pickDriver(body []ir.Stmt) *ir.Sym {
+	counts := map[*ir.Sym]int{}
+	var order []*ir.Sym
+	ir.WalkStmts(body, nil, func(e ir.Expr) bool {
+		if ar, ok := e.(*ir.ArrayRef); ok && ar.Sym.IsReshaped() {
+			if counts[ar.Sym] == 0 {
+				order = append(order, ar.Sym)
+			}
+			counts[ar.Sym]++
+		}
+		return true
+	})
+	var best *ir.Sym
+	for _, s := range order {
+		if best == nil || counts[s] > counts[best] {
+			best = s
+		}
+	}
+	return best
+}
+
+// --- Loop skewing (§7.1: "for loops such as do i=1,n: A(i+c*k)=... we
+// skew the loop by (c*k). This converts references like A(i+c*k) to A(i),
+// which enables subsequent tiling and peeling.") ---
+
+// splitSum flattens an integer expression into signed terms.
+func splitSum(e ir.Expr, sign int64, out *[]sumTerm) {
+	if b, ok := e.(*ir.Bin); ok && b.Ty == ir.Int && (b.Op == ir.Add || b.Op == ir.Sub) {
+		splitSum(b.L, sign, out)
+		rs := sign
+		if b.Op == ir.Sub {
+			rs = -sign
+		}
+		splitSum(b.R, rs, out)
+		return
+	}
+	*out = append(*out, sumTerm{sign: sign, e: e})
+}
+
+type sumTerm struct {
+	sign int64
+	e    ir.Expr
+}
+
+// skewCandidate decomposes a subscript into loopVar + const + invariant E:
+// returns E (nil when the subscript is not of that form or E is empty).
+func skewCandidate(sub ir.Expr, v *ir.Sym, assigned map[*ir.Sym]bool) ir.Expr {
+	var terms []sumTerm
+	splitSum(sub, 1, &terms)
+	sawVar := false
+	var invTerms []sumTerm
+	for _, t := range terms {
+		if vr, ok := t.e.(*ir.VarRef); ok && vr.Sym == v {
+			if sawVar || t.sign != 1 {
+				return nil
+			}
+			sawVar = true
+			continue
+		}
+		if _, ok := t.e.(*ir.ConstInt); ok {
+			continue
+		}
+		// Invariant piece: pure scalar arithmetic over unassigned vars.
+		if !pureInvariant(t.e, assigned, true, true) {
+			return nil
+		}
+		invTerms = append(invTerms, t)
+	}
+	if !sawVar || len(invTerms) == 0 {
+		return nil
+	}
+	e := ir.Expr(ir.CI(0))
+	for _, t := range invTerms {
+		te := ir.CloneExpr(t.e)
+		if t.sign > 0 {
+			e = ir.IAdd(e, te)
+		} else {
+			e = ir.ISub(e, te)
+		}
+	}
+	return e
+}
+
+// trySkew skews one loop of the chain so a reshaped subscript of the form
+// i + E (E loop-invariant) becomes affine in the new loop variable. The
+// loop is rewritten in place: bounds shift by E and other uses of the
+// variable substitute i - E.
+func (x *xf) trySkew(chain []*ir.Do, innermost []ir.Stmt) {
+	if !x.opts.TilePeel {
+		return
+	}
+	assigned := collectAssigned(chain[0].Body)
+	for _, L := range chain {
+		assigned[L.Var] = true
+	}
+	for _, L := range chain {
+		if L.Step != nil {
+			if c, ok := ir.IntConst(L.Step); !ok || c != 1 {
+				continue
+			}
+		}
+		var skew ir.Expr
+		ir.WalkStmts(innermost, nil, func(e ir.Expr) bool {
+			if skew != nil {
+				return false
+			}
+			ar, ok := e.(*ir.ArrayRef)
+			if !ok || !ar.Sym.IsReshaped() {
+				return true
+			}
+			for d := range ar.Idx {
+				if !ar.Sym.Dist.Dims[d].Distributed() {
+					continue
+				}
+				if _, affine := ir.MatchAffine(ar.Idx[d]); affine {
+					continue
+				}
+				if E := skewCandidate(ar.Idx[d], L.Var, assigned); E != nil {
+					skew = E
+					return false
+				}
+			}
+			return true
+		})
+		if skew == nil {
+			continue
+		}
+		// The loop now iterates i' = i + E. Substitute i -> i' - E in
+		// the body, then cancel matching sum terms so the target
+		// subscript (i' - E) + E + c collapses to i' + c, which the
+		// tiler's affine matcher accepts.
+		ir.MapExprs(L.Body, func(root ir.Expr) ir.Expr {
+			root = ir.RewriteExpr(root, func(n ir.Expr) ir.Expr {
+				if vr, ok := n.(*ir.VarRef); ok && vr.Sym == L.Var {
+					return ir.ISub(&ir.VarRef{Sym: L.Var}, ir.CloneExpr(skew))
+				}
+				return n
+			})
+			return cancelSums(root)
+		})
+		L.Lo = ir.IAdd(L.Lo, ir.CloneExpr(skew))
+		L.Hi = ir.IAdd(L.Hi, ir.CloneExpr(skew))
+		return // one skew per nest covers the paper's pattern
+	}
+}
+
+// cancelSums rewrites every maximal integer sum tree, cancelling terms that
+// appear with opposite signs and folding constants.
+func cancelSums(e ir.Expr) ir.Expr {
+	return ir.RewriteExpr(e, func(n ir.Expr) ir.Expr {
+		b, ok := n.(*ir.Bin)
+		if !ok || b.Ty != ir.Int || (b.Op != ir.Add && b.Op != ir.Sub) {
+			return n
+		}
+		var terms []sumTerm
+		splitSum(b, 1, &terms)
+		// Cancel by canonical string.
+		type slot struct {
+			t     sumTerm
+			alive bool
+		}
+		slots := make([]slot, len(terms))
+		for i, t := range terms {
+			slots[i] = slot{t, true}
+		}
+		var c int64
+		for i := range slots {
+			if !slots[i].alive {
+				continue
+			}
+			if cv, ok := ir.IntConst(slots[i].t.e); ok {
+				c += slots[i].t.sign * cv
+				slots[i].alive = false
+				continue
+			}
+			key := ir.ExprString(slots[i].t.e)
+			for j := i + 1; j < len(slots); j++ {
+				if !slots[j].alive || slots[j].t.sign == slots[i].t.sign {
+					continue
+				}
+				if ir.ExprString(slots[j].t.e) == key {
+					slots[i].alive = false
+					slots[j].alive = false
+					break
+				}
+			}
+		}
+		out := ir.Expr(nil)
+		for _, s := range slots {
+			if !s.alive {
+				continue
+			}
+			if out == nil {
+				if s.t.sign > 0 {
+					out = s.t.e
+				} else {
+					out = &ir.Un{X: s.t.e, Ty: ir.Int}
+				}
+				continue
+			}
+			if s.t.sign > 0 {
+				out = ir.IAdd(out, s.t.e)
+			} else {
+				out = ir.ISub(out, s.t.e)
+			}
+		}
+		if out == nil {
+			return ir.CI(c)
+		}
+		if c != 0 {
+			out = ir.IAdd(out, ir.CI(c))
+		}
+		return out
+	})
+}
+
+// serialLoop transforms a serial loop, tiling it over reshaped arrays when
+// profitable.
+func (x *xf) serialLoop(d *ir.Do, modes *tileModes) []ir.Stmt {
+	chain, innermost := collectNest(d, 4)
+	x.trySkew(chain, innermost)
+	plans := x.planSerialTile(chain, innermost)
+	tiled := false
+	for _, p := range plans {
+		if p.tile != nil {
+			tiled = true
+		}
+	}
+	if !tiled {
+		d.Lo = x.rewriteExprRefs(d.Lo, modes)
+		d.Hi = x.rewriteExprRefs(d.Hi, modes)
+		if d.Step != nil {
+			d.Step = x.rewriteExprRefs(d.Step, modes)
+		}
+		d.Body = x.stmts(d.Body, modes)
+		return []ir.Stmt{d}
+	}
+	return x.genNest(plans, 0, innermost, modes)
+}

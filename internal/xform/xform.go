@@ -1,0 +1,235 @@
+// Package xform implements the compiler transformations of the paper:
+//
+//   - affinity scheduling (§3.4, §4.1, Figure 2): doacross loops become
+//     Region statements whose bounds each processor computes from its grid
+//     coordinates;
+//   - loop tiling and peeling for reshaped arrays (§7.1), including the
+//     implicit interchange that places processor-tile loops outermost
+//     (§7.1.1);
+//   - the reshaped-array reference transformation of Table 1 (§4.3), with
+//     fast (no div/mod) addressing inside tiled loops and the general form
+//     elsewhere;
+//   - hoisting of indirect loads, descriptor fields, and div/mod out of
+//     loops, and CSE across index expressions (§7.2);
+//   - selection of floating-point-simulated integer divide (§7.3), which
+//     codegen consumes via Options.FPDiv.
+//
+// Pass ordering follows §7.4: scheduling and tiling first (so the loop-nest
+// structure is in its final shape), then reference transformation, then
+// hoisting and CSE.
+package xform
+
+import (
+	"dsmdist/internal/dist"
+	"dsmdist/internal/ir"
+)
+
+// Options selects optimization levels; Table 2's rows correspond to
+// None / TilePeel / TilePeel+Hoist+CSE.
+type Options struct {
+	TilePeel bool
+	Hoist    bool
+	CSE      bool
+	FPDiv    bool // emit the §7.3 software divide for integer div/mod
+}
+
+// O0 disables the reshape optimizations ("Reshape, no optimizations").
+func O0() Options { return Options{} }
+
+// O1 is tile-and-peel only.
+func O1() Options { return Options{TilePeel: true} }
+
+// O2 adds hoisting of indirect loads, descriptor fields and div/mod.
+func O2() Options { return Options{TilePeel: true, Hoist: true} }
+
+// O3 is everything, the production default.
+func O3() Options { return Options{TilePeel: true, Hoist: true, CSE: true, FPDiv: true} }
+
+// Transform rewrites the unit in place.
+func Transform(u *ir.Unit, opts Options) {
+	x := &xf{unit: u, opts: opts}
+	u.Body = x.stmts(u.Body, nil)
+	if opts.Hoist {
+		// The "regular loop-nest optimizations" of §7.4 step 2: plain
+		// array references are lowered to explicit addressing so the
+		// hoister strength-reduces them exactly like reshaped ones.
+		lowerPlainRefs(u.Body)
+		u.Body = hoistBody(u, u.Body, nil)
+	}
+	if opts.CSE {
+		u.Body = cseBody(u, u.Body)
+	}
+}
+
+// lowerPlainRefs rewrites every non-reshaped ArrayRef into a MemRef with an
+// explicit column-major address polynomial, exposing the multiplies and
+// invariant parts to LICM and CSE.
+func lowerPlainRefs(ss []ir.Stmt) {
+	ir.MapExprs(ss, func(e ir.Expr) ir.Expr {
+		return ir.RewriteExpr(e, func(n ir.Expr) ir.Expr {
+			ar, ok := n.(*ir.ArrayRef)
+			if !ok || ar.Sym.IsReshaped() {
+				return n
+			}
+			off := ir.Expr(ir.CI(0))
+			stride := ir.Expr(ir.CI(1))
+			for d := range ar.Sym.Dims {
+				sub := ir.ISub(ar.Idx[d], ir.CI(1))
+				off = ir.IAdd(off, ir.IMul(sub, stride))
+				if d < len(ar.Sym.Dims)-1 {
+					stride = ir.IMul(stride, ir.CloneExpr(ar.Sym.Dims[d]))
+				}
+			}
+			addr := ir.IAdd(&ir.ArrayBase{Sym: ar.Sym}, ir.IMul(off, ir.CI(8)))
+			return &ir.MemRef{Addr: addr, Ty: ar.Sym.Type}
+		})
+	})
+}
+
+// xf carries transformation state for one unit.
+type xf struct {
+	unit *ir.Unit
+	opts Options
+}
+
+// stmts rewrites a statement list under the active fast-addressing modes
+// (nil outside any tile).
+func (x *xf) stmts(ss []ir.Stmt, modes *tileModes) []ir.Stmt {
+	var out []ir.Stmt
+	for _, s := range ss {
+		out = append(out, x.stmt(s, modes)...)
+	}
+	return out
+}
+
+func (x *xf) stmt(s ir.Stmt, modes *tileModes) []ir.Stmt {
+	switch st := s.(type) {
+	case *ir.Do:
+		if st.Par != nil {
+			return []ir.Stmt{x.schedule(st)}
+		}
+		return x.serialLoop(st, modes)
+	case *ir.If:
+		st.Cond = x.rewriteExprRefs(st.Cond, modes)
+		st.Then = x.stmts(st.Then, modes)
+		st.Else = x.stmts(st.Else, modes)
+		return []ir.Stmt{st}
+	default:
+		// Straight-line statement: rewrite any reshaped references
+		// (fast where a tile covers them, general otherwise).
+		x.rewriteStmtRefs(s, modes)
+		return []ir.Stmt{s}
+	}
+}
+
+// rewriteStmtRefs rewrites reshaped ArrayRefs in this statement's own
+// expressions (not nested statements).
+func (x *xf) rewriteStmtRefs(s ir.Stmt, modes *tileModes) {
+	switch st := s.(type) {
+	case *ir.Assign:
+		st.Lhs = x.rewriteExprRefs(st.Lhs, modes)
+		st.Rhs = x.rewriteExprRefs(st.Rhs, modes)
+	case *ir.If:
+		st.Cond = x.rewriteExprRefs(st.Cond, modes)
+	case *ir.CallStmt:
+		for i, a := range st.Args {
+			st.Args[i] = x.rewriteExprRefs(a, modes)
+		}
+	case *ir.Do:
+		st.Lo = x.rewriteExprRefs(st.Lo, modes)
+		st.Hi = x.rewriteExprRefs(st.Hi, modes)
+		if st.Step != nil {
+			st.Step = x.rewriteExprRefs(st.Step, modes)
+		}
+	}
+}
+
+// rewriteExprRefs rewrites reshaped ArrayRefs within e. modes carries the
+// per-(array,dim) fast-addressing context established by enclosing tiled
+// loops (nil outside tiles).
+func (x *xf) rewriteExprRefs(e ir.Expr, modes *tileModes) ir.Expr {
+	if e == nil {
+		return nil
+	}
+	return ir.RewriteExpr(e, func(n ir.Expr) ir.Expr {
+		ar, ok := n.(*ir.ArrayRef)
+		if !ok || !ar.Sym.IsReshaped() {
+			return n
+		}
+		return x.reshapedRef(ar, modes)
+	})
+}
+
+// descField builds a descriptor read.
+func descField(s *ir.Sym, dim int, f ir.DescFieldKind) ir.Expr {
+	// For undistributed dimensions the extent is the declared one; use
+	// it directly when constant so no descriptor load is emitted.
+	if f == ir.FieldN || f == ir.FieldML {
+		if s.Dist == nil || !s.Dist.Dims[dim].Distributed() {
+			if dim < len(s.Dims) && s.Dims[dim] != nil {
+				if c, ok := s.Dims[dim].(*ir.ConstInt); ok {
+					return ir.CI(c.V)
+				}
+			}
+		}
+	}
+	if s.Dist != nil && s.Dist.Dims[dim].Kind == dist.BlockCyclic && f == ir.FieldK {
+		return ir.CI(int64(s.Dist.Dims[dim].Chunk))
+	}
+	return &ir.DescField{Sym: s, Dim: dim, Field: f}
+}
+
+// assign builds t = e and returns the VarRef for t.
+func (x *xf) assign(out *[]ir.Stmt, name string, e ir.Expr) *ir.VarRef {
+	t := x.unit.NewTemp(ir.Int, name)
+	*out = append(*out, &ir.Assign{Lhs: &ir.VarRef{Sym: t}, Rhs: e})
+	return &ir.VarRef{Sym: t}
+}
+
+// ceilDivE emits statements computing ceil(num/den) exactly for any sign of
+// num (den > 0): q = num/den; q += (num - q*den > 0).
+func (x *xf) ceilDivE(out *[]ir.Stmt, num, den ir.Expr) ir.Expr {
+	if c, ok := ir.IntConst(den); ok && c == 1 {
+		return num
+	}
+	if nc, ok := ir.IntConst(num); ok {
+		if dc, ok2 := ir.IntConst(den); ok2 && dc > 0 {
+			q := nc / dc
+			if nc%dc != 0 && nc > 0 {
+				q++
+			}
+			return ir.CI(q)
+		}
+	}
+	n := x.assign(out, "cn", num)
+	q := x.assign(out, "cq", ir.IDiv(n, den))
+	r := ir.ISub(n, ir.IMul(q, den))
+	adj := &ir.Bin{Op: ir.Gt, L: r, R: ir.CI(0), Ty: ir.Int}
+	return ir.IAdd(q, adj)
+}
+
+// floorDivE emits statements computing floor(num/den) exactly (den > 0).
+func (x *xf) floorDivE(out *[]ir.Stmt, num, den ir.Expr) ir.Expr {
+	if c, ok := ir.IntConst(den); ok && c == 1 {
+		return num
+	}
+	if nc, ok := ir.IntConst(num); ok {
+		if dc, ok2 := ir.IntConst(den); ok2 && dc > 0 {
+			q := nc / dc
+			if nc%dc != 0 && nc < 0 {
+				q--
+			}
+			return ir.CI(q)
+		}
+	}
+	n := x.assign(out, "fn", num)
+	q := x.assign(out, "fq", ir.IDiv(n, den))
+	r := ir.ISub(n, ir.IMul(q, den))
+	adj := &ir.Bin{Op: ir.Lt, L: r, R: ir.CI(0), Ty: ir.Int}
+	return ir.ISub(q, adj)
+}
+
+// posMod builds mod(e, m) guaranteed non-negative for m > 0.
+func posMod(e, m ir.Expr) ir.Expr {
+	return ir.IModE(ir.IAdd(ir.IModE(e, m), m), m)
+}

@@ -1,0 +1,417 @@
+package xform_test
+
+import (
+	"testing"
+
+	"dsmdist/internal/core"
+	"dsmdist/internal/exec"
+	"dsmdist/internal/fortran"
+	"dsmdist/internal/ir"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/sema"
+	"dsmdist/internal/xform"
+)
+
+// runAt builds and runs src at the given opt level, returning the result.
+func runAt(t *testing.T, src string, opt xform.Options, nprocs int) *exec.Result {
+	t.Helper()
+	tc := core.NewAt(opt)
+	img, err := tc.Build(map[string]string{"x.f": src})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	res, err := core.Run(img, machine.Tiny(nprocs), core.RunOptions{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+const stencilSrc = `
+      program s
+      integer n
+      parameter (n = 256)
+      real*8 a(n), b(n)
+c$distribute_reshape a(block), b(block)
+      integer i, it
+c$doacross local(i) affinity(i) = data(a(i))
+      do i = 1, n
+        a(i) = dble(i)
+        b(i) = 0.0
+      end do
+      do it = 1, 4
+c$doacross local(i) affinity(i) = data(b(i))
+      do i = 2, n-1
+        b(i) = (a(i-1) + a(i) + a(i+1)) / 3.0
+      end do
+      end do
+      end
+`
+
+// TestDivModElimination is the mechanism behind Table 2: tiling and peeling
+// must eliminate nearly all integer divides from the inner loops.
+func TestDivModElimination(t *testing.T) {
+	o0 := runAt(t, stencilSrc, xform.O0(), 4)
+	o1 := runAt(t, stencilSrc, xform.O1(), 4)
+	// At O0 every reshaped access runs Table 1 addressing: div+mod per
+	// reference, ~4 refs * 254 iterations * 4 time steps.
+	if o0.HwDiv < 3000 {
+		t.Fatalf("O0 executed only %d hardware divides; Table 1 addressing missing?", o0.HwDiv)
+	}
+	// Tiling+peeling: interior iterations are div/mod-free; only bounds
+	// computation and peeled iterations divide.
+	if o1.HwDiv*10 > o0.HwDiv {
+		t.Fatalf("tile+peel left %d divides (O0 had %d); expected >10x reduction", o1.HwDiv, o0.HwDiv)
+	}
+	// And the cycle counts must improve accordingly.
+	if o1.Cycles >= o0.Cycles {
+		t.Fatalf("O1 (%d cycles) not faster than O0 (%d)", o1.Cycles, o0.Cycles)
+	}
+}
+
+// TestHoistingReducesWork: O2 must cut instructions (hoisted descriptor
+// loads and portion bases) relative to O1.
+func TestHoistingReducesWork(t *testing.T) {
+	o1 := runAt(t, stencilSrc, xform.O1(), 4)
+	o2 := runAt(t, stencilSrc, xform.O2(), 4)
+	if o2.Instrs >= o1.Instrs {
+		t.Fatalf("O2 executed %d instrs, O1 %d; hoisting had no effect", o2.Instrs, o1.Instrs)
+	}
+	if o2.Cycles >= o1.Cycles {
+		t.Fatalf("O2 (%d cycles) not faster than O1 (%d)", o2.Cycles, o1.Cycles)
+	}
+}
+
+// TestFPDivStrengthReduction: O3 replaces remaining hardware divides with
+// the §7.3 software form.
+func TestFPDivStrengthReduction(t *testing.T) {
+	o3 := runAt(t, stencilSrc, xform.O3(), 4)
+	if o3.HwDiv != 0 {
+		t.Fatalf("O3 still executed %d hardware divides", o3.HwDiv)
+	}
+	if o3.SoftDiv == 0 {
+		t.Fatalf("O3 executed no software divides at all (bounds math should use them)")
+	}
+}
+
+// TestOptLadderMonotone: the full Table 2 ladder must be monotone in time.
+func TestOptLadderMonotone(t *testing.T) {
+	var prev int64 = 1 << 62
+	for _, opt := range []xform.Options{xform.O0(), xform.O1(), xform.O2(), xform.O3()} {
+		res := runAt(t, stencilSrc, opt, 1)
+		if res.Cycles > prev {
+			t.Fatalf("opt ladder not monotone: %+v took %d cycles, previous level %d",
+				opt, res.Cycles, prev)
+		}
+		prev = res.Cycles
+	}
+}
+
+// analyzeOne builds the IR of a single-unit program and transforms it.
+func analyzeOne(t *testing.T, src string, opt xform.Options) *ir.Unit {
+	t.Helper()
+	f, err := fortran.Parse("x.f", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := sema.AnalyzeFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := units[0]
+	xform.Transform(u, opt)
+	return u
+}
+
+// TestRegionStructure: a doacross becomes a Region with no Par loops left.
+func TestRegionStructure(t *testing.T) {
+	u := analyzeOne(t, `
+      program p
+      real*8 a(100)
+c$distribute a(block)
+      integer i
+c$doacross local(i) affinity(i) = data(a(i))
+      do i = 1, 100
+        a(i) = 1.0
+      end do
+      end
+`, xform.O3())
+	var regions int
+	ir.WalkStmts(u.Body, func(s ir.Stmt) bool {
+		switch st := s.(type) {
+		case *ir.Region:
+			regions++
+		case *ir.Do:
+			if st.Par != nil {
+				t.Fatal("Par loop survived scheduling")
+			}
+		}
+		return true
+	}, nil)
+	if regions != 1 {
+		t.Fatalf("regions = %d", regions)
+	}
+}
+
+// TestNoDivModInInnerLoop: statically, the innermost tiled loop body must
+// contain no Div/Mod on the reshaped address path at O1+.
+func TestNoDivModInInnerLoop(t *testing.T) {
+	u := analyzeOne(t, `
+      program p
+      integer n
+      parameter (n = 64)
+      real*8 a(n)
+c$distribute_reshape a(block)
+      integer i
+c$doacross local(i) affinity(i) = data(a(i))
+      do i = 1, n
+        a(i) = dble(i)
+      end do
+      end
+`, xform.O1())
+	// Find the innermost Do inside the Region marked NoDivMod and check
+	// its body's expressions.
+	ir.WalkStmts(u.Body, func(s ir.Stmt) bool {
+		d, ok := s.(*ir.Do)
+		if !ok || !d.NoDivMod {
+			return true
+		}
+		ir.WalkStmts(d.Body, func(inner ir.Stmt) bool {
+			if _, ok := inner.(*ir.Do); ok {
+				return true
+			}
+			return true
+		}, func(e ir.Expr) bool {
+			if b, ok := e.(*ir.Bin); ok && (b.Op == ir.Div || b.Op == ir.Mod) {
+				t.Fatalf("div/mod in NoDivMod loop body: %s", ir.ExprString(e))
+			}
+			return true
+		})
+		return true
+	}, nil)
+}
+
+// TestSerialLoopTiled: serial loops over reshaped arrays get a processor
+// loop (the §7.1 transformation applies beyond parallel loops).
+func TestSerialLoopTiled(t *testing.T) {
+	u := analyzeOne(t, `
+      program p
+      integer n
+      parameter (n = 64)
+      real*8 a(n)
+c$distribute_reshape a(block)
+      integer i
+      do i = 1, n
+        a(i) = dble(i)
+      end do
+      end
+`, xform.O1())
+	// The outer statement list should now contain a Do over a compiler
+	// temp (the processor loop) rather than the original i loop alone.
+	found := false
+	ir.WalkStmts(u.Body, func(s ir.Stmt) bool {
+		if d, ok := s.(*ir.Do); ok && d.Var.Name[0] == '~' {
+			found = true
+		}
+		return true
+	}, nil)
+	if !found {
+		t.Fatal("no processor-tile loop generated for serial loop over reshaped array")
+	}
+}
+
+// TestMatchingArraysShareTile: two same-shape reshaped arrays in one loop
+// are optimized together (§7.1); result correctness across procs.
+func TestMatchingArraysShareTile(t *testing.T) {
+	src := `
+      program p
+      integer n
+      parameter (n = 96)
+      real*8 a(n), b(n), c(n)
+c$distribute_reshape a(block), b(block), c(block)
+      integer i
+c$doacross local(i) affinity(i) = data(a(i))
+      do i = 1, n
+        a(i) = dble(i)
+        b(i) = dble(i) * 2.0
+        c(i) = 0.0
+      end do
+c$doacross local(i) affinity(i) = data(c(i))
+      do i = 1, n
+        c(i) = a(i) + b(i)
+      end do
+      end
+`
+	res := runAt(t, src, xform.O3(), 4)
+	c, err := core.Array(res, "p", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 96; i++ {
+		if c[i] != float64(i+1)*3 {
+			t.Fatalf("c[%d] = %v", i, c[i])
+		}
+	}
+	if res.HwDiv > 50 {
+		t.Fatalf("matching arrays not sharing the tile: %d divides", res.HwDiv)
+	}
+}
+
+// TestFilterFallbackCorrect: non-unit affinity coefficient on a cyclic
+// distribution takes the ownership-filter fallback and must stay correct.
+func TestFilterFallbackCorrect(t *testing.T) {
+	src := `
+      program p
+      real*8 a(64)
+c$distribute_reshape a(cyclic)
+      integer i
+c$doacross local(i) affinity(i) = data(a(2*i))
+      do i = 1, 32
+        a(2*i) = dble(i)
+      end do
+      end
+`
+	res := runAt(t, src, xform.O3(), 4)
+	a, err := core.Array(res, "p", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 32; i++ {
+		if a[2*i-1] != float64(i) {
+			t.Fatalf("a(%d) = %v, want %v", 2*i, a[2*i-1], float64(i))
+		}
+	}
+}
+
+// TestCSEProducesTemps: repeated address expressions are committed to
+// temporaries.
+func TestCSEProducesTemps(t *testing.T) {
+	src := `
+      program p
+      integer n
+      parameter (n = 64)
+      real*8 a(n)
+c$distribute_reshape a(cyclic(3))
+      integer i
+      a(17) = 1.0
+      a(17) = a(17) + 2.0
+      end
+`
+	o2 := runAt(t, src, xform.O2(), 2)
+	o3 := runAt(t, src, xform.Options{TilePeel: true, Hoist: true, CSE: true}, 2)
+	if o3.Instrs > o2.Instrs {
+		t.Fatalf("CSE increased instructions: %d vs %d", o3.Instrs, o2.Instrs)
+	}
+	a, err := core.Array(o3, "p", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[16] != 3.0 {
+		t.Fatalf("a(17) = %v", a[16])
+	}
+}
+
+// TestOntoGrid: the onto clause shapes the processor grid; correctness on
+// an asymmetric grid.
+func TestOntoGrid(t *testing.T) {
+	src := `
+      program p
+      integer n
+      parameter (n = 32)
+      real*8 a(n, n)
+c$distribute_reshape a(block, block) onto(4, 1)
+      integer i, j
+c$doacross nest(i,j) local(i,j) affinity(i,j) = data(a(i,j))
+      do i = 1, n
+        do j = 1, n
+          a(i,j) = dble(i*100 + j)
+        end do
+      end do
+      end
+`
+	res := runAt(t, src, xform.O3(), 8)
+	a, err := core.Array(res, "p", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= 32; j++ {
+		for i := 1; i <= 32; i++ {
+			if a[(i-1)+(j-1)*32] != float64(i*100+j) {
+				t.Fatalf("a(%d,%d) = %v", i, j, a[(i-1)+(j-1)*32])
+			}
+		}
+	}
+	st := core.ArrayState(res, "p", "a")
+	if st.Grid.DimProcs[0] != 8 || st.Grid.DimProcs[1] != 1 {
+		t.Fatalf("onto(4,1) grid on 8 procs = %v, want [8 1]", st.Grid.DimProcs)
+	}
+}
+
+// TestSkewing: the §7.1 skew — A(i+k) with loop-invariant k becomes
+// tileable; results stay correct and divides drop versus the general path.
+func TestSkewing(t *testing.T) {
+	src := `
+      program p
+      integer n
+      parameter (n = 128)
+      real*8 a(2*n)
+c$distribute_reshape a(block)
+      integer i, k
+      k = n / 2
+      do i = 1, n
+        a(i + k) = dble(i)
+      end do
+      end
+`
+	res := runAt(t, src, xform.O1(), 4)
+	a, err := core.Array(res, "p", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 128; i++ {
+		if a[i+64-1] != float64(i) {
+			t.Fatalf("a(%d+64) = %v, want %v", i, a[i+64-1], float64(i))
+		}
+	}
+	// Without skewing every store would run Table 1 addressing: ~256
+	// divides. Skewed and tiled, only bounds math divides.
+	if res.HwDiv > 60 {
+		t.Fatalf("skewing ineffective: %d divides executed", res.HwDiv)
+	}
+}
+
+// TestSkewCorrectAcrossVariants: skewed loop with other uses of the loop
+// variable in the body (substituted as i' - E) stays correct.
+func TestSkewWithOtherUses(t *testing.T) {
+	src := `
+      program p
+      integer n
+      parameter (n = 64)
+      real*8 a(2*n), b(2*n)
+c$distribute_reshape a(block)
+      integer i, k
+      k = 16
+      do i = 1, n
+        a(i + k) = dble(i) * 2.0
+        b(i) = dble(i)
+      end do
+      end
+`
+	res := runAt(t, src, xform.O3(), 3)
+	a, err := core.Array(res, "p", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Array(res, "p", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 64; i++ {
+		if a[i+16-1] != float64(i)*2 {
+			t.Fatalf("a(%d+16) = %v", i, a[i+16-1])
+		}
+		if b[i-1] != float64(i) {
+			t.Fatalf("b(%d) = %v (other use of skewed variable broken)", i, b[i-1])
+		}
+	}
+}
