@@ -9,6 +9,8 @@
 //	                              (table2 | fig4 | fig5 | fig6 | fig7)
 //	dsmbench -quick               small sizes for a fast smoke run
 //	dsmbench -procs 1,4,16,64     override the processor sweep
+//	dsmbench -json rows.json      also write every row (including the full
+//	                              per-policy memory-system counters) as JSON
 package main
 
 import (
@@ -25,6 +27,7 @@ func main() {
 	expName := flag.String("exp", "all", "experiment: all | table2 | fig4 | fig5 | fig6 | fig7")
 	quick := flag.Bool("quick", false, "use small sizes")
 	procsFlag := flag.String("procs", "", "comma-separated processor counts")
+	jsonOut := flag.String("json", "", "write all rows as JSON to file")
 	flag.Parse()
 
 	sizes := experiments.Full()
@@ -53,6 +56,7 @@ func main() {
 		{"fig7", experiments.Fig7},
 	}
 	ran := 0
+	var allRows []experiments.Row
 	for _, e := range all {
 		if *expName != "all" && *expName != e.name {
 			continue
@@ -63,9 +67,17 @@ func main() {
 		die(err)
 		experiments.Print(os.Stdout, rows)
 		fmt.Println()
+		allRows = append(allRows, rows...)
 	}
 	if ran == 0 {
 		die(fmt.Errorf("unknown experiment %q", *expName))
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		die(err)
+		die(experiments.WriteJSON(f, allRows))
+		die(f.Close())
+		fmt.Printf("wrote %d rows to %s\n", len(allRows), *jsonOut)
 	}
 }
 

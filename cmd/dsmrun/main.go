@@ -9,10 +9,18 @@
 // Flags:
 //
 //	-p N          processors (default 1)
-//	-policy P     first-touch | round-robin (default first-touch)
+//	-policy P     first-touch (ft) | round-robin (rr) (default first-touch).
+//	              The policy only governs pages NOT claimed by a
+//	              distribution directive: arrays under c$distribute get
+//	              explicit regular placement and c$distribute_reshape
+//	              arrays live in per-processor pools, regardless of this
+//	              flag (paper §4.2/§4.3). Unknown names are rejected with
+//	              the accepted set.
 //	-machine M    origin2000 | scaled | tiny (default scaled)
 //	-stats        print per-processor counters
 //	-arrays       print the final contents of small arrays (<= 64 elements)
+//	-trace FILE   write a Chrome trace_event timeline (chrome://tracing)
+//	-prof         print a dsmprof-style profile after the run
 package main
 
 import (
@@ -26,40 +34,24 @@ import (
 	"dsmdist/internal/core"
 	"dsmdist/internal/exec"
 	"dsmdist/internal/machine"
+	"dsmdist/internal/obs"
 	"dsmdist/internal/ospage"
 )
 
 func main() {
 	procs := flag.Int("p", 1, "number of processors")
-	policyName := flag.String("policy", "first-touch", "page policy: first-touch | round-robin")
+	policyName := flag.String("policy", "first-touch",
+		"default page policy, one of: "+ospage.PolicyNames)
 	machName := flag.String("machine", "scaled", "machine: origin2000 | scaled | tiny")
 	stats := flag.Bool("stats", false, "print per-processor statistics")
 	arrays := flag.Bool("arrays", false, "print final contents of small arrays")
+	traceOut := flag.String("trace", "", "write Chrome trace-event JSON to file")
+	prof := flag.Bool("prof", false, "print a profile breakdown after the run")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "dsmrun: no input")
 		os.Exit(2)
-	}
-
-	var res *codegen.Result
-	if strings.HasSuffix(flag.Arg(0), ".img") {
-		f, err := os.Open(flag.Arg(0))
-		die(err)
-		res = &codegen.Result{}
-		die(gob.NewDecoder(f).Decode(res))
-		f.Close()
-	} else {
-		tc := core.New()
-		srcs := map[string]string{}
-		for _, a := range flag.Args() {
-			data, err := os.ReadFile(a)
-			die(err)
-			srcs[a] = string(data)
-		}
-		img, err := tc.Build(srcs)
-		die(err)
-		res = img.Res
 	}
 
 	var cfg *machine.Config
@@ -71,19 +63,43 @@ func main() {
 	case "tiny":
 		cfg = machine.Tiny(*procs)
 	default:
-		die(fmt.Errorf("unknown machine %q", *machName))
+		die(fmt.Errorf("unknown machine %q (accepted: origin2000, scaled, tiny)", *machName))
 	}
-	var policy ospage.Policy
-	switch *policyName {
-	case "first-touch", "ft":
-		policy = ospage.FirstTouch
-	case "round-robin", "rr":
-		policy = ospage.RoundRobin
-	default:
-		die(fmt.Errorf("unknown policy %q", *policyName))
+	policy, err := ospage.ParsePolicy(*policyName)
+	die(err)
+
+	// The observability layer is only attached when asked for, keeping
+	// plain runs on the untraced fast path.
+	var rec *obs.Recorder
+	if *traceOut != "" || *prof {
+		rec = obs.NewRecorder(cfg)
+		if *traceOut != "" {
+			rec.EnableTrace(0)
+		}
 	}
 
-	run, err := exec.Run(res, cfg, exec.Options{Policy: policy})
+	var res *codegen.Result
+	if strings.HasSuffix(flag.Arg(0), ".img") {
+		f, err := os.Open(flag.Arg(0))
+		die(err)
+		res = &codegen.Result{}
+		die(gob.NewDecoder(f).Decode(res))
+		f.Close()
+	} else {
+		tc := core.New()
+		tc.Rec = rec
+		srcs := map[string]string{}
+		for _, a := range flag.Args() {
+			data, err := os.ReadFile(a)
+			die(err)
+			srcs[a] = string(data)
+		}
+		img, err := tc.Build(srcs)
+		die(err)
+		res = img.Res
+	}
+
+	run, err := exec.Run(res, cfg, exec.Options{Policy: policy, Rec: rec})
 	die(err)
 
 	fmt.Printf("machine: %s, %d processors (%d nodes), policy %s\n",
@@ -122,6 +138,18 @@ func main() {
 			}
 			fmt.Printf("  %s.%s = %v\n", st.Plan.Unit, st.Plan.Name, run.RT.Gather(st))
 		}
+	}
+	if *prof {
+		fmt.Println()
+		die(rec.Summarize(10).WriteText(os.Stdout))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		die(err)
+		die(rec.WriteTrace(f))
+		die(f.Close())
+		fmt.Printf("trace: wrote %d events to %s (open in chrome://tracing)\n",
+			len(rec.TraceEvents()), *traceOut)
 	}
 }
 

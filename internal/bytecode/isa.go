@@ -144,6 +144,11 @@ type Fn struct {
 	NArgs      int
 	FrameBytes int64 // addressed-scalar storage reserved per activation
 	IsRegion   bool  // doacross region body
+
+	// Source attribution (profiler): the file and line of the unit or,
+	// for region functions, of the doacross directive that was outlined.
+	File string
+	Line int
 }
 
 // SymKind classifies data symbols.

@@ -120,7 +120,8 @@ func Program(units []*ir.Unit, env Env, opts Options) (*Result, error) {
 		if err := g.layoutUnit(u); err != nil {
 			return nil, err
 		}
-		g.res.Prog.Fns = append(g.res.Prog.Fns, &bytecode.Fn{Name: u.Name, NArgs: len(u.Params)})
+		g.res.Prog.Fns = append(g.res.Prog.Fns, &bytecode.Fn{Name: u.Name, NArgs: len(u.Params),
+			File: u.SourceFile, Line: u.Line})
 		if u.IsProgram {
 			if g.res.Prog.Main >= 0 {
 				return nil, fmt.Errorf("codegen: multiple program units")

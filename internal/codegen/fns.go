@@ -609,6 +609,8 @@ func (c *fnc) region(st *ir.Region) error {
 		Name:     fmt.Sprintf("%s$r%d", c.u.Name, c.regionN),
 		NArgs:    len(caps),
 		IsRegion: true,
+		File:     c.u.SourceFile,
+		Line:     st.Par.Line,
 	}
 	c.regionN++
 	rfIdx := len(c.g.res.Prog.Fns)

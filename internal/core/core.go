@@ -19,11 +19,14 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"time"
 
 	"dsmdist/internal/exec"
 	"dsmdist/internal/link"
 	"dsmdist/internal/machine"
 	"dsmdist/internal/obj"
+	"dsmdist/internal/obs"
 	"dsmdist/internal/ospage"
 	"dsmdist/internal/rtl"
 	"dsmdist/internal/xform"
@@ -35,6 +38,10 @@ type Toolchain struct {
 	Opt xform.Options
 	// RuntimeChecks enables the §6 runtime argument checks.
 	RuntimeChecks bool
+	// Rec, when non-nil, receives build metadata (sources, optimization
+	// level, build wall time); pass the same recorder to Run via
+	// RunOptions.Recorder so one profile covers compile and run.
+	Rec *obs.Recorder
 }
 
 // New returns a production-default toolchain: all optimizations, runtime
@@ -61,6 +68,7 @@ func (tc *Toolchain) Link(objs ...*obj.Object) (*link.Image, error) {
 // Build compiles and links a set of named sources (map iteration order is
 // normalized by name for determinism).
 func (tc *Toolchain) Build(sources map[string]string) (*link.Image, error) {
+	start := time.Now()
 	names := make([]string, 0, len(sources))
 	for n := range sources {
 		names = append(names, n)
@@ -74,18 +82,29 @@ func (tc *Toolchain) Build(sources map[string]string) (*link.Image, error) {
 		}
 		objs = append(objs, o)
 	}
-	return tc.Link(objs...)
+	img, err := tc.Link(objs...)
+	if err == nil && tc.Rec != nil {
+		tc.Rec.SetMeta("sources", strings.Join(names, " "))
+		tc.Rec.SetMeta("opt", fmt.Sprintf("tile=%v hoist=%v fpdiv=%v",
+			tc.Opt.TilePeel, tc.Opt.Hoist, tc.Opt.FPDiv))
+		tc.Rec.SetMeta("build", time.Since(start).Round(time.Millisecond).String())
+	}
+	return img, err
 }
 
 // RunOptions configure execution.
 type RunOptions struct {
 	Policy  ospage.Policy
 	Quantum int
+	// Recorder, when non-nil, observes the run (see internal/obs); nil
+	// keeps the simulation on the untraced fast path.
+	Recorder *obs.Recorder
 }
 
 // Run executes an image on a machine configuration.
 func Run(img *link.Image, cfg *machine.Config, opts RunOptions) (*exec.Result, error) {
-	return exec.Run(img.Res, cfg, exec.Options{Policy: opts.Policy, Quantum: opts.Quantum})
+	return exec.Run(img.Res, cfg, exec.Options{
+		Policy: opts.Policy, Quantum: opts.Quantum, Rec: opts.Recorder})
 }
 
 // Array extracts an array's logical contents from a finished run. Unit is

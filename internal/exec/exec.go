@@ -13,6 +13,7 @@ import (
 	"dsmdist/internal/codegen"
 	"dsmdist/internal/machine"
 	"dsmdist/internal/memsim"
+	"dsmdist/internal/obs"
 	"dsmdist/internal/ospage"
 	"dsmdist/internal/rtl"
 )
@@ -27,6 +28,9 @@ type Options struct {
 	// MaxQuanta bounds total scheduling rounds as a runaway guard
 	// (default 1<<40 instructions equivalent).
 	MaxQuanta int64
+	// Rec, when non-nil, receives observability events from the whole
+	// stack (load-time placement, memory system, regions, barriers).
+	Rec *obs.Recorder
 }
 
 // Result is a completed run.
@@ -53,7 +57,7 @@ func (r *Result) Seconds() float64 { return r.RT.Cfg.Seconds(r.Cycles) }
 
 // Run loads and executes a compiled image.
 func Run(res *codegen.Result, cfg *machine.Config, opts Options) (*Result, error) {
-	rt, err := rtl.Load(res, cfg, opts.Policy)
+	rt, err := rtl.LoadObs(res, cfg, opts.Policy, opts.Rec)
 	if err != nil {
 		return nil, err
 	}
@@ -63,6 +67,9 @@ func Run(res *codegen.Result, cfg *machine.Config, opts Options) (*Result, error
 // RunLoaded executes an already-loaded runtime (tests pre-initialize
 // arrays through it).
 func RunLoaded(rt *rtl.Runtime, opts Options) (*Result, error) {
+	if opts.Rec != nil && rt.Rec == nil {
+		rt.AttachRecorder(opts.Rec)
+	}
 	cfg := rt.Cfg
 	quantum := opts.Quantum
 	if quantum <= 0 {
@@ -119,11 +126,16 @@ func runRegion(rt *rtl.Runtime, costs *bytecode.Costs, serial *bytecode.Thread,
 	cfg := rt.Cfg
 	np := cfg.NProcs
 	sys := rt.Sys
+	rec := rt.Rec
 	rt.ResetDynamic()
 
 	// Fork: idle processors jump to the master's clock; everyone pays
 	// the dispatch cost.
 	t0 := sys.Clock(0)
+	if rec != nil {
+		fn := rt.Prog.Fns[serial.ParFn]
+		rec.RegionBegin(fn.Name, fn.File, fn.Line, t0, np)
+	}
 	procs := make([]int, np)
 	for p := 0; p < np; p++ {
 		procs[p] = p
@@ -148,6 +160,7 @@ func runRegion(rt *rtl.Runtime, costs *bytecode.Costs, serial *bytecode.Thread,
 	done := make([]bool, np)
 	atBarrier := make([]bool, np)
 	remaining := np
+	lastSel := -1
 	var rounds int64
 	for remaining > 0 {
 		rounds++
@@ -170,6 +183,10 @@ func runRegion(rt *rtl.Runtime, costs *bytecode.Costs, serial *bytecode.Thread,
 			}
 		}
 		if sel >= 0 {
+			if rec != nil && sel != lastSel {
+				rec.QuantumSwitch(sel)
+				lastSel = sel
+			}
 			switch threads[sel].StepCycles(quantum, cycleQuantum) {
 			case bytecode.Running:
 			case bytecode.Done:
@@ -203,7 +220,17 @@ func runRegion(rt *rtl.Runtime, costs *bytecode.Costs, serial *bytecode.Thread,
 	}
 
 	// Implicit end-of-doacross barrier across all processors.
+	var ends []int64
+	if rec != nil {
+		ends = make([]int64, np)
+		for p := 0; p < np; p++ {
+			ends[p] = sys.Clock(p)
+		}
+	}
 	sys.Barrier(procs)
+	if rec != nil {
+		rec.RegionEnd(ends, sys.Clock(0))
+	}
 	for _, th := range threads {
 		acc.HwDiv += th.HwDiv
 		acc.SoftDiv += th.SoftDiv
@@ -224,6 +251,7 @@ func finish(r *Result) {
 			r.Cycles = c
 		}
 	}
+	rt.Rec.Finish(r.Cycles)
 }
 
 // Speedup is a convenience for experiment harnesses: serial cycles over

@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"dsmdist/internal/core"
 	"dsmdist/internal/exec"
 	"dsmdist/internal/machine"
+	"dsmdist/internal/memsim"
 	"dsmdist/internal/ospage"
 	"dsmdist/internal/workloads"
 	"dsmdist/internal/xform"
@@ -62,19 +64,23 @@ func Quick() Sizes {
 	}
 }
 
-// Row is one measured point.
+// Row is one measured point. The JSON field names are the machine-readable
+// interface of dsmbench -json; keep them stable.
 type Row struct {
-	Exp     string
-	Variant string
-	P       int
-	Cycles  int64
-	Seconds float64
-	Speedup float64
-	L2Miss  int64
-	Remote  int64
-	TLBPct  float64 // fraction of time in TLB refill
-	HwDiv   int64
-	SoftDiv int64
+	Exp     string  `json:"exp"`
+	Variant string  `json:"variant"`
+	P       int     `json:"p"`
+	Cycles  int64   `json:"cycles"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup"`
+	L2Miss  int64   `json:"l2_miss"`
+	Remote  int64   `json:"l2_miss_remote"`
+	TLBPct  float64 `json:"tlb_pct"` // fraction of time in TLB refill
+	HwDiv   int64   `json:"hw_div"`
+	SoftDiv int64   `json:"soft_div"`
+	// Stats aggregates the per-processor memory-system counters over the
+	// whole run (not just the timed section).
+	Stats memsim.ProcStats `json:"stats"`
 }
 
 // variantRun describes one line of a figure.
@@ -124,6 +130,7 @@ func rowFrom(exp, variant string, p int, cfg *machine.Config, res *exec.Result, 
 		Remote:  res.Total.L2MissRemote,
 		HwDiv:   res.HwDiv,
 		SoftDiv: res.SoftDiv,
+		Stats:   res.Total,
 	}
 	r.Seconds = cfg.Seconds(r.Cycles)
 	if r.Cycles > 0 {
@@ -260,6 +267,14 @@ func Print(w io.Writer, rows []Row) {
 		fmt.Fprintf(w, "%-14s %-32s %5d %14d %10.4f %9.2f %12d %12d %6.1f%%\n",
 			r.Exp, r.Variant, r.P, r.Cycles, r.Seconds, r.Speedup, r.L2Miss, r.Remote, r.TLBPct*100)
 	}
+}
+
+// WriteJSON emits rows as indented JSON — the machine-readable counterpart
+// of Print, used by dsmbench -json.
+func WriteJSON(w io.Writer, rows []Row) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }
 
 // Summary extracts per-variant best speedups (EXPERIMENTS.md fodder).

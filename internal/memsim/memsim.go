@@ -26,6 +26,7 @@ import (
 	"math/bits"
 
 	"dsmdist/internal/machine"
+	"dsmdist/internal/obs"
 	"dsmdist/internal/ospage"
 )
 
@@ -34,22 +35,25 @@ import (
 const MaxProcs = 128
 
 // ProcStats are the per-processor hardware-counter-style statistics (the
-// paper reads the R10000 event counters; §8, [ZLT+96]).
+// paper reads the R10000 event counters; §8, [ZLT+96]). The JSON field
+// names are a stable machine-readable interface (dsmbench -json); renaming
+// one is a breaking change.
 type ProcStats struct {
-	Loads, Stores int64
-	L1Miss        int64
-	L2Miss        int64
-	L2MissLocal   int64
-	L2MissRemote  int64
-	TLBMiss       int64
-	Upgrades      int64 // writes that had to invalidate other sharers
-	InvSent       int64
-	InvRecv       int64
-	Interventions int64 // misses serviced from another processor's cache
-	Writebacks    int64
-	WaitCyc       int64 // cycles lost to node-memory queuing
-	TLBCyc        int64 // cycles spent in TLB refill
-	MemCyc        int64 // cycles spent waiting on cache misses
+	Loads         int64 `json:"loads"`
+	Stores        int64 `json:"stores"`
+	L1Miss        int64 `json:"l1_miss"`
+	L2Miss        int64 `json:"l2_miss"`
+	L2MissLocal   int64 `json:"l2_miss_local"`
+	L2MissRemote  int64 `json:"l2_miss_remote"`
+	TLBMiss       int64 `json:"tlb_miss"`
+	Upgrades      int64 `json:"upgrades"` // writes that had to invalidate other sharers
+	InvSent       int64 `json:"inv_sent"`
+	InvRecv       int64 `json:"inv_recv"`
+	Interventions int64 `json:"interventions"` // misses serviced from another processor's cache
+	Writebacks    int64 `json:"writebacks"`
+	WaitCyc       int64 `json:"wait_cyc"` // cycles lost to node-memory queuing
+	TLBCyc        int64 `json:"tlb_cyc"`  // cycles spent in TLB refill
+	MemCyc        int64 `json:"mem_cyc"`  // cycles spent waiting on cache misses
 }
 
 // Add accumulates o into s.
@@ -258,7 +262,15 @@ type System struct {
 	bw       []nodeBW
 	bwWindow int64 // window length in cycles
 	bwCap    int32 // lines serviceable per window
+
+	// rec, when non-nil, receives observability events. Every hook is
+	// nil-guarded and placed off the arithmetic paths, so a run without
+	// a recorder is cycle-for-cycle identical.
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches (or detaches, with nil) the observability sink.
+func (s *System) SetRecorder(r *obs.Recorder) { s.rec = r }
 
 // bwRing is the number of windows tracked per node; requests pushed more
 // than bwRing windows into the future accumulate wait in bulk.
@@ -420,6 +432,11 @@ func (s *System) MaxClock(procs []int) int64 {
 func (s *System) Barrier(procs []int) {
 	m := s.MaxClock(procs)
 	cost := int64(s.Cfg.BarrierBaseCyc + s.Cfg.BarrierPerProc*len(procs))
+	if s.rec != nil {
+		for _, p := range procs {
+			s.rec.BarrierWait(p, s.procs[p].clock, m+cost-s.procs[p].clock)
+		}
+	}
 	for _, p := range procs {
 		s.procs[p].clock = m + cost
 	}
@@ -448,6 +465,9 @@ func (s *System) invalidateOthers(req int, d *dirEntry, line int64, keep int) in
 		s.procs[req].stats.InvSent += int64(n)
 		s.procs[req].stats.Upgrades++
 		extra = int64(s.Cfg.CoherenceCyc) + int64(8*(n-1))
+		if s.rec != nil {
+			s.rec.Invalidations(n)
+		}
 	}
 	if d.owner >= 0 && int(d.owner) != keep {
 		d.owner = -1
@@ -512,6 +532,9 @@ func (s *System) Access(p int, addr int64, write bool) {
 	}
 
 	pr.stats.L1Miss++
+	if s.rec != nil {
+		s.rec.L1Miss(p)
+	}
 	lat := int64(cfg.L2HitCyc)
 
 	// Address translation happens on the refill path.
@@ -520,6 +543,9 @@ func (s *System) Access(p int, addr int64, write bool) {
 		pr.stats.TLBMiss++
 		lat += int64(cfg.TLBMissCyc)
 		pr.stats.TLBCyc += int64(cfg.TLBMissCyc)
+		if s.rec != nil {
+			s.rec.TLBMiss(pr.node, addr, int64(cfg.TLBMissCyc), pr.clock)
+		}
 	}
 
 	l2line := addr >> s.l2Shift
@@ -535,6 +561,11 @@ func (s *System) Access(p int, addr int64, write bool) {
 		if d.owner >= 0 && int(d.owner) != p {
 			// Dirty in another cache: cache-to-cache intervention.
 			pr.stats.Interventions++
+			if s.rec != nil {
+				s.rec.Intervention()
+				s.rec.L2Miss(pr.node, home, addr,
+					int64(cfg.RemoteLatency(pr.node, s.procs[d.owner].node)+cfg.CoherenceCyc), pr.clock)
+			}
 			lat += int64(cfg.RemoteLatency(pr.node, s.procs[d.owner].node) + cfg.CoherenceCyc)
 			d.owner = -1
 			if home == pr.node {
@@ -549,8 +580,14 @@ func (s *System) Access(p int, addr int64, write bool) {
 			if wait := s.reserve(home, pr.clock); wait > 0 {
 				lat += wait
 				pr.stats.WaitCyc += wait
+				if s.rec != nil {
+					s.rec.BWWait(home, wait)
+				}
 			}
 			lat += base
+			if s.rec != nil {
+				s.rec.L2Miss(pr.node, home, addr, base, pr.clock)
+			}
 			if home == pr.node {
 				pr.stats.L2MissLocal++
 			} else {

@@ -1,0 +1,85 @@
+package memsim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// statsWantKeys is the frozen machine-readable interface of ProcStats
+// (dsmbench -json). Adding a field extends this list; renaming or removing
+// one breaks consumers and must fail here.
+var statsWantKeys = []string{
+	"loads", "stores", "l1_miss", "l2_miss", "l2_miss_local",
+	"l2_miss_remote", "tlb_miss", "upgrades", "inv_sent", "inv_recv",
+	"interventions", "writebacks", "wait_cyc", "tlb_cyc", "mem_cyc",
+}
+
+// fillStats sets every int64 field of a ProcStats to a distinct non-zero
+// value (field index + base) via reflection, so tests notice any field a
+// method forgets.
+func fillStats(t *testing.T, base int64) ProcStats {
+	t.Helper()
+	var s ProcStats
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() != reflect.Int64 {
+			t.Fatalf("ProcStats.%s is %s, expected int64 (update fillStats)",
+				v.Type().Field(i).Name, f.Kind())
+		}
+		f.SetInt(base + int64(i))
+	}
+	return s
+}
+
+func TestProcStatsJSONRoundTrip(t *testing.T) {
+	in := fillStats(t, 100)
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+
+	// Every field must appear under its frozen snake_case key.
+	var raw map[string]int64
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("unmarshal to map: %v", err)
+	}
+	if len(raw) != len(statsWantKeys) {
+		t.Errorf("got %d JSON keys, want %d (new field? add its key to statsWantKeys)",
+			len(raw), len(statsWantKeys))
+	}
+	for _, k := range statsWantKeys {
+		if _, ok := raw[k]; !ok {
+			t.Errorf("stable key %q missing from %s", k, data)
+		}
+	}
+
+	var out ProcStats
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out != in {
+		t.Errorf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+// TestProcStatsAddCoversAllFields catches the classic bug where a counter
+// is added to the struct but not to Add: every field must accumulate.
+func TestProcStatsAddCoversAllFields(t *testing.T) {
+	a := fillStats(t, 1000)
+	b := fillStats(t, 5000)
+	sum := a
+	sum.Add(b)
+
+	va := reflect.ValueOf(a)
+	vb := reflect.ValueOf(b)
+	vs := reflect.ValueOf(sum)
+	for i := 0; i < vs.NumField(); i++ {
+		name := vs.Type().Field(i).Name
+		want := va.Field(i).Int() + vb.Field(i).Int()
+		if got := vs.Field(i).Int(); got != want {
+			t.Errorf("Add drops field %s: got %d, want %d", name, got, want)
+		}
+	}
+}

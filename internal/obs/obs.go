@@ -1,0 +1,657 @@
+// Package obs is the observability layer for the simulated CC-NUMA
+// machine: the software analog of the R10000 event counters plus the
+// perfex/SpeedShop attribution workflow the paper's evaluation is built on
+// (§8: secondary-cache miss counts, TLB-time fractions, local vs remote
+// miss ratios, all attributed to specific arrays and program phases).
+//
+// The producers — memsim (cache/TLB/coherence/bandwidth events), ospage
+// (placement, migration, spill), rtl (redistribution, reshaped pools,
+// argument checks) and exec (parallel regions, barriers, scheduling) —
+// publish into a *Recorder. A nil *Recorder is the off switch: every hook
+// is a small exported wrapper whose nil check inlines at the call site, so
+// a run without tracing executes the exact same simulation arithmetic and
+// produces bit-identical cycle counts.
+//
+// The Recorder aggregates three views:
+//
+//   - per-array × per-node heat maps: L2 misses attributed back to the
+//     source array that owns the address (registered by rtl from the
+//     codegen array plans), split local/remote by the accessing node and
+//     counted on the serving (home) node;
+//   - per-page heat: remote misses per virtual page, by accessing node —
+//     the page-level false-sharing and one-node-bottleneck view;
+//   - per-region cycle breakdowns: for every outlined doacross region
+//     (and the serial phase between regions) cycles split into compute,
+//     local-miss, remote-miss, TLB refill, bandwidth-queue wait and
+//     barrier wait — the paper's "TLB time 15% vs <7.5%" style numbers.
+//
+// Exporters live in report.go (text profile, JSON/CSV summaries) and
+// trace.go (Chrome trace_event JSON for chrome://tracing).
+package obs
+
+import (
+	"sort"
+
+	"dsmdist/internal/machine"
+)
+
+// Kind enumerates the event kinds the producers publish.
+type Kind uint8
+
+const (
+	KL1Miss Kind = iota
+	KL2MissLocal
+	KL2MissRemote
+	KTLBMiss
+	KInvalidation
+	KIntervention
+	KBWWait
+	KBarrierWait
+	KPagePlace
+	KPageMigrate
+	KPageSpill
+	KRedistribute
+	KPoolAlloc
+	KArgCheck
+	KArgCheckFail
+	KRegion
+	KQuantumSwitch
+	nKinds
+)
+
+var kindNames = [...]string{
+	"l1-miss", "l2-miss-local", "l2-miss-remote", "tlb-miss",
+	"invalidation", "intervention", "bw-wait", "barrier-wait",
+	"page-place", "page-migrate", "page-spill",
+	"redistribute", "pool-alloc", "arg-check", "arg-check-fail",
+	"region", "quantum-switch",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// NodeHeat is one cell of a per-array heat map.
+type NodeHeat struct {
+	LocalMiss    int64 // L2 misses by processors on this node hitting local memory
+	RemoteMiss   int64 // L2 misses by processors on this node to remote memory
+	ServedRemote int64 // remote misses this node's memory served to other nodes
+	TLBMiss      int64 // TLB misses taken on this node inside the array
+}
+
+// ArrayInfo is the attribution record and heat map for one source array.
+type ArrayInfo struct {
+	Name  string // unit.array
+	Bytes int64
+	Nodes []NodeHeat // indexed by node
+}
+
+// Misses sums the local and remote misses over all nodes.
+func (a *ArrayInfo) Misses() (local, remote int64) {
+	for _, n := range a.Nodes {
+		local += n.LocalMiss
+		remote += n.RemoteMiss
+	}
+	return
+}
+
+// PageHeat is the per-virtual-page miss record.
+type PageHeat struct {
+	Home         int // home node at the last recorded miss
+	Local        int64
+	Remote       int64
+	RemoteByNode []int64 // remote misses by the accessing node
+}
+
+// RegionStats is the cycle breakdown for one parallel region (or the
+// serial phase, recorded under the name "(serial)"). Cycles are summed
+// over the participating processors, so fractions of Cycles are fractions
+// of aggregate processor time, as in the paper's SpeedShop numbers.
+type RegionStats struct {
+	Name        string
+	File        string
+	Line        int
+	Invocations int64
+	Procs       int
+	Cycles      int64
+
+	LocalMissCyc  int64
+	RemoteMissCyc int64
+	TLBCyc        int64
+	BWWaitCyc     int64
+	BarrierCyc    int64
+
+	L1Miss        int64
+	LocalMiss     int64
+	RemoteMiss    int64
+	TLBMiss       int64
+	InvSent       int64
+	Interventions int64
+}
+
+// ComputeCyc is what remains of Cycles after the memory-system and
+// synchronization components: instruction issue plus cache-hit time.
+func (r *RegionStats) ComputeCyc() int64 {
+	c := r.Cycles - r.LocalMissCyc - r.RemoteMissCyc - r.TLBCyc - r.BWWaitCyc - r.BarrierCyc
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// TLBFrac is the fraction of region time spent in TLB refill.
+func (r *RegionStats) TLBFrac() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.TLBCyc) / float64(r.Cycles)
+}
+
+type addrRange struct {
+	lo, hi int64
+	arr    *ArrayInfo
+}
+
+// SerialRegion is the pseudo-region name for code outside doacross
+// regions.
+const SerialRegion = "(serial)"
+
+// Recorder is the event sink. All hook methods are safe to call on a nil
+// receiver (no-op), but producers guard with a nil check anyway so the
+// disabled path is a single compare.
+type Recorder struct {
+	cfg    *machine.Config
+	nnodes int
+	pshift uint
+
+	now int64 // latest simulated clock observed (timeline placement)
+
+	counts [nKinds]int64
+
+	// Attribution: address ranges -> arrays, lazily re-sorted after
+	// registration.
+	ranges []addrRange
+	sorted bool
+	arrays []*ArrayInfo
+	byName map[string]*ArrayInfo
+
+	pages []*PageHeat // indexed by virtual page
+
+	regions  []*RegionStats
+	byRegion map[string]*RegionStats
+	cur      *RegionStats
+	serial   *RegionStats
+
+	regionStart int64
+	regionProcs int
+	serialMark  int64
+
+	poolBytes   int64
+	redistPages int64
+
+	meta      map[string]string
+	metaOrder []string
+
+	trace *Trace
+}
+
+// NewRecorder creates a recorder for one run on the given machine.
+func NewRecorder(cfg *machine.Config) *Recorder {
+	shift := uint(0)
+	for 1<<shift < cfg.PageBytes {
+		shift++
+	}
+	r := &Recorder{
+		cfg:      cfg,
+		nnodes:   cfg.NNodes(),
+		pshift:   shift,
+		byName:   map[string]*ArrayInfo{},
+		byRegion: map[string]*RegionStats{},
+		meta:     map[string]string{},
+	}
+	r.serial = &RegionStats{Name: SerialRegion, Invocations: 1, Procs: 1}
+	r.regions = append(r.regions, r.serial)
+	r.byRegion[SerialRegion] = r.serial
+	r.cur = r.serial
+	return r
+}
+
+// Config returns the machine the recorder was built for.
+func (r *Recorder) Config() *machine.Config { return r.cfg }
+
+// Count returns the total number of events of one kind.
+func (r *Recorder) Count(k Kind) int64 { return r.counts[k] }
+
+// Counts returns every non-zero event count keyed by kind name.
+func (r *Recorder) Counts() map[string]int64 {
+	out := map[string]int64{}
+	for k := Kind(0); k < nKinds; k++ {
+		if r.counts[k] != 0 {
+			out[k.String()] = r.counts[k]
+		}
+	}
+	return out
+}
+
+// SetMeta attaches a build/run annotation (toolchain options, source
+// names) shown in profile headers.
+func (r *Recorder) SetMeta(key, value string) {
+	if r == nil {
+		return
+	}
+	if _, ok := r.meta[key]; !ok {
+		r.metaOrder = append(r.metaOrder, key)
+	}
+	r.meta[key] = value
+}
+
+// Meta returns the annotation for key ("" when unset).
+func (r *Recorder) Meta(key string) string { return r.meta[key] }
+
+// --- attribution registration (rtl) ---
+
+// RegisterArray records the address ranges backing one source array, so
+// misses can be attributed back to it. Reshaped arrays register one range
+// per portion; regular and static arrays register their base range.
+func (r *Recorder) RegisterArray(name string, ranges [][2]int64) {
+	if r == nil {
+		return
+	}
+	ai := r.byName[name]
+	if ai == nil {
+		ai = &ArrayInfo{Name: name, Nodes: make([]NodeHeat, r.nnodes)}
+		r.byName[name] = ai
+		r.arrays = append(r.arrays, ai)
+	}
+	for _, rg := range ranges {
+		if rg[1] <= rg[0] {
+			continue
+		}
+		ai.Bytes += rg[1] - rg[0]
+		r.ranges = append(r.ranges, addrRange{lo: rg[0], hi: rg[1], arr: ai})
+	}
+	r.sorted = false
+}
+
+// Arrays returns the registered arrays in registration order.
+func (r *Recorder) Arrays() []*ArrayInfo { return r.arrays }
+
+// ArrayHeat returns the heat map for a registered array, or nil.
+func (r *Recorder) ArrayHeat(name string) *ArrayInfo { return r.byName[name] }
+
+func (r *Recorder) arrayAt(addr int64) *ArrayInfo {
+	if !r.sorted {
+		sort.Slice(r.ranges, func(i, j int) bool { return r.ranges[i].lo < r.ranges[j].lo })
+		r.sorted = true
+	}
+	i := sort.Search(len(r.ranges), func(i int) bool { return r.ranges[i].hi > addr })
+	if i < len(r.ranges) && r.ranges[i].lo <= addr {
+		return r.ranges[i].arr
+	}
+	return nil
+}
+
+func (r *Recorder) pageAt(addr int64) *PageHeat {
+	vp := addr >> r.pshift
+	for int64(len(r.pages)) <= vp {
+		r.pages = append(r.pages, nil)
+	}
+	ph := r.pages[vp]
+	if ph == nil {
+		ph = &PageHeat{Home: -1, RemoteByNode: make([]int64, r.nnodes)}
+		r.pages[vp] = ph
+	}
+	return ph
+}
+
+// Page returns the heat record of one virtual page (nil when the page
+// never missed).
+func (r *Recorder) Page(vpage int64) *PageHeat {
+	if vpage < 0 || vpage >= int64(len(r.pages)) {
+		return nil
+	}
+	return r.pages[vpage]
+}
+
+// NPages returns the number of virtual pages tracked.
+func (r *Recorder) NPages() int64 { return int64(len(r.pages)) }
+
+// --- memsim hooks ---
+
+// L1Miss records a primary-cache miss by processor p.
+func (r *Recorder) L1Miss(p int) {
+	if r != nil {
+		r.counts[KL1Miss]++
+		r.cur.L1Miss++
+	}
+}
+
+// L2Miss records a secondary-cache miss: accessor node, home (serving)
+// node, the missed address, and the fetch latency (excluding queuing,
+// reported separately through BWWait).
+func (r *Recorder) L2Miss(accNode, homeNode int, addr, missCyc, clock int64) {
+	if r != nil {
+		r.l2Miss(accNode, homeNode, addr, missCyc, clock)
+	}
+}
+
+func (r *Recorder) l2Miss(accNode, homeNode int, addr, missCyc, clock int64) {
+	if clock > r.now {
+		r.now = clock
+	}
+	remote := accNode != homeNode
+	if remote {
+		r.counts[KL2MissRemote]++
+		r.cur.RemoteMiss++
+		r.cur.RemoteMissCyc += missCyc
+	} else {
+		r.counts[KL2MissLocal]++
+		r.cur.LocalMiss++
+		r.cur.LocalMissCyc += missCyc
+	}
+	ph := r.pageAt(addr)
+	ph.Home = homeNode
+	if remote {
+		ph.Remote++
+		ph.RemoteByNode[accNode]++
+	} else {
+		ph.Local++
+	}
+	if ai := r.arrayAt(addr); ai != nil {
+		if remote {
+			ai.Nodes[accNode].RemoteMiss++
+			ai.Nodes[homeNode].ServedRemote++
+		} else {
+			ai.Nodes[accNode].LocalMiss++
+		}
+	}
+}
+
+// TLBMiss records a TLB refill by a processor on accNode at addr.
+func (r *Recorder) TLBMiss(accNode int, addr, cyc, clock int64) {
+	if r != nil {
+		r.tlbMiss(accNode, addr, cyc, clock)
+	}
+}
+
+func (r *Recorder) tlbMiss(accNode int, addr, cyc, clock int64) {
+	if clock > r.now {
+		r.now = clock
+	}
+	r.counts[KTLBMiss]++
+	r.cur.TLBMiss++
+	r.cur.TLBCyc += cyc
+	if ai := r.arrayAt(addr); ai != nil {
+		ai.Nodes[accNode].TLBMiss++
+	}
+}
+
+// Invalidations records n sharer invalidations sent by one upgrade.
+func (r *Recorder) Invalidations(n int) {
+	if r != nil {
+		r.counts[KInvalidation] += int64(n)
+		r.cur.InvSent += int64(n)
+	}
+}
+
+// Intervention records a cache-to-cache transfer.
+func (r *Recorder) Intervention() {
+	if r != nil {
+		r.counts[KIntervention]++
+		r.cur.Interventions++
+	}
+}
+
+// BWWait records cycles queued behind a node memory's bandwidth window.
+func (r *Recorder) BWWait(node int, wait int64) {
+	if r != nil {
+		r.counts[KBWWait]++
+		r.cur.BWWaitCyc += wait
+		_ = node
+	}
+}
+
+// BarrierWait records one processor's wait at a barrier: its clock before
+// release and the cycles the release added.
+func (r *Recorder) BarrierWait(proc int, clockBefore, wait int64) {
+	if r != nil {
+		r.barrierWait(proc, clockBefore, wait)
+	}
+}
+
+func (r *Recorder) barrierWait(proc int, clockBefore, wait int64) {
+	r.counts[KBarrierWait]++
+	r.cur.BarrierCyc += wait
+	if clockBefore+wait > r.now {
+		r.now = clockBefore + wait
+	}
+	if r.trace != nil && wait > 0 {
+		r.trace.span("barrier", "sync", proc, r.ts(clockBefore), r.dur(wait), nil)
+	}
+}
+
+// --- ospage hooks ---
+
+// PlaceCause says why a page landed where it did.
+type PlaceCause uint8
+
+const (
+	PlaceFirstTouch PlaceCause = iota
+	PlaceRoundRobin
+	PlaceExplicit
+)
+
+var placeNames = [...]string{"first-touch", "round-robin", "explicit"}
+
+func (c PlaceCause) String() string { return placeNames[c] }
+
+// PagePlaced records a page placement decision. spilled means the
+// preferred node was full and the OS fell back to another node.
+func (r *Recorder) PagePlaced(vpage int64, node int, cause PlaceCause, spilled bool) {
+	if r != nil {
+		r.pagePlaced(vpage, node, cause, spilled)
+	}
+}
+
+func (r *Recorder) pagePlaced(vpage int64, node int, cause PlaceCause, spilled bool) {
+	r.counts[KPagePlace]++
+	if spilled {
+		r.counts[KPageSpill]++
+	}
+	if r.trace != nil {
+		name := "place " + cause.String()
+		if spilled {
+			name = "spill " + cause.String()
+		}
+		r.trace.instant(name, "pages", node, r.ts(r.now),
+			map[string]any{"vpage": vpage, "node": node})
+	}
+}
+
+// PageMigrated records a page moving between nodes (redistribution).
+func (r *Recorder) PageMigrated(vpage int64, from, to int) {
+	if r != nil {
+		r.counts[KPageMigrate]++
+		if r.trace != nil {
+			r.trace.instant("migrate", "pages", to, r.ts(r.now),
+				map[string]any{"vpage": vpage, "from": from, "to": to})
+		}
+	}
+}
+
+// --- rtl hooks ---
+
+// Redistribute records a c$redistribute call: the array, pages moved and
+// the cycle span charged to the calling processor.
+func (r *Recorder) Redistribute(array string, pages int, proc int, start, end int64) {
+	if r != nil {
+		r.counts[KRedistribute]++
+		r.redistPages += int64(pages)
+		if end > r.now {
+			r.now = end
+		}
+		if r.trace != nil {
+			r.trace.span("redistribute "+array, "rtl", proc, r.ts(start), r.dur(end-start),
+				map[string]any{"pages": pages})
+		}
+	}
+}
+
+// RedistPages returns the total pages moved by redistributions.
+func (r *Recorder) RedistPages() int64 { return r.redistPages }
+
+// PoolAlloc records a reshaped-pool chunk allocation on a processor's
+// node.
+func (r *Recorder) PoolAlloc(proc, node int, bytes int64) {
+	if r != nil {
+		r.counts[KPoolAlloc]++
+		r.poolBytes += bytes
+		_, _ = proc, node
+	}
+}
+
+// PoolBytes returns the total bytes carved into reshaped pools.
+func (r *Recorder) PoolBytes() int64 { return r.poolBytes }
+
+// ArgCheck records a §6 runtime argument check and whether it failed.
+func (r *Recorder) ArgCheck(failed bool) {
+	if r != nil {
+		r.counts[KArgCheck]++
+		if failed {
+			r.counts[KArgCheckFail]++
+		}
+	}
+}
+
+// --- exec hooks ---
+
+// RegionBegin marks the dispatch of a doacross region across nprocs
+// processors at simulated time start.
+func (r *Recorder) RegionBegin(name, file string, line int, start int64, nprocs int) {
+	if r != nil {
+		r.regionBegin(name, file, line, start, nprocs)
+	}
+}
+
+func (r *Recorder) regionBegin(name, file string, line int, start int64, nprocs int) {
+	r.counts[KRegion]++
+	rs := r.byRegion[name]
+	if rs == nil {
+		rs = &RegionStats{Name: name, File: file, Line: line}
+		r.byRegion[name] = rs
+		r.regions = append(r.regions, rs)
+	}
+	rs.Invocations++
+	if nprocs > rs.Procs {
+		rs.Procs = nprocs
+	}
+	// Close the serial segment leading up to the fork.
+	if start > r.serialMark {
+		r.serial.Cycles += start - r.serialMark
+	}
+	r.cur = rs
+	r.regionStart = start
+	r.regionProcs = nprocs
+	if start > r.now {
+		r.now = start
+	}
+	if r.trace != nil {
+		r.trace.counters(r.ts(start), r.counts[KL2MissLocal], r.counts[KL2MissRemote], r.counts[KTLBMiss])
+	}
+}
+
+// RegionEnd closes the current region: ends holds each processor's clock
+// when its work finished (before the implicit barrier), barrierEnd the
+// common clock after the closing barrier.
+func (r *Recorder) RegionEnd(ends []int64, barrierEnd int64) {
+	if r != nil {
+		r.regionEnd(ends, barrierEnd)
+	}
+}
+
+func (r *Recorder) regionEnd(ends []int64, barrierEnd int64) {
+	rs := r.cur
+	rs.Cycles += (barrierEnd - r.regionStart) * int64(r.regionProcs)
+	if r.trace != nil {
+		for p, e := range ends {
+			r.trace.span(rs.Name, "region", p, r.ts(r.regionStart), r.dur(e-r.regionStart), nil)
+		}
+		r.trace.counters(r.ts(barrierEnd), r.counts[KL2MissLocal], r.counts[KL2MissRemote], r.counts[KTLBMiss])
+	}
+	r.serialMark = barrierEnd
+	if barrierEnd > r.now {
+		r.now = barrierEnd
+	}
+	r.cur = r.serial
+}
+
+// QuantumSwitch records the region scheduler switching to another
+// processor's thread.
+func (r *Recorder) QuantumSwitch(proc int) {
+	if r != nil {
+		r.counts[KQuantumSwitch]++
+		_ = proc
+	}
+}
+
+// Finish closes the trailing serial segment at the final clock.
+func (r *Recorder) Finish(finalClock int64) {
+	if r == nil {
+		return
+	}
+	if finalClock > r.serialMark {
+		r.serial.Cycles += finalClock - r.serialMark
+		r.serialMark = finalClock
+	}
+	if finalClock > r.now {
+		r.now = finalClock
+	}
+	if r.trace != nil {
+		r.trace.counters(r.ts(finalClock), r.counts[KL2MissLocal], r.counts[KL2MissRemote], r.counts[KTLBMiss])
+	}
+}
+
+// Regions returns the per-region breakdowns, serial phase first, then in
+// first-dispatch order.
+func (r *Recorder) Regions() []*RegionStats { return r.regions }
+
+// Region returns one region's stats by name, or nil.
+func (r *Recorder) Region(name string) *RegionStats { return r.byRegion[name] }
+
+// TotalCycles sums region cycles (aggregate processor time observed).
+func (r *Recorder) TotalCycles() int64 {
+	var t int64
+	for _, rs := range r.regions {
+		t += rs.Cycles
+	}
+	return t
+}
+
+// TLBFraction is the overall fraction of observed processor time spent in
+// TLB refill — the paper's "TLB time" number (§8.3).
+func (r *Recorder) TLBFraction() float64 {
+	var tlb, tot int64
+	for _, rs := range r.regions {
+		tlb += rs.TLBCyc
+		tot += rs.Cycles
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(tlb) / float64(tot)
+}
+
+// ts converts a cycle count to trace microseconds.
+func (r *Recorder) ts(cycles int64) float64 {
+	return float64(cycles) / float64(r.cfg.ClockMHz)
+}
+
+func (r *Recorder) dur(cycles int64) float64 {
+	if cycles < 0 {
+		return 0
+	}
+	return float64(cycles) / float64(r.cfg.ClockMHz)
+}

@@ -1,0 +1,255 @@
+// Profile reporting: the perfex/SpeedShop-style views dsmprof prints, plus
+// JSON and CSV serializations of the same data for dsmbench and scripts.
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// RegionSummary is the serializable form of one region's breakdown.
+type RegionSummary struct {
+	Name        string  `json:"name"`
+	File        string  `json:"file,omitempty"`
+	Line        int     `json:"line,omitempty"`
+	Invocations int64   `json:"invocations"`
+	Procs       int     `json:"procs"`
+	Cycles      int64   `json:"cycles"`
+	ComputeCyc  int64   `json:"compute_cyc"`
+	LocalCyc    int64   `json:"local_miss_cyc"`
+	RemoteCyc   int64   `json:"remote_miss_cyc"`
+	TLBCyc      int64   `json:"tlb_cyc"`
+	BWWaitCyc   int64   `json:"bw_wait_cyc"`
+	BarrierCyc  int64   `json:"barrier_cyc"`
+	TLBFrac     float64 `json:"tlb_frac"`
+	LocalMiss   int64   `json:"local_miss"`
+	RemoteMiss  int64   `json:"remote_miss"`
+	TLBMiss     int64   `json:"tlb_miss"`
+}
+
+// NodeCell is one heat-map cell in serialized form.
+type NodeCell struct {
+	Node         int   `json:"node"`
+	LocalMiss    int64 `json:"local_miss"`
+	RemoteMiss   int64 `json:"remote_miss"`
+	ServedRemote int64 `json:"served_remote"`
+	TLBMiss      int64 `json:"tlb_miss"`
+}
+
+// ArraySummary is the serialized per-array heat map.
+type ArraySummary struct {
+	Name   string     `json:"name"`
+	Bytes  int64      `json:"bytes"`
+	Local  int64      `json:"local_miss"`
+	Remote int64      `json:"remote_miss"`
+	Nodes  []NodeCell `json:"nodes"`
+}
+
+// PageSummary is one hot page.
+type PageSummary struct {
+	VPage        int64   `json:"vpage"`
+	Array        string  `json:"array,omitempty"`
+	Home         int     `json:"home"`
+	Local        int64   `json:"local_miss"`
+	Remote       int64   `json:"remote_miss"`
+	RemoteByNode []int64 `json:"remote_by_node"`
+}
+
+// Summary is the full serializable profile.
+type Summary struct {
+	Machine     string            `json:"machine"`
+	Procs       int               `json:"procs"`
+	Nodes       int               `json:"nodes"`
+	TotalCycles int64             `json:"total_cycles"`
+	TLBFraction float64           `json:"tlb_fraction"`
+	Counts      map[string]int64  `json:"counts"`
+	Regions     []RegionSummary   `json:"regions"`
+	Arrays      []ArraySummary    `json:"arrays"`
+	TopPages    []PageSummary     `json:"top_pages"`
+	Meta        map[string]string `json:"meta,omitempty"`
+}
+
+// Summarize freezes the recorder's state into a Summary; topPages bounds
+// the hot-page list (<=0 means 10).
+func (r *Recorder) Summarize(topPages int) *Summary {
+	if topPages <= 0 {
+		topPages = 10
+	}
+	s := &Summary{
+		Machine:     r.cfg.Name,
+		Procs:       r.cfg.NProcs,
+		Nodes:       r.nnodes,
+		TotalCycles: r.TotalCycles(),
+		TLBFraction: r.TLBFraction(),
+		Counts:      r.Counts(),
+		Meta:        r.meta,
+	}
+	for _, rs := range r.regions {
+		s.Regions = append(s.Regions, RegionSummary{
+			Name: rs.Name, File: rs.File, Line: rs.Line,
+			Invocations: rs.Invocations, Procs: rs.Procs, Cycles: rs.Cycles,
+			ComputeCyc: rs.ComputeCyc(), LocalCyc: rs.LocalMissCyc,
+			RemoteCyc: rs.RemoteMissCyc, TLBCyc: rs.TLBCyc,
+			BWWaitCyc: rs.BWWaitCyc, BarrierCyc: rs.BarrierCyc,
+			TLBFrac:   rs.TLBFrac(),
+			LocalMiss: rs.LocalMiss, RemoteMiss: rs.RemoteMiss, TLBMiss: rs.TLBMiss,
+		})
+	}
+	for _, ai := range r.arrays {
+		local, remote := ai.Misses()
+		as := ArraySummary{Name: ai.Name, Bytes: ai.Bytes, Local: local, Remote: remote}
+		for n, h := range ai.Nodes {
+			as.Nodes = append(as.Nodes, NodeCell{Node: n, LocalMiss: h.LocalMiss,
+				RemoteMiss: h.RemoteMiss, ServedRemote: h.ServedRemote, TLBMiss: h.TLBMiss})
+		}
+		s.Arrays = append(s.Arrays, as)
+	}
+	// Hottest pages by remote misses.
+	type hot struct {
+		vp int64
+		ph *PageHeat
+	}
+	var hots []hot
+	for vp, ph := range r.pages {
+		if ph != nil && ph.Remote > 0 {
+			hots = append(hots, hot{int64(vp), ph})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].ph.Remote != hots[j].ph.Remote {
+			return hots[i].ph.Remote > hots[j].ph.Remote
+		}
+		return hots[i].vp < hots[j].vp
+	})
+	if len(hots) > topPages {
+		hots = hots[:topPages]
+	}
+	for _, h := range hots {
+		ps := PageSummary{VPage: h.vp, Home: h.ph.Home, Local: h.ph.Local,
+			Remote: h.ph.Remote, RemoteByNode: h.ph.RemoteByNode}
+		if ai := r.arrayAt(h.vp << r.pshift); ai != nil {
+			ps.Array = ai.Name
+		}
+		s.TopPages = append(s.TopPages, ps)
+	}
+	return s
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the per-region breakdown as CSV (one row per region).
+func (s *Summary) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"region", "file", "line", "invocations", "procs",
+		"cycles", "compute_cyc", "local_miss_cyc", "remote_miss_cyc", "tlb_cyc",
+		"bw_wait_cyc", "barrier_cyc", "tlb_frac", "local_miss", "remote_miss", "tlb_miss"}); err != nil {
+		return err
+	}
+	for _, rg := range s.Regions {
+		rec := []string{rg.Name, rg.File, strconv.Itoa(rg.Line),
+			strconv.FormatInt(rg.Invocations, 10), strconv.Itoa(rg.Procs),
+			strconv.FormatInt(rg.Cycles, 10), strconv.FormatInt(rg.ComputeCyc, 10),
+			strconv.FormatInt(rg.LocalCyc, 10), strconv.FormatInt(rg.RemoteCyc, 10),
+			strconv.FormatInt(rg.TLBCyc, 10), strconv.FormatInt(rg.BWWaitCyc, 10),
+			strconv.FormatInt(rg.BarrierCyc, 10),
+			strconv.FormatFloat(rg.TLBFrac, 'f', 6, 64),
+			strconv.FormatInt(rg.LocalMiss, 10), strconv.FormatInt(rg.RemoteMiss, 10),
+			strconv.FormatInt(rg.TLBMiss, 10)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// WriteText renders the human profile: header, per-region breakdown,
+// per-array × per-node heat maps and the hottest pages.
+func (s *Summary) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "machine %s: %d processors, %d nodes\n", s.Machine, s.Procs, s.Nodes)
+	metaKeys := make([]string, 0, len(s.Meta))
+	for k := range s.Meta {
+		metaKeys = append(metaKeys, k)
+	}
+	sort.Strings(metaKeys)
+	for _, k := range metaKeys {
+		fmt.Fprintf(w, "  %s: %s\n", k, s.Meta[k])
+	}
+	fmt.Fprintf(w, "observed processor time: %d cycles (TLB fraction %.1f%%)\n\n",
+		s.TotalCycles, 100*s.TLBFraction)
+
+	fmt.Fprintf(w, "per-region breakdown (cycles summed over processors):\n")
+	fmt.Fprintf(w, "  %-24s %-16s %6s %5s %14s %8s %8s %8s %7s %7s %8s\n",
+		"region", "source", "invoc", "procs", "cycles",
+		"compute%", "l2loc%", "l2rem%", "tlb%", "bwq%", "barrier%")
+	for _, rg := range s.Regions {
+		src := "-"
+		if rg.File != "" {
+			src = fmt.Sprintf("%s:%d", rg.File, rg.Line)
+		}
+		fmt.Fprintf(w, "  %-24s %-16s %6d %5d %14d %7.1f%% %7.1f%% %7.1f%% %6.1f%% %6.1f%% %7.1f%%\n",
+			rg.Name, src, rg.Invocations, rg.Procs, rg.Cycles,
+			pct(rg.ComputeCyc, rg.Cycles), pct(rg.LocalCyc, rg.Cycles),
+			pct(rg.RemoteCyc, rg.Cycles), pct(rg.TLBCyc, rg.Cycles),
+			pct(rg.BWWaitCyc, rg.Cycles), pct(rg.BarrierCyc, rg.Cycles))
+	}
+
+	if len(s.Arrays) > 0 {
+		fmt.Fprintf(w, "\nper-array heat maps (L2 misses local/remote by accessing node; served = remote misses a node's memory supplied):\n")
+		for _, a := range s.Arrays {
+			if a.Local+a.Remote == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-24s %10d bytes  local %d  remote %d\n", a.Name, a.Bytes, a.Local, a.Remote)
+			fmt.Fprintf(w, "    %-6s %12s %12s %12s %10s\n", "node", "local", "remote", "served", "tlb")
+			for _, n := range a.Nodes {
+				if n.LocalMiss+n.RemoteMiss+n.ServedRemote+n.TLBMiss == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "    %-6d %12d %12d %12d %10d\n",
+					n.Node, n.LocalMiss, n.RemoteMiss, n.ServedRemote, n.TLBMiss)
+			}
+		}
+	}
+
+	if len(s.TopPages) > 0 {
+		fmt.Fprintf(w, "\nhottest pages by remote misses:\n")
+		for _, p := range s.TopPages {
+			arr := p.Array
+			if arr == "" {
+				arr = "?"
+			}
+			fmt.Fprintf(w, "  vpage %-8d %-24s home node %-3d local %-10d remote %-10d by-node %v\n",
+				p.VPage, arr, p.Home, p.Local, p.Remote, p.RemoteByNode)
+		}
+	}
+
+	if len(s.Counts) > 0 {
+		fmt.Fprintf(w, "\nevent counts:\n")
+		keys := make([]string, 0, len(s.Counts))
+		for k := range s.Counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-18s %d\n", k, s.Counts[k])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+// Chrome trace_event export: the recorder can keep a bounded timeline of
+// region spans, barrier waits, redistributions and page events, written as
+// the JSON object format chrome://tracing and Perfetto load. Timestamps
+// are simulated time converted to microseconds at the machine clock.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceEvent is one Chrome trace_event record.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace process ids: processor tracks vs page/memory tracks.
+const (
+	pidProcs = 0
+	pidPages = 1
+)
+
+// DefaultTraceEvents bounds a trace unless EnableTrace is told otherwise.
+const DefaultTraceEvents = 1 << 20
+
+// Trace is the bounded event buffer.
+type Trace struct {
+	events  []TraceEvent
+	max     int
+	dropped int64
+}
+
+// EnableTrace turns timeline collection on, keeping at most maxEvents
+// events (<=0 means DefaultTraceEvents).
+func (r *Recorder) EnableTrace(maxEvents int) {
+	if r == nil {
+		return
+	}
+	if maxEvents <= 0 {
+		maxEvents = DefaultTraceEvents
+	}
+	r.trace = &Trace{max: maxEvents}
+}
+
+// TraceEnabled reports whether the recorder keeps a timeline.
+func (r *Recorder) TraceEnabled() bool { return r != nil && r.trace != nil }
+
+// TraceEvents returns the collected events (tests, exporters).
+func (r *Recorder) TraceEvents() []TraceEvent {
+	if r == nil || r.trace == nil {
+		return nil
+	}
+	return r.trace.events
+}
+
+// TraceDropped returns how many events were discarded at the cap.
+func (r *Recorder) TraceDropped() int64 {
+	if r == nil || r.trace == nil {
+		return 0
+	}
+	return r.trace.dropped
+}
+
+func (t *Trace) add(ev TraceEvent) {
+	if len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+func (t *Trace) span(name, cat string, proc int, ts, dur float64, args map[string]any) {
+	t.add(TraceEvent{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: dur,
+		Pid: pidProcs, Tid: proc, Args: args})
+}
+
+func (t *Trace) instant(name, cat string, node int, ts float64, args map[string]any) {
+	t.add(TraceEvent{Name: name, Cat: cat, Ph: "i", Ts: ts, S: "t",
+		Pid: pidPages, Tid: node, Args: args})
+}
+
+func (t *Trace) counters(ts float64, local, remote, tlb int64) {
+	t.add(TraceEvent{Name: "L2 misses", Ph: "C", Ts: ts, Pid: pidProcs, Tid: 0,
+		Args: map[string]any{"local": local, "remote": remote}})
+	t.add(TraceEvent{Name: "TLB misses", Ph: "C", Ts: ts, Pid: pidProcs, Tid: 0,
+		Args: map[string]any{"misses": tlb}})
+}
+
+// traceFile is the on-disk JSON object format.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace writes the timeline as Chrome trace-event JSON. Metadata
+// events naming the processor and page tracks are prepended.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	evs := []TraceEvent{
+		{Name: "process_name", Ph: "M", Pid: pidProcs,
+			Args: map[string]any{"name": "processors"}},
+		{Name: "process_name", Ph: "M", Pid: pidPages,
+			Args: map[string]any{"name": "pages"}},
+	}
+	if r != nil && r.trace != nil {
+		evs = append(evs, r.trace.events...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}

@@ -20,6 +20,7 @@ import (
 	"math/bits"
 
 	"dsmdist/internal/machine"
+	"dsmdist/internal/obs"
 )
 
 // Policy selects what happens when an unmapped page is first touched.
@@ -41,6 +42,23 @@ func (p Policy) String() string {
 		return "round-robin"
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// PolicyNames lists the accepted command-line spellings for ParsePolicy.
+const PolicyNames = "first-touch (ft), round-robin (rr)"
+
+// ParsePolicy maps a command-line spelling to a Policy. Note the policy
+// only governs pages not claimed by a distribution directive: regular and
+// reshaped placement comes from c$distribute/c$distribute_reshape in the
+// source, not from this setting.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "first-touch", "ft":
+		return FirstTouch, nil
+	case "round-robin", "rr":
+		return RoundRobin, nil
+	}
+	return FirstTouch, fmt.Errorf("unknown policy %q (accepted: %s)", s, PolicyNames)
 }
 
 // Page is the placement record for one virtual page.
@@ -79,7 +97,12 @@ type Manager struct {
 	rrNext   int
 
 	stats Stats
+
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches the observability sink (nil detaches it).
+func (m *Manager) SetRecorder(r *obs.Recorder) { m.rec = r }
 
 // New creates a manager for the machine configuration.
 func New(cfg *machine.Config) *Manager {
@@ -192,17 +215,22 @@ func (m *Manager) Touch(vaddr int64, toucherNode int) int {
 		return m.pages[vp].Node
 	}
 	var preferred int
+	cause := obs.PlaceFirstTouch
 	switch m.policy {
 	case RoundRobin:
 		preferred = m.rrNext
 		m.rrNext = (m.rrNext + 1) % m.nnodes
 		m.stats.RoundRobin++
+		cause = obs.PlaceRoundRobin
 	default:
 		preferred = toucherNode
 		m.stats.FirstTouch++
 	}
 	node := m.pickNode(preferred)
 	m.allocOn(vp, node, node != preferred)
+	if m.rec != nil {
+		m.rec.PagePlaced(vp, node, cause, node != preferred)
+	}
 	return node
 }
 
@@ -229,17 +257,24 @@ func (m *Manager) Place(lo, hi int64, node int, migrate bool) int {
 			if !migrate || pg.Node == node {
 				continue
 			}
+			from := pg.Node
 			m.stats.PerNode[pg.Node]--
 			m.free[pg.Node]++
 			m.stats.Mapped--
 			m.stats.Migrated++
 			real := m.pickNode(node)
 			m.allocOn(vp, real, real != node)
+			if m.rec != nil {
+				m.rec.PageMigrated(vp, from, real)
+			}
 			moved++
 			continue
 		}
 		real := m.pickNode(node)
 		m.allocOn(vp, real, real != node)
+		if m.rec != nil {
+			m.rec.PagePlaced(vp, real, obs.PlaceExplicit, real != node)
+		}
 		m.stats.Placed++
 		moved++
 	}

@@ -141,11 +141,16 @@ func (rt *Runtime) redistribute(t *bytecode.Thread, planID int) (int64, error) {
 	st.Plan.Spec = &sp
 	rt.writeDescriptor(st)
 
+	start := rt.Sys.Clock(t.Proc)
 	moved := rt.placeRegular(st, true)
 	rt.RedistPages += int64(moved)
 	// Cost model: page copy plus remap overhead per moved page.
 	perPage := int64(rt.Cfg.PageBytes/8) + 2000
 	rt.Sys.AddCycles(t.Proc, int64(moved)*perPage)
+	if rt.Rec != nil {
+		rt.Rec.Redistribute(st.Plan.Unit+"."+st.Plan.Name, moved, t.Proc,
+			start, rt.Sys.Clock(t.Proc))
+	}
 	return int64(moved), nil
 }
 
@@ -291,7 +296,10 @@ func (rt *Runtime) arrayByPortionAddr(addr int64) *ArrayState {
 // formal ("Upon entry to each subroutine, we take the incoming value for
 // each parameter and use it as an index into the hash table ... generating
 // a runtime error in case of a mismatch", §6).
-func (rt *Runtime) argCheck(addr int64, formalID int) error {
+func (rt *Runtime) argCheck(addr int64, formalID int) (err error) {
+	if rt.Rec != nil {
+		defer func() { rt.Rec.ArgCheck(err != nil) }()
+	}
 	lst := rt.argTable[addr]
 	if len(lst) == 0 {
 		return nil // not a reshaped actual: nothing to verify

@@ -18,6 +18,7 @@ import (
 	"dsmdist/internal/ir"
 	"dsmdist/internal/machine"
 	"dsmdist/internal/memsim"
+	"dsmdist/internal/obs"
 	"dsmdist/internal/ospage"
 )
 
@@ -91,6 +92,10 @@ type Runtime struct {
 	// (schedtype(dynamic) and schedtype(gss)); the executor resets it at
 	// each region fork.
 	DynCursor int64
+
+	// Rec is the observability sink shared with memsim/ospage/exec (nil
+	// when tracing is off).
+	Rec *obs.Recorder
 }
 
 // ResetDynamic clears the dynamic-scheduling cursor; the executor calls it
@@ -115,14 +120,28 @@ type pool struct {
 // descriptors and portion pools, and places pages for regular
 // distributions.
 func Load(res *codegen.Result, cfg *machine.Config, policy ospage.Policy) (*Runtime, error) {
+	return LoadObs(res, cfg, policy, nil)
+}
+
+// LoadObs is Load with an observability sink: the recorder is attached to
+// the page manager and memory system before any placement happens, so
+// load-time events (explicit distribution placement, pool growth) are
+// captured, and the runtime registers every array's address ranges for
+// miss attribution.
+func LoadObs(res *codegen.Result, cfg *machine.Config, policy ospage.Policy, rec *obs.Recorder) (*Runtime, error) {
 	pages := ospage.New(cfg)
 	pages.SetPolicy(policy)
 	sys, err := memsim.New(cfg, pages)
 	if err != nil {
 		return nil, err
 	}
+	if rec != nil {
+		pages.SetRecorder(rec)
+		sys.SetRecorder(rec)
+	}
 	rt := &Runtime{
 		Cfg: cfg, Sys: sys, Pages: pages, Prog: res.Prog, Res: res,
+		Rec:      rec,
 		byDesc:   map[int64]*ArrayState{},
 		argTable: map[int64][]pushedArg{},
 	}
@@ -159,7 +178,42 @@ func Load(res *codegen.Result, cfg *machine.Config, policy ospage.Policy) (*Runt
 			rt.byDesc[st.DescAddr] = st
 		}
 	}
+	if rec != nil {
+		for _, st := range rt.Arrays {
+			rec.RegisterArray(st.Plan.Unit+"."+st.Plan.Name, st.AddrRanges())
+		}
+	}
 	return rt, nil
+}
+
+// AttachRecorder connects an observability sink to an already-loaded
+// runtime (load-time placement events have passed, but arrays are
+// registered for attribution and all further events flow).
+func (rt *Runtime) AttachRecorder(rec *obs.Recorder) {
+	rt.Rec = rec
+	rt.Pages.SetRecorder(rec)
+	rt.Sys.SetRecorder(rec)
+	if rec != nil {
+		for _, st := range rt.Arrays {
+			rec.RegisterArray(st.Plan.Unit+"."+st.Plan.Name, st.AddrRanges())
+		}
+	}
+}
+
+// AddrRanges returns the byte ranges backing the array: the base range for
+// static and regular arrays, one range per portion for reshaped arrays.
+func (st *ArrayState) AddrRanges() [][2]int64 {
+	if st.Portions != nil {
+		out := make([][2]int64, 0, len(st.Portions))
+		for _, base := range st.Portions {
+			out = append(out, [2]int64{base, base + st.PortionBytes})
+		}
+		return out
+	}
+	if st.Base == 0 {
+		return nil
+	}
+	return [][2]int64{{st.Base, st.Base + st.TotalElems()*8}}
 }
 
 // loadArray materializes one array.
@@ -246,6 +300,9 @@ func (rt *Runtime) poolAlloc(pl *pool, p int, n int64) int64 {
 		}
 		base := rt.Sys.Alloc(chunk, pb)
 		rt.Pages.Place(base, base+chunk, rt.Cfg.NodeOf(p), false)
+		if rt.Rec != nil {
+			rt.Rec.PoolAlloc(p, rt.Cfg.NodeOf(p), chunk)
+		}
 		pl.cur, pl.end = base, base+chunk
 	}
 	a := pl.cur
