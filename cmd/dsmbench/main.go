@@ -9,16 +9,26 @@
 //	                              (table2 | fig4 | fig5 | fig6 | fig7)
 //	dsmbench -quick               small sizes for a fast smoke run
 //	dsmbench -procs 1,4,16,64     override the processor sweep
+//	dsmbench -par 4               host worker parallelism per sweep
+//	                              (0 = GOMAXPROCS; simulated results are
+//	                              bit-identical at any setting)
 //	dsmbench -json rows.json      also write every row (including the full
-//	                              per-policy memory-system counters) as JSON
+//	                              per-policy memory-system counters and the
+//	                              host wall_ms per point) as JSON
+//	dsmbench -cpuprofile cpu.pb   host pprof profiles of the harness itself
+//	dsmbench -memprofile mem.pb   (the simulated machine's profiler is
+//	                              cmd/dsmprof)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"dsmdist/internal/experiments"
 )
@@ -27,13 +37,17 @@ func main() {
 	expName := flag.String("exp", "all", "experiment: all | table2 | fig4 | fig5 | fig6 | fig7")
 	quick := flag.Bool("quick", false, "use small sizes")
 	procsFlag := flag.String("procs", "", "comma-separated processor counts")
+	par := flag.Int("par", 0, "host workers per sweep (0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := flag.String("json", "", "write all rows as JSON to file")
+	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to file")
+	memProfile := flag.String("memprofile", "", "write a host heap profile to file")
 	flag.Parse()
 
 	sizes := experiments.Full()
 	if *quick {
 		sizes = experiments.Quick()
 	}
+	sizes.Par = *par
 	if *procsFlag != "" {
 		var ps []int
 		for _, tok := range strings.Split(*procsFlag, ",") {
@@ -42,6 +56,16 @@ func main() {
 			ps = append(ps, v)
 		}
 		sizes.Procs = ps
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		die(err)
+		die(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			die(f.Close())
+		}()
 	}
 
 	type expFn struct {
@@ -63,10 +87,12 @@ func main() {
 		}
 		ran++
 		fmt.Printf("==== %s ====\n", e.name)
+		t0 := time.Now()
 		rows, err := e.fn(sizes)
 		die(err)
 		experiments.Print(os.Stdout, rows)
-		fmt.Println()
+		fmt.Printf("host: %s wall, %d workers\n\n",
+			time.Since(t0).Round(time.Millisecond), workers(sizes.Par))
 		allRows = append(allRows, rows...)
 	}
 	if ran == 0 {
@@ -79,6 +105,20 @@ func main() {
 		die(f.Close())
 		fmt.Printf("wrote %d rows to %s\n", len(allRows), *jsonOut)
 	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		die(err)
+		runtime.GC()
+		die(pprof.WriteHeapProfile(f))
+		die(f.Close())
+	}
+}
+
+func workers(par int) int {
+	if par <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return par
 }
 
 func die(err error) {

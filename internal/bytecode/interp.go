@@ -32,9 +32,11 @@ const (
 // the executor releases the thread once all peers arrive.
 var ErrBarrier = errors.New("bytecode: barrier rendezvous")
 
-// Costs is the per-opcode cycle table derived from a machine config.
+// Costs is the per-opcode cycle table derived from a machine config. The
+// table spans the whole uint8 opcode space so indexing it with an Op never
+// needs a bounds check on the interpreter's hot path.
 type Costs struct {
-	tab  [64]int64
+	tab  [256]int64
 	ldst int64
 }
 
@@ -156,35 +158,40 @@ func (t *Thread) Step(quantum int) Status {
 // uses the cycle bound to keep concurrently simulated processors within one
 // bandwidth window of each other, so the shared memory-contention model
 // sees a faithful arrival order.
+//
+// Cycle and instruction counts accumulate in locals and are flushed at the
+// exits and before every memory or runtime call (the memory model's
+// bandwidth windows read the clock); that batching is a pure host-side
+// optimization — the charged cycles are identical to charging per
+// instruction.
 func (t *Thread) StepCycles(quantum int, maxCyc int64) Status {
 	sys := t.Sys
 	costs := t.costs
 	proc := t.Proc
 	start := sys.Clock(proc)
-	var cyc int64
-	flush := func() {
-		sys.AddCycles(proc, cyc)
-		cyc = 0
-	}
+	var cyc, instrs int64
+	status := Running
+
+loop:
 	for n := 0; n < quantum; n++ {
-		t.Instrs++
+		instrs++
 		if n&15 == 0 && sys.Clock(proc)+cyc-start >= maxCyc {
-			flush()
-			return Running
+			break loop
 		}
 		if len(t.frames) == 0 {
-			flush()
-			return Done
+			status = Done
+			break loop
 		}
 		f := &t.frames[len(t.frames)-1]
-		if f.pc >= len(f.fn.Code) {
-			flush()
-			return t.trap(f, "fell off end of function")
+		code := f.fn.Code
+		r := f.regs
+		if f.pc >= len(code) {
+			status = t.trap(f, "fell off end of function")
+			break loop
 		}
-		in := f.fn.Code[f.pc]
+		in := code[f.pc]
 		f.pc++
 		cyc += costs.tab[in.Op]
-		r := f.regs
 		switch in.Op {
 		case Nop:
 		case LdI:
@@ -199,8 +206,8 @@ func (t *Thread) StepCycles(quantum int, maxCyc int64) Status {
 			r[in.A] = r[in.B] * r[in.C]
 		case DivI, FpDivI:
 			if r[in.C] == 0 {
-				flush()
-				return t.trap(f, "integer division by zero")
+				status = t.trap(f, "integer division by zero")
+				break loop
 			}
 			r[in.A] = r[in.B] / r[in.C]
 			if in.Op == DivI {
@@ -210,8 +217,8 @@ func (t *Thread) StepCycles(quantum int, maxCyc int64) Status {
 			}
 		case ModI, FpModI:
 			if r[in.C] == 0 {
-				flush()
-				return t.trap(f, "integer modulo by zero")
+				status = t.trap(f, "integer modulo by zero")
+				break loop
 			}
 			r[in.A] = r[in.B] % r[in.C]
 			if in.Op == ModI {
@@ -312,18 +319,22 @@ func (t *Thread) StepCycles(quantum int, maxCyc int64) Status {
 		case Ld:
 			addr := r[in.B] + in.Imm
 			if addr < 8 || addr >= sys.Brk() {
-				flush()
-				return t.trap(f, "load from invalid address %d", addr)
+				status = t.trap(f, "load from invalid address %d", addr)
+				break loop
 			}
-			flush()
+			// The clock must be current before the access: the memory
+			// model's bandwidth windows read it.
+			sys.AddCycles(proc, cyc)
+			cyc = 0
 			r[in.A] = int64(sys.LoadWord(proc, addr))
 		case St:
 			addr := r[in.B] + in.Imm
 			if addr < 8 || addr >= sys.Brk() {
-				flush()
-				return t.trap(f, "store to invalid address %d", addr)
+				status = t.trap(f, "store to invalid address %d", addr)
+				break loop
 			}
-			flush()
+			sys.AddCycles(proc, cyc)
+			cyc = 0
 			sys.StoreWord(proc, addr, uint64(r[in.A]))
 		case MyidOp:
 			r[in.A] = int64(proc)
@@ -340,58 +351,62 @@ func (t *Thread) StepCycles(quantum int, maxCyc int64) Status {
 			args := make([]int64, nargs)
 			copy(args, f.outArgs[:nargs])
 			if t.SP+callee.FrameBytes > t.StackEnd {
-				flush()
-				return t.trap(f, "stack overflow calling %s", callee.Name)
+				status = t.trap(f, "stack overflow calling %s", callee.Name)
+				break loop
 			}
 			if len(t.frames) > 200 {
-				flush()
-				return t.trap(f, "call depth exceeded (recursion is not supported)")
+				status = t.trap(f, "call depth exceeded (recursion is not supported)")
+				break loop
 			}
 			t.push(callee, args)
 		case GetArg:
 			if int(in.B) >= len(f.args) {
-				flush()
-				return t.trap(f, "argument %d not supplied", in.B)
+				status = t.trap(f, "argument %d not supplied", in.B)
+				break loop
 			}
 			r[in.A] = f.args[in.B]
 		case Ret:
 			t.SP = f.savedSP
 			t.frames = t.frames[:len(t.frames)-1]
 			if len(t.frames) == 0 {
-				flush()
-				return Done
+				status = Done
+				break loop
 			}
 		case ParCall:
 			t.ParFn = int(in.Imm)
 			t.ParArgs = make([]int64, in.C)
 			copy(t.ParArgs, r[in.A:int(in.A)+int(in.C)])
-			flush()
-			return AtParCall
+			status = AtParCall
+			break loop
 		case RTC:
 			nargs := int(in.C)
 			args := make([]int64, nargs)
 			copy(args, r[in.B:int(in.B)+nargs])
-			flush()
+			sys.AddCycles(proc, cyc)
+			cyc = 0
 			res, err := t.RT.RTCall(t, int(in.A), args)
 			if err == ErrBarrier {
 				r[in.B] = 0
-				return AtBarrier
+				status = AtBarrier
+				break loop
 			}
 			if err != nil {
 				t.Err = err
-				return Done
+				status = Done
+				break loop
 			}
 			r[in.B] = res
 		case Halt:
-			flush()
-			return Done
+			status = Done
+			break loop
 		default:
-			flush()
-			return t.trap(f, "illegal opcode %v", in.Op)
+			status = t.trap(f, "illegal opcode %v", in.Op)
+			break loop
 		}
 	}
-	flush()
-	return Running
+	sys.AddCycles(proc, cyc)
+	t.Instrs += instrs
+	return status
 }
 
 func ffrom(bits int64) float64 { return math.Float64frombits(uint64(bits)) }

@@ -219,6 +219,26 @@ func (p *Program) Patch() error {
 	return nil
 }
 
+// Clone deep-copies the load-mutable state of the program: the loader
+// assigns Syms addresses (and normalizes Bytes) and Patch rewrites Code
+// immediates in place, so a program served from a build cache must be
+// cloned before every load. Relocs are immutable and stay shared.
+func (p *Program) Clone() *Program {
+	np := &Program{Main: p.Main, Relocs: p.Relocs}
+	np.Fns = make([]*Fn, len(p.Fns))
+	for i, f := range p.Fns {
+		nf := *f
+		nf.Code = append([]Instr(nil), f.Code...)
+		np.Fns[i] = &nf
+	}
+	np.Syms = make([]*DataSym, len(p.Syms))
+	for i, s := range p.Syms {
+		ns := *s
+		np.Syms[i] = &ns
+	}
+	return np
+}
+
 // FindFn returns the index of the named function, or -1.
 func (p *Program) FindFn(name string) int {
 	for i, f := range p.Fns {

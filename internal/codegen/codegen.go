@@ -87,6 +87,23 @@ type Result struct {
 	Checks  []CheckInfo
 }
 
+// Clone deep-copies the run-mutable parts of the result, so a cached
+// compile can be loaded and run many times (concurrently) without the runs
+// seeing each other: the loader patches Prog in place, and redistribute
+// replaces an ArrayPlan's Spec pointer at run time. RedistPlans, plan Dims,
+// and the Spec values themselves are never mutated in place and stay
+// shared.
+func (r *Result) Clone() *Result {
+	nr := &Result{Prog: r.Prog.Clone(), Redists: r.Redists}
+	nr.Arrays = make([]*ArrayPlan, len(r.Arrays))
+	for i, a := range r.Arrays {
+		na := *a
+		nr.Arrays[i] = &na
+	}
+	nr.Checks = append([]CheckInfo(nil), r.Checks...)
+	return nr
+}
+
 // Env supplies link-level policy to codegen.
 type Env struct {
 	// Resolve maps a callee name and its reshaped-argument signature to

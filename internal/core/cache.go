@@ -1,0 +1,100 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dsmdist/internal/link"
+)
+
+// BuildCache memoizes compiled images across Toolchain.Build calls, keyed
+// by the exact source set and compilation options. Experiment sweeps
+// recompile the identical Fortran program for every policy × processor
+// point; with a shared cache each distinct (source, options) variant is
+// compiled once per sweep.
+//
+// The cache is safe for concurrent use and coalesces concurrent builds of
+// the same key into one compile. The canonical image stored in the cache is
+// never handed out: every Build returns a fresh link.Image.Clone, because
+// loading an image mutates it (symbol layout, relocation patching,
+// run-time redistribution). That also makes cached builds safe to run in
+// parallel.
+type BuildCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	img  *link.Image
+	err  error
+}
+
+// NewBuildCache returns an empty cache; share one across the Toolchains of
+// a sweep via Toolchain.Cache.
+func NewBuildCache() *BuildCache {
+	return &BuildCache{entries: map[string]*cacheEntry{}}
+}
+
+// Stats reports how many Builds reused a compiled image (hits) and how many
+// had to compile (misses). Concurrent Builds of the same key block on a
+// single compile; the waiters count as hits.
+func (c *BuildCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// get returns a clone of the image for key, building it at most once.
+func (c *BuildCache) get(key string, build func() (*link.Image, error)) (*link.Image, error) {
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	built := false
+	e.once.Do(func() {
+		e.img, e.err = build()
+		built = true
+	})
+
+	c.mu.Lock()
+	if built {
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.img.Clone(), nil
+}
+
+// cacheKey digests the source set and every compile-relevant Toolchain
+// option. Any new option that changes generated code must be added here.
+func (tc *Toolchain) cacheKey(sources map[string]string) string {
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	fmt.Fprintf(h, "tile=%v hoist=%v cse=%v fpdiv=%v checks=%v",
+		tc.Opt.TilePeel, tc.Opt.Hoist, tc.Opt.CSE, tc.Opt.FPDiv, tc.RuntimeChecks)
+	for _, n := range names {
+		src := sources[n]
+		fmt.Fprintf(h, "|%d:%s|%d:", len(n), n, len(src))
+		h.Write([]byte(src))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"dsmdist/internal/machine"
+	"dsmdist/internal/workloads"
+	"dsmdist/internal/xform"
+)
+
+func cacheSrc() map[string]string {
+	return map[string]string{"t.f": workloads.Transpose(16, 1, workloads.Reshaped)}
+}
+
+// TestBuildCacheHitMiss: the second identical Build is a hit, and the clone
+// it returns runs to the same simulated result as the first build.
+func TestBuildCacheHitMiss(t *testing.T) {
+	cache := NewBuildCache()
+	tc := New()
+	tc.Cache = cache
+
+	img1, err := tc.Build(cacheSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, err := tc.Build(cacheSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := cache.Stats(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", h, m)
+	}
+	if img1 == img2 || img1.Res == img2.Res || img1.Res.Prog == img2.Res.Prog {
+		t.Fatal("cache handed out a shared image, not a clone")
+	}
+
+	cfg := machine.Tiny(2)
+	r1, err := Run(img1, cfg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(img2, cfg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Total != r2.Total {
+		t.Fatalf("cached clone ran differently: %d/%d cycles", r1.Cycles, r2.Cycles)
+	}
+}
+
+// TestBuildCacheKeyedOnOptions: differing optimization levels or runtime
+// checks must not share an entry.
+func TestBuildCacheKeyedOnOptions(t *testing.T) {
+	cache := NewBuildCache()
+
+	o3 := New()
+	o3.Cache = cache
+	if _, err := o3.Build(cacheSrc()); err != nil {
+		t.Fatal(err)
+	}
+
+	o0 := NewAt(xform.Options{})
+	o0.Cache = cache
+	if _, err := o0.Build(cacheSrc()); err != nil {
+		t.Fatal(err)
+	}
+
+	noChecks := New()
+	noChecks.RuntimeChecks = false
+	noChecks.Cache = cache
+	if _, err := noChecks.Build(cacheSrc()); err != nil {
+		t.Fatal(err)
+	}
+
+	if h, m := cache.Stats(); h != 0 || m != 3 {
+		t.Fatalf("hits=%d misses=%d, want 0/3 (options must split the key)", h, m)
+	}
+
+	// Different source text splits the key too.
+	other := New()
+	other.Cache = cache
+	if _, err := other.Build(map[string]string{"t.f": workloads.Transpose(16, 1, workloads.Serial)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, m := cache.Stats(); m != 4 {
+		t.Fatalf("misses=%d, want 4 after a new source", m)
+	}
+}
+
+// TestBuildCacheConcurrent: concurrent Builds of one key coalesce into a
+// single compile, and every caller can load and run its clone in parallel.
+func TestBuildCacheConcurrent(t *testing.T) {
+	cache := NewBuildCache()
+	const n = 8
+	var wg sync.WaitGroup
+	cycles := make([]int64, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tc := New()
+			tc.Cache = cache
+			img, err := tc.Build(cacheSrc())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := Run(img, machine.Tiny(2), RunOptions{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cycles[i] = res.Cycles
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if h, m := cache.Stats(); m != 1 || h != n-1 {
+		t.Fatalf("hits=%d misses=%d, want %d/1 (one compile, rest coalesced)", h, m, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if cycles[i] != cycles[0] {
+			t.Fatalf("worker %d ran %d cycles, worker 0 ran %d", i, cycles[i], cycles[0])
+		}
+	}
+}
+
+// TestBuildCacheErrorsCached: a failing build is remembered and the error
+// is returned to later callers without recompiling.
+func TestBuildCacheErrorsCached(t *testing.T) {
+	cache := NewBuildCache()
+	tc := New()
+	tc.Cache = cache
+	bad := map[string]string{"bad.f": "      program p\n      this is not fortran\n      end\n"}
+	if _, err := tc.Build(bad); err == nil {
+		t.Fatal("bad source built successfully")
+	}
+	if _, err := tc.Build(bad); err == nil {
+		t.Fatal("cached bad source built successfully")
+	}
+	if h, m := cache.Stats(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1 for a cached failure", h, m)
+	}
+}

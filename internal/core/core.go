@@ -42,6 +42,11 @@ type Toolchain struct {
 	// level, build wall time); pass the same recorder to Run via
 	// RunOptions.Recorder so one profile covers compile and run.
 	Rec *obs.Recorder
+	// Cache, when non-nil, memoizes Build results by (sources, options);
+	// cache hits return a fresh clone of the compiled image, so they are
+	// safe to load and run concurrently. Share one cache across the
+	// toolchains of a sweep.
+	Cache *BuildCache
 }
 
 // New returns a production-default toolchain: all optimizations, runtime
@@ -66,9 +71,35 @@ func (tc *Toolchain) Link(objs ...*obj.Object) (*link.Image, error) {
 }
 
 // Build compiles and links a set of named sources (map iteration order is
-// normalized by name for determinism).
+// normalized by name for determinism). With a Cache attached, identical
+// (sources, options) builds compile once and return fresh clones.
 func (tc *Toolchain) Build(sources map[string]string) (*link.Image, error) {
 	start := time.Now()
+	var img *link.Image
+	var err error
+	if tc.Cache != nil {
+		img, err = tc.Cache.get(tc.cacheKey(sources), func() (*link.Image, error) {
+			return tc.build(sources)
+		})
+	} else {
+		img, err = tc.build(sources)
+	}
+	if err == nil && tc.Rec != nil {
+		names := make([]string, 0, len(sources))
+		for n := range sources {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		tc.Rec.SetMeta("sources", strings.Join(names, " "))
+		tc.Rec.SetMeta("opt", fmt.Sprintf("tile=%v hoist=%v fpdiv=%v",
+			tc.Opt.TilePeel, tc.Opt.Hoist, tc.Opt.FPDiv))
+		tc.Rec.SetMeta("build", time.Since(start).Round(time.Millisecond).String())
+	}
+	return img, err
+}
+
+// build is the uncached compile-and-link pipeline.
+func (tc *Toolchain) build(sources map[string]string) (*link.Image, error) {
 	names := make([]string, 0, len(sources))
 	for n := range sources {
 		names = append(names, n)
@@ -82,14 +113,7 @@ func (tc *Toolchain) Build(sources map[string]string) (*link.Image, error) {
 		}
 		objs = append(objs, o)
 	}
-	img, err := tc.Link(objs...)
-	if err == nil && tc.Rec != nil {
-		tc.Rec.SetMeta("sources", strings.Join(names, " "))
-		tc.Rec.SetMeta("opt", fmt.Sprintf("tile=%v hoist=%v fpdiv=%v",
-			tc.Opt.TilePeel, tc.Opt.Hoist, tc.Opt.FPDiv))
-		tc.Rec.SetMeta("build", time.Since(start).Round(time.Millisecond).String())
-	}
-	return img, err
+	return tc.Link(objs...)
 }
 
 // RunOptions configure execution.

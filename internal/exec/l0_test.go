@@ -1,0 +1,75 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"dsmdist/internal/link"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/obj"
+	"dsmdist/internal/ospage"
+	"dsmdist/internal/rtl"
+	"dsmdist/internal/workloads"
+	"dsmdist/internal/xform"
+)
+
+// runL0 builds and runs the transpose workload with the memory system's L0
+// fast-path memos on or off.
+func runL0(t *testing.T, l0 bool) *Result {
+	t.Helper()
+	src := workloads.Transpose(32, 2, workloads.Reshaped)
+	o, err := obj.Compile("t.f", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	img, err := link.Link([]*obj.Object{o}, link.Config{Opt: xform.O3(), RuntimeChecks: true})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	cfg := machine.Tiny(4)
+	rt, err := rtl.Load(img.Res, cfg, ospage.FirstTouch)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	rt.Sys.SetL0(l0)
+	res, err := RunLoaded(rt, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+// TestL0FastPathDoesNotPerturbSimulation is the whole-program counterpart
+// of memsim's TestL0FastPathBitIdentical (and the analogue of the obs
+// package's TestRecorderDoesNotPerturbSimulation): a full compile-link-run
+// of a real workload must produce identical cycles, per-processor
+// statistics, and results with the host-side L0 memos on and off.
+func TestL0FastPathDoesNotPerturbSimulation(t *testing.T) {
+	on := runL0(t, true)
+	off := runL0(t, false)
+
+	if on.Cycles != off.Cycles {
+		t.Errorf("cycles: L0 on %d, off %d", on.Cycles, off.Cycles)
+	}
+	if on.Instrs != off.Instrs {
+		t.Errorf("instrs: L0 on %d, off %d", on.Instrs, off.Instrs)
+	}
+	if on.Total != off.Total {
+		t.Errorf("total stats diverge\n on  %+v\n off %+v", on.Total, off.Total)
+	}
+	if !reflect.DeepEqual(on.Stats, off.Stats) {
+		for p := range on.Stats {
+			if on.Stats[p] != off.Stats[p] {
+				t.Errorf("proc %d stats diverge\n on  %+v\n off %+v",
+					p, on.Stats[p], off.Stats[p])
+			}
+		}
+	}
+
+	// And the computed data must match, of course.
+	aOn := on.RT.Gather(on.RT.ArrayByName("transp", "a"))
+	aOff := off.RT.Gather(off.RT.ArrayByName("transp", "a"))
+	if !reflect.DeepEqual(aOn, aOff) {
+		t.Error("array contents diverge between L0 on and off")
+	}
+}

@@ -17,7 +17,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"dsmdist/internal/core"
 	"dsmdist/internal/exec"
@@ -40,6 +44,12 @@ type Sizes struct {
 	// exceeds one node, as in the paper (§8.1: 360 MB data vs ~250 MB
 	// free per node => ratio 1.44).
 	LUNodeFrac float64
+	// Par bounds the host-side worker pool that runs sweep points
+	// concurrently (0 = GOMAXPROCS, 1 = serial). Each point builds its
+	// own simulated machine, so Par affects host wall time only: the
+	// rows — cycles, counters, order — are bit-identical at any setting
+	// (TestSweepDeterministicUnderParallelism).
+	Par int
 }
 
 // Full is the scale used by cmd/dsmbench (paper sizes / ScaleFactor).
@@ -81,6 +91,11 @@ type Row struct {
 	// Stats aggregates the per-processor memory-system counters over the
 	// whole run (not just the timed section).
 	Stats memsim.ProcStats `json:"stats"`
+	// WallMS is the host wall-clock time spent building and running this
+	// point, in milliseconds. It describes the harness, not the simulated
+	// machine, varies from run to run, and must be ignored when comparing
+	// rows for determinism.
+	WallMS float64 `json:"wall_ms"`
 }
 
 // variantRun describes one line of a figure.
@@ -101,15 +116,63 @@ func figureVariants() []variantRun {
 	}
 }
 
-// runOne builds and runs one configuration.
-func runOne(src string, opt xform.Options, cfg *machine.Config, policy ospage.Policy) (*exec.Result, error) {
+// runOne builds and runs one configuration. The cache (shared across a
+// sweep, may be nil) deduplicates compiles of identical (source, options)
+// variants; every call still loads and runs its own image.
+func runOne(cache *core.BuildCache, src string, opt xform.Options, cfg *machine.Config, policy ospage.Policy) (*exec.Result, error) {
 	tc := core.NewAt(opt)
 	tc.RuntimeChecks = false // measurement runs, as in the paper
+	tc.Cache = cache
 	img, err := tc.Build(map[string]string{"bench.f": src})
 	if err != nil {
 		return nil, err
 	}
 	return core.Run(img, cfg, core.RunOptions{Policy: policy})
+}
+
+// forEach runs jobs 0..n-1 over a pool of at most par workers (0 =
+// GOMAXPROCS). Results must be written to preallocated per-index slots so
+// output order never depends on scheduling; the error returned is the one
+// from the lowest-numbered failing job, which keeps error reporting
+// deterministic too.
+func forEach(par, n int, job func(int) error) error {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // measured returns the region-of-interest cycles (the dsm_timer section
@@ -171,13 +234,21 @@ func Table2(s Sizes) ([]Row, error) {
 		{"reshape, all optimizations", workloads.Reshaped, xform.O3()},
 		{"original without reshaping", workloads.Plain, xform.O3()},
 	}
-	var rows []Row
-	for _, st := range steps {
-		res, err := runOne(src(st.v), st.opt, cfg(), ospage.FirstTouch)
+	cache := core.NewBuildCache()
+	rows := make([]Row, len(steps))
+	err := forEach(s.Par, len(steps), func(i int) error {
+		st := steps[i]
+		t0 := time.Now()
+		res, err := runOne(cache, src(st.v), st.opt, cfg(), ospage.FirstTouch)
 		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", st.label, err)
+			return fmt.Errorf("table2 %s: %w", st.label, err)
 		}
-		rows = append(rows, rowFrom("table2", st.label, 1, cfg(), res, 0))
+		rows[i] = rowFrom("table2", st.label, 1, cfg(), res, 0)
+		rows[i].WallMS = float64(time.Since(t0)) / float64(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -186,27 +257,27 @@ func Table2(s Sizes) ([]Row, error) {
 func Fig4(s Sizes) ([]Row, error) {
 	return sweep("fig4",
 		func(v workloads.Variant) string { return workloads.LU(s.LUN, s.LUIters, v) },
-		s.Procs, func(p int) *machine.Config { return luMachine(s, p) })
+		s, func(p int) *machine.Config { return luMachine(s, p) })
 }
 
 // Fig5 reproduces the matrix-transpose speedup curves.
 func Fig5(s Sizes) ([]Row, error) {
 	return sweep("fig5",
 		func(v workloads.Variant) string { return workloads.Transpose(s.TransN, s.TransIters, v) },
-		s.Procs, func(p int) *machine.Config { return machine.Scaled(p) })
+		s, func(p int) *machine.Config { return machine.Scaled(p) })
 }
 
 // Fig6 reproduces the small-input 2-D convolution, one- and two-level.
 func Fig6(s Sizes) ([]Row, error) {
 	r1, err := sweep("fig6-1level",
 		func(v workloads.Variant) string { return workloads.Convolution(s.ConvSmallN, s.ConvIters, 1, v) },
-		s.Procs, func(p int) *machine.Config { return machine.Scaled(p) })
+		s, func(p int) *machine.Config { return machine.Scaled(p) })
 	if err != nil {
 		return nil, err
 	}
 	r2, err := sweep("fig6-2level",
 		func(v workloads.Variant) string { return workloads.Convolution(s.ConvSmallN, s.ConvIters, 2, v) },
-		s.Procs, func(p int) *machine.Config { return machine.Scaled(p) })
+		s, func(p int) *machine.Config { return machine.Scaled(p) })
 	if err != nil {
 		return nil, err
 	}
@@ -217,41 +288,60 @@ func Fig6(s Sizes) ([]Row, error) {
 func Fig7(s Sizes) ([]Row, error) {
 	r1, err := sweep("fig7-1level",
 		func(v workloads.Variant) string { return workloads.Convolution(s.ConvLargeN, s.ConvIters, 1, v) },
-		s.Procs, func(p int) *machine.Config { return machine.Scaled(p) })
+		s, func(p int) *machine.Config { return machine.Scaled(p) })
 	if err != nil {
 		return nil, err
 	}
 	r2, err := sweep("fig7-2level",
 		func(v workloads.Variant) string { return workloads.Convolution(s.ConvLargeN, s.ConvIters, 2, v) },
-		s.Procs, func(p int) *machine.Config { return machine.Scaled(p) })
+		s, func(p int) *machine.Config { return machine.Scaled(p) })
 	if err != nil {
 		return nil, err
 	}
 	return append(r1, r2...), nil
 }
 
-// sweep runs the four placement variants across the processor list.
-func sweep(exp string, gen func(workloads.Variant) string, procs []int,
+// sweep runs the four placement variants across the processor list, fanning
+// the points out over a bounded worker pool (Sizes.Par). Every point builds
+// its own machine/runtime, so points are independent; a sweep-wide compile
+// cache deduplicates the per-variant compiles. Rows come back in the fixed
+// variant-major, processor-minor order regardless of parallelism.
+func sweep(exp string, gen func(workloads.Variant) string, s Sizes,
 	mkCfg func(int) *machine.Config) ([]Row, error) {
 
+	cache := core.NewBuildCache()
 	baseCfg := mkCfg(1)
-	baseRes, err := runOne(gen(workloads.Serial), xform.O3(), baseCfg, ospage.FirstTouch)
+	baseRes, err := runOne(cache, gen(workloads.Serial), xform.O3(), baseCfg, ospage.FirstTouch)
 	if err != nil {
 		return nil, fmt.Errorf("%s serial baseline: %w", exp, err)
 	}
 	base := measured(baseRes)
 
-	var rows []Row
+	type point struct {
+		vr variantRun
+		p  int
+	}
+	var points []point
 	for _, vr := range figureVariants() {
-		src := gen(vr.variant)
-		for _, p := range procs {
-			cfg := mkCfg(p)
-			res, err := runOne(src, vr.opt, cfg, vr.policy)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s P=%d: %w", exp, vr.label, p, err)
-			}
-			rows = append(rows, rowFrom(exp, vr.label, p, cfg, res, base))
+		for _, p := range s.Procs {
+			points = append(points, point{vr, p})
 		}
+	}
+	rows := make([]Row, len(points))
+	err = forEach(s.Par, len(points), func(i int) error {
+		pt := points[i]
+		cfg := mkCfg(pt.p)
+		t0 := time.Now()
+		res, err := runOne(cache, gen(pt.vr.variant), pt.vr.opt, cfg, pt.vr.policy)
+		if err != nil {
+			return fmt.Errorf("%s %s P=%d: %w", exp, pt.vr.label, pt.p, err)
+		}
+		rows[i] = rowFrom(exp, pt.vr.label, pt.p, cfg, res, base)
+		rows[i].WallMS = float64(time.Since(t0)) / float64(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"errors"
+	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -61,6 +64,99 @@ func TestSweepBaselinesAndLabels(t *testing.T) {
 		if !labels[want] {
 			t.Fatalf("variant %s missing", want)
 		}
+	}
+}
+
+// stripHostTiming zeroes the host-side wall-clock field, the only Row field
+// allowed to differ between runs of the same experiment.
+func stripHostTiming(rows []Row) []Row {
+	out := append([]Row(nil), rows...)
+	for i := range out {
+		out[i].WallMS = 0
+	}
+	return out
+}
+
+// TestSweepDeterministicUnderParallelism is the contract of the host-side
+// performance layer: the worker pool and the shared compile cache must not
+// change a single simulated cycle, counter, or the row order. Run with
+// -race, this also exercises the pool for data races (CI does).
+func TestSweepDeterministicUnderParallelism(t *testing.T) {
+	s := tinySizes()
+	s.Procs = []int{1, 2, 4}
+
+	s.Par = 1
+	serial, err := Fig5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Par = 8
+	parallel, err := Fig5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 12 || len(parallel) != 12 {
+		t.Fatalf("rows = %d serial, %d parallel", len(serial), len(parallel))
+	}
+	if a, b := stripHostTiming(serial), stripHostTiming(parallel); !reflect.DeepEqual(a, b) {
+		for i := range a {
+			if !reflect.DeepEqual(a[i], b[i]) {
+				t.Errorf("row %d differs:\n par=1 %+v\n par=8 %+v", i, a[i], b[i])
+			}
+		}
+		t.Fatal("par=1 and par=8 rows differ")
+	}
+
+	// Table2 goes through the same pool.
+	s.Par = 1
+	t2s, err := Table2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Par = 8
+	t2p, err := Table2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripHostTiming(t2s), stripHostTiming(t2p)) {
+		t.Fatal("table2 par=1 and par=8 rows differ")
+	}
+}
+
+// TestForEach covers the worker-pool helper: full coverage of the index
+// space at any parallelism, and the deterministic lowest-index error.
+func TestForEach(t *testing.T) {
+	for _, par := range []int{0, 1, 3, 16} {
+		var n32 int32
+		seen := make([]int32, 40)
+		if err := forEach(par, 40, func(i int) error {
+			atomic.AddInt32(&n32, 1)
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if n32 != 40 {
+			t.Fatalf("par=%d ran %d jobs", par, n32)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("par=%d job %d ran %d times", par, i, c)
+			}
+		}
+	}
+	errA, errB := errors.New("a"), errors.New("b")
+	err := forEach(4, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 1:
+			return errA
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("forEach returned %v, want the lowest-index error %v", err, errA)
 	}
 }
 

@@ -45,6 +45,14 @@ type Image struct {
 	Clones map[string]int
 }
 
+// Clone returns an image that can be loaded and executed while other
+// clones of the same image run concurrently: the run-mutable compile
+// artifacts are deep-copied (codegen.Result.Clone), while the link-time
+// metadata (Instances, Clones) is read-only and stays shared.
+func (img *Image) Clone() *Image {
+	return &Image{Res: img.Res.Clone(), Instances: img.Instances, Clones: img.Clones}
+}
+
 // LinkError is a link-time diagnostic.
 type LinkError struct{ Msg string }
 

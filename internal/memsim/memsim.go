@@ -192,27 +192,57 @@ func (c *cache) invalidate(line int64) bool {
 	return false
 }
 
+// tlb models a FIFO-replacement TLB. Membership lives in slot, a flat
+// table indexed by virtual page holding the entry's fifo index + 1 (0 =
+// not present); virtual page counts are small (memory size / page size),
+// so the table costs a few hundred KB per processor and turns the hot
+// hit test into a single indexed load. The table grows on demand as the
+// simulated heap grows.
 type tlb struct {
-	entries map[int64]int
-	fifo    []int64
-	pos     int
+	slot []uint16 // vpage -> fifo index + 1; 0 = absent
+	fifo []int64
+	pos  int
+	// last memoizes the most recently accessed page so the common
+	// same-page streak skips even the table load. Invariant: last != 0
+	// implies last is resident (cleared at both deletion sites), so the
+	// memo answer always matches what the table would say. Virtual page 0
+	// is never mapped (null guard), so 0 doubles as "empty".
+	last int64
+	// noMemo disables the memo (System.SetL0 test hook).
+	noMemo bool
 }
 
 func newTLB(n int) *tlb {
-	return &tlb{entries: make(map[int64]int, n), fifo: make([]int64, n)}
+	if n+1 > int(^uint16(0)) {
+		panic("memsim: TLB too large for uint16 fifo indices")
+	}
+	return &tlb{slot: make([]uint16, 1024), fifo: make([]int64, n)}
 }
 
 // access returns true on hit, inserting on miss (FIFO replacement). Virtual
 // page 0 is never mapped (null guard), so a zero fifo slot means empty.
 func (t *tlb) access(vpage int64) bool {
-	if _, ok := t.entries[vpage]; ok {
+	if vpage == t.last && !t.noMemo {
+		return true
+	}
+	if vpage < int64(len(t.slot)) && t.slot[vpage] != 0 {
+		t.last = vpage
 		return true
 	}
 	if old := t.fifo[t.pos]; old != 0 {
-		delete(t.entries, old)
+		t.slot[old] = 0 // resident pages are always inside the table
+		if old == t.last {
+			t.last = 0
+		}
+	}
+	if vpage >= int64(len(t.slot)) {
+		grown := make([]uint16, vpage+vpage/4+1)
+		copy(grown, t.slot)
+		t.slot = grown
 	}
 	t.fifo[t.pos] = vpage
-	t.entries[vpage] = t.pos
+	t.slot[vpage] = uint16(t.pos) + 1
+	t.last = vpage
 	t.pos++
 	if t.pos == len(t.fifo) {
 		t.pos = 0
@@ -221,9 +251,14 @@ func (t *tlb) access(vpage int64) bool {
 }
 
 func (t *tlb) shootdown(vpage int64) {
-	if i, ok := t.entries[vpage]; ok {
-		delete(t.entries, vpage)
-		t.fifo[i] = 0
+	if vpage < int64(len(t.slot)) {
+		if i := t.slot[vpage]; i != 0 {
+			t.slot[vpage] = 0
+			t.fifo[i-1] = 0
+			if vpage == t.last {
+				t.last = 0
+			}
+		}
 	}
 }
 
@@ -234,6 +269,23 @@ type proc struct {
 	tlb   *tlb
 	node  int
 	stats ProcStats
+
+	// The "L0" memo: the slot of this processor's most recent L1 hit or
+	// fill. A repeat access to the same line revalidates the memo with a
+	// single tag compare (invalidations and evictions overwrite the tag,
+	// so a stale memo self-detects) and skips the full Access walk. It is
+	// purely a host-side shortcut — see the bit-identical contract on
+	// LoadWord and TestL0FastPathBitIdentical.
+	l0Line int64 // -1 = empty
+	l0Slot int32
+	l0Way  int8
+	// l1Hit is the per-proc copy of Config.L1HitCyc, and noMemo the
+	// per-proc SetL0 state; both keep the inlined LoadWord/StoreWord
+	// fast path free of System-level indirections. With noMemo set the
+	// memo is never written, so l0Line stays -1 and the fast path never
+	// matches.
+	l1Hit  int64
+	noMemo bool
 }
 
 // System is the shared memory system for one simulated run.
@@ -267,6 +319,19 @@ type System struct {
 	// nil-guarded and placed off the arithmetic paths, so a run without
 	// a recorder is cycle-for-cycle identical.
 	rec *obs.Recorder
+
+}
+
+// SetL0 enables or disables the host-side access fast paths (the per-
+// processor L0 line memo and the TLB last-page memo). They are on by
+// default; disabling them must not change any simulated cycle or counter —
+// the toggle exists so tests can prove that.
+func (s *System) SetL0(enabled bool) {
+	for _, pr := range s.procs {
+		pr.noMemo = !enabled
+		pr.l0Line = -1
+		pr.tlb.noMemo = !enabled
+	}
 }
 
 // SetRecorder attaches (or detaches, with nil) the observability sink.
@@ -337,10 +402,12 @@ func New(cfg *machine.Config, pm *ospage.Manager) (*System, error) {
 	s.procs = make([]*proc, cfg.NProcs)
 	for p := range s.procs {
 		s.procs[p] = &proc{
-			l1:   newCache(cfg.L1Bytes, cfg.L1LineSize, cfg.L1Assoc),
-			l2:   newCache(cfg.L2Bytes, cfg.L2LineSize, cfg.L2Assoc),
-			tlb:  newTLB(cfg.TLBEntries),
-			node: cfg.NodeOf(p),
+			l1:     newCache(cfg.L1Bytes, cfg.L1LineSize, cfg.L1Assoc),
+			l2:     newCache(cfg.L2Bytes, cfg.L2LineSize, cfg.L2Assoc),
+			tlb:    newTLB(cfg.TLBEntries),
+			node:   cfg.NodeOf(p),
+			l0Line: -1,
+			l1Hit:  int64(cfg.L1HitCyc),
 		}
 	}
 	return s, nil
@@ -500,13 +567,18 @@ func (s *System) evictL2(p int, victim int64, wasExcl bool) {
 func (s *System) Access(p int, addr int64, write bool) {
 	pr := s.procs[p]
 	cfg := s.Cfg
+	l1line := addr >> pr.l1.shift
 	if write {
 		pr.stats.Stores++
 	} else {
 		pr.stats.Loads++
 	}
-	l1line := addr >> pr.l1.shift
 	if slot := pr.l1.lookup(l1line); slot >= 0 {
+		if !pr.noMemo {
+			pr.l0Line = l1line
+			pr.l0Slot = int32(slot)
+			pr.l0Way = int8(slot - int(l1line&pr.l1.mask)*pr.l1.assoc)
+		}
 		pr.clock += int64(cfg.L1HitCyc)
 		if !write {
 			return
@@ -614,19 +686,52 @@ func (s *System) Access(p int, addr int64, write bool) {
 	// directory work; L2 still holds them.
 	_, s1, _ := pr.l1.insert(l1line)
 	pr.l1.excl[s1] = pr.l2.excl[slot]
+	if !pr.noMemo {
+		pr.l0Line = l1line
+		pr.l0Slot = int32(s1)
+		pr.l0Way = int8(s1 - int(l1line&pr.l1.mask)*pr.l1.assoc)
+	}
 
 	pr.clock += lat
 	pr.stats.MemCyc += lat
 }
 
 // LoadWord simulates a load and returns the 8-byte word at addr.
+//
+// The guard is the L0 fast path: a repeat access to the processor's most
+// recently used L1 line skips the Access walk entirely. The tag compare
+// revalidates the memo (any invalidation or eviction rewrites the tag),
+// and the path performs exactly the state updates the general L1-hit path
+// in Access would: the stats counter, the LRU touch the lookup would make,
+// and the L1-hit charge. Bit-identity with the slow path is asserted by
+// TestL0FastPathBitIdentical.
 func (s *System) LoadWord(p int, addr int64) uint64 {
+	pr := s.procs[p]
+	l1line := addr >> pr.l1.shift
+	if l1line == pr.l0Line && pr.l1.tags[pr.l0Slot] == l1line {
+		pr.stats.Loads++
+		pr.l1.lru[l1line&pr.l1.mask] = pr.l0Way
+		pr.clock += pr.l1Hit
+		return s.mem[addr>>3]
+	}
 	s.Access(p, addr, false)
 	return s.mem[addr>>3]
 }
 
-// StoreWord simulates a store of the 8-byte word at addr.
+// StoreWord simulates a store of the 8-byte word at addr. The L0 fast
+// path (see LoadWord) applies only when the line is already writable; a
+// shared-line write needs the directory and takes the full Access walk.
 func (s *System) StoreWord(p int, addr int64, v uint64) {
+	pr := s.procs[p]
+	l1line := addr >> pr.l1.shift
+	if l1line == pr.l0Line && pr.l1.tags[pr.l0Slot] == l1line &&
+		pr.l1.excl[pr.l0Slot] {
+		pr.stats.Stores++
+		pr.l1.lru[l1line&pr.l1.mask] = pr.l0Way
+		pr.clock += pr.l1Hit
+		s.mem[addr>>3] = v
+		return
+	}
 	s.Access(p, addr, true)
 	s.mem[addr>>3] = v
 }
