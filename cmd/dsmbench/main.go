@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dsmbench                      run everything at full (scaled) size
+//	dsmbench -list                list the experiments with descriptions
 //	dsmbench -exp fig5            run one experiment
 //	                              (table2 | fig4 | fig5 | fig6 | fig7)
 //	dsmbench -quick               small sizes for a fast smoke run
@@ -35,6 +36,7 @@ import (
 
 func main() {
 	expName := flag.String("exp", "all", "experiment: all | table2 | fig4 | fig5 | fig6 | fig7")
+	list := flag.Bool("list", false, "list available experiments and exit")
 	quick := flag.Bool("quick", false, "use small sizes")
 	procsFlag := flag.String("procs", "", "comma-separated processor counts")
 	par := flag.Int("par", 0, "host workers per sweep (0 = GOMAXPROCS, 1 = serial)")
@@ -42,6 +44,13 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write a host heap profile to file")
 	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Catalog() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
 
 	sizes := experiments.Full()
 	if *quick {
@@ -68,35 +77,22 @@ func main() {
 		}()
 	}
 
-	type expFn struct {
-		name string
-		fn   func(experiments.Sizes) ([]experiments.Row, error)
+	catalog := experiments.Catalog()
+	if *expName != "all" {
+		e, err := experiments.Find(*expName)
+		die(err)
+		catalog = []experiments.Experiment{e}
 	}
-	all := []expFn{
-		{"table2", experiments.Table2},
-		{"fig4", experiments.Fig4},
-		{"fig5", experiments.Fig5},
-		{"fig6", experiments.Fig6},
-		{"fig7", experiments.Fig7},
-	}
-	ran := 0
 	var allRows []experiments.Row
-	for _, e := range all {
-		if *expName != "all" && *expName != e.name {
-			continue
-		}
-		ran++
-		fmt.Printf("==== %s ====\n", e.name)
+	for _, e := range catalog {
+		fmt.Printf("==== %s ====\n", e.Name)
 		t0 := time.Now()
-		rows, err := e.fn(sizes)
+		rows, err := e.Run(sizes)
 		die(err)
 		experiments.Print(os.Stdout, rows)
 		fmt.Printf("host: %s wall, %d workers\n\n",
 			time.Since(t0).Round(time.Millisecond), workers(sizes.Par))
 		allRows = append(allRows, rows...)
-	}
-	if ran == 0 {
-		die(fmt.Errorf("unknown experiment %q", *expName))
 	}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)

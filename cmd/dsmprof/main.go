@@ -20,6 +20,8 @@
 //	-json FILE    also write the profile summary as JSON
 //	-csv FILE     also write the per-region breakdown as CSV
 //	-trace FILE   also write a Chrome trace_event timeline
+//	-heat-json F  also write the per-array × per-node heat map in the
+//	              schema internal/advisor consumes (dsmadvise -heat F)
 package main
 
 import (
@@ -46,6 +48,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write JSON profile summary to file")
 	csvOut := flag.String("csv", "", "write per-region CSV to file")
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON to file")
+	heatOut := flag.String("heat-json", "", "write the per-array heat map (advisor schema) to file")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -110,6 +113,9 @@ func main() {
 	}
 	if *traceOut != "" {
 		die(writeTo(*traceOut, rec.WriteTrace))
+	}
+	if *heatOut != "" {
+		die(writeTo(*heatOut, rec.HeatMap().WriteJSON))
 	}
 }
 

@@ -1,0 +1,307 @@
+// Package advisor is the automatic data-distribution advisor: given a
+// program in the Fortran subset whose doacross loops are not (or badly)
+// distributed, it proposes the c$distribute / c$distribute_reshape /
+// affinity directives of the paper (§3) automatically. Three stages:
+//
+//  1. Static affine analysis (analyze.go) extracts per-array access
+//     footprints from the lowered IR of every doacross nest.
+//  2. Candidate enumeration and an analytic cost model (candidates.go,
+//     cost.go) score the legal distribution menu against the machine
+//     model — remote-miss volume, node-bandwidth serialization, page
+//     false sharing, TLB reach — optionally reweighed by a measured
+//     dsmprof heat map (heat.go).
+//  3. Search-and-verify (this file) rewrites the source per candidate
+//     (rewrite.go), builds each through a shared compile cache, runs the
+//     top-K candidates on the simulator in parallel, and ranks them by
+//     measured cycles.
+//
+// The output is deterministic for a given program, machine and processor
+// list, regardless of the host-side parallelism used for verification.
+package advisor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"dsmdist/internal/core"
+	"dsmdist/internal/exec"
+	"dsmdist/internal/experiments"
+	"dsmdist/internal/fortran"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/obs"
+	"dsmdist/internal/sema"
+)
+
+// Options configure an advice run.
+type Options struct {
+	// Procs are the processor counts candidates are evaluated at.
+	// Default {1, 4, 16}.
+	Procs []int
+	// Machine builds the machine model for a processor count.
+	// Default machine.Scaled.
+	Machine func(p int) *machine.Config
+	// TopK is how many statically-ranked candidates are verified on the
+	// simulator (0 = default 6, negative = all).
+	TopK int
+	// Par bounds the host-side worker pool for verification runs
+	// (0 = GOMAXPROCS). It affects wall time only, never the report.
+	Par int
+	// Heat, when non-nil, is a measured dsmprof heat map used to reweigh
+	// the cost model.
+	Heat *obs.HeatMap
+}
+
+// Report is the ranked outcome of an advice run.
+type Report struct {
+	Unit    string `json:"unit"`
+	File    string `json:"file"`
+	Machine string `json:"machine"`
+	Procs   []int  `json:"procs"`
+	// Ranked lists every candidate, best first: verified candidates by
+	// measured total cycles, then unverified ones by static cost.
+	Ranked []*Candidate `json:"ranked"`
+	// Directives is the winning directive text.
+	Directives string `json:"directives"`
+	// WinnerSource is the full rewritten program of the winner.
+	WinnerSource string `json:"-"`
+
+	an *Analysis
+}
+
+// Winner is the best candidate.
+func (r *Report) Winner() *Candidate {
+	if len(r.Ranked) == 0 {
+		return nil
+	}
+	return r.Ranked[0]
+}
+
+// Advise analyzes the program in sources (exactly one file must hold the
+// main program unit), enumerates candidate distributions, and verifies
+// the best ones on the simulator.
+func Advise(sources map[string]string, opts Options) (*Report, error) {
+	if opts.Machine == nil {
+		opts.Machine = machine.Scaled
+	}
+	if len(opts.Procs) == 0 {
+		opts.Procs = []int{1, 4, 16}
+	}
+	topK := opts.TopK
+	if topK == 0 {
+		topK = 6
+	}
+
+	mainFile, err := findProgramFile(sources)
+	if err != nil {
+		return nil, err
+	}
+	stripped := stripDirectives(sources[mainFile])
+	f, err := fortran.Parse(mainFile, stripped)
+	if err != nil {
+		return nil, fmt.Errorf("advisor: %w", err)
+	}
+	units, err := sema.AnalyzeFile(f)
+	if err != nil {
+		return nil, fmt.Errorf("advisor: %w", err)
+	}
+	var an *Analysis
+	for _, u := range units {
+		if u.IsProgram {
+			an = Analyze(u)
+			break
+		}
+	}
+	if an == nil {
+		return nil, fmt.Errorf("advisor: no program unit in %s", mainFile)
+	}
+	if len(an.Nests) == 0 {
+		return nil, fmt.Errorf("advisor: %s has no doacross loops to advise on", an.Unit.Name)
+	}
+
+	cfg0 := opts.Machine(opts.Procs[0])
+	cands := enumerate(an, cfg0.PageBytes)
+	weights := heatWeights(an, opts.Heat)
+
+	// Rewrite each candidate's program once, up front.
+	for _, c := range cands {
+		src, err := apply(stripped, an, c)
+		if err != nil {
+			return nil, err
+		}
+		c.Source = src
+	}
+
+	// Static ranking: summed model cost over the processor list.
+	for _, c := range cands {
+		for _, p := range opts.Procs {
+			c.StaticCost += staticCost(an, c, opts.Machine(p), weights)
+		}
+	}
+	order := make([]*Candidate, len(cands))
+	copy(order, cands)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].StaticCost != order[j].StaticCost {
+			return order[i].StaticCost < order[j].StaticCost
+		}
+		return order[i].ID < order[j].ID
+	})
+	if topK < 0 || topK > len(order) {
+		topK = len(order)
+	}
+
+	// Verify the top K on the simulator: candidates × processor counts,
+	// fanned out over the shared worker pool with one compile cache.
+	verify := order[:topK]
+	cache := core.NewBuildCache()
+	type point struct {
+		c  *Candidate
+		pi int
+	}
+	var points []point
+	for _, c := range verify {
+		c.Cycles = make([]int64, len(opts.Procs))
+		for pi := range opts.Procs {
+			points = append(points, point{c, pi})
+		}
+	}
+	err = experiments.ForEach(opts.Par, len(points), func(i int) error {
+		pt := points[i]
+		p := opts.Procs[pt.pi]
+		srcs := map[string]string{mainFile: pt.c.Source}
+		for name, s := range sources {
+			if name != mainFile {
+				srcs[name] = s
+			}
+		}
+		tc := core.New()
+		tc.RuntimeChecks = false
+		tc.Cache = cache
+		img, err := tc.Build(srcs)
+		if err != nil {
+			return fmt.Errorf("advisor: candidate %s: %w", pt.c.Label, err)
+		}
+		res, err := core.Run(img, opts.Machine(p), core.RunOptions{Policy: pt.c.Policy})
+		if err != nil {
+			return fmt.Errorf("advisor: candidate %s P=%d: %w", pt.c.Label, p, err)
+		}
+		pt.c.Cycles[pt.pi] = measured(res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range verify {
+		c.Verified = true
+		for _, cyc := range c.Cycles {
+			c.Total += cyc
+		}
+	}
+
+	// Final ranking: verified by measured total, then the rest by model.
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.Verified != b.Verified {
+			return a.Verified
+		}
+		if a.Verified {
+			if a.Total != b.Total {
+				return a.Total < b.Total
+			}
+			return a.ID < b.ID
+		}
+		if a.StaticCost != b.StaticCost {
+			return a.StaticCost < b.StaticCost
+		}
+		return a.ID < b.ID
+	})
+
+	rep := &Report{
+		Unit:    an.Unit.Name,
+		File:    mainFile,
+		Machine: cfg0.Name,
+		Procs:   opts.Procs,
+		Ranked:  order,
+		an:      an,
+	}
+	if w := rep.Winner(); w != nil {
+		rep.Directives = w.DirectiveText(an)
+		rep.WinnerSource = w.Source
+	}
+	return rep, nil
+}
+
+// measured returns the region-of-interest cycles (dsm_timer section when
+// present, total otherwise) — same rule as the experiment harness.
+func measured(res *exec.Result) int64 {
+	if res.TimerCycles > 0 {
+		return res.TimerCycles
+	}
+	return res.Cycles
+}
+
+// findProgramFile locates the source holding the main program unit.
+func findProgramFile(sources map[string]string) (string, error) {
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	found := ""
+	for _, n := range names {
+		f, err := fortran.Parse(n, sources[n])
+		if err != nil {
+			return "", fmt.Errorf("advisor: %w", err)
+		}
+		for _, u := range f.Units {
+			if u.Kind == fortran.ProgramUnit {
+				if found != "" {
+					return "", fmt.Errorf("advisor: multiple program units (%s, %s)", found, n)
+				}
+				found = n
+			}
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("advisor: no program unit among the sources")
+	}
+	return found, nil
+}
+
+// WriteText renders the ranked report.
+func (r *Report) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "dsmadvise: program %s (%s) on %s, procs %v\n\n",
+		r.Unit, r.File, r.Machine, r.Procs)
+	fmt.Fprintf(w, "%-4s %-20s %-12s", "rank", "candidate", "static")
+	for _, p := range r.Procs {
+		fmt.Fprintf(w, " %12s", fmt.Sprintf("P=%d", p))
+	}
+	fmt.Fprintf(w, " %14s\n", "total")
+	for i, c := range r.Ranked {
+		fmt.Fprintf(w, "%-4d %-20s %-12.3g", i+1, c.Label, c.StaticCost)
+		for pi := range r.Procs {
+			if c.Verified {
+				fmt.Fprintf(w, " %12d", c.Cycles[pi])
+			} else {
+				fmt.Fprintf(w, " %12s", "-")
+			}
+		}
+		if c.Verified {
+			fmt.Fprintf(w, " %14d\n", c.Total)
+		} else {
+			fmt.Fprintf(w, " %14s\n", "(model only)")
+		}
+	}
+	if w2 := r.Winner(); w2 != nil {
+		fmt.Fprintf(w, "\nwinning distribution (%s):\n%s", w2.Label, r.Directives)
+	}
+	return nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

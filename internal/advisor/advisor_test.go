@@ -1,0 +1,296 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"dsmdist/internal/core"
+	"dsmdist/internal/fortran"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/obs"
+	"dsmdist/internal/ospage"
+	"dsmdist/internal/sema"
+	"dsmdist/internal/workloads"
+	"dsmdist/internal/xform"
+)
+
+// analyzeSrc strips and analyzes a program, as Advise does.
+func analyzeSrc(t *testing.T, src string) (*Analysis, string) {
+	t.Helper()
+	stripped := stripDirectives(src)
+	f, err := fortran.Parse("main.f", stripped)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	units, err := sema.AnalyzeFile(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	for _, u := range units {
+		if u.IsProgram {
+			return Analyze(u), stripped
+		}
+	}
+	t.Fatal("no program unit")
+	return nil, ""
+}
+
+func candidateByLabel(t *testing.T, cands []*Candidate, label string) *Candidate {
+	t.Helper()
+	for _, c := range cands {
+		if c.Label == label {
+			return c
+		}
+	}
+	t.Fatalf("candidate %q not found", label)
+	return nil
+}
+
+// TestInferTranspose checks that the static analysis recovers the
+// paper's §8.2 distribution for the transpose: a(*, block), b(block, *).
+func TestInferTranspose(t *testing.T) {
+	an, _ := analyzeSrc(t, workloads.Transpose(64, 1, workloads.Plain))
+	if len(an.Nests) != 1 {
+		t.Fatalf("nests = %d, want 1", len(an.Nests))
+	}
+	if !an.SerialWrite[an.Arrays[0]] || !an.SerialWrite[an.Arrays[1]] {
+		t.Errorf("transpose initialization should be recognized as serial writes")
+	}
+	cands := enumerate(an, machine.Scaled(16).PageBytes)
+	reg := candidateByLabel(t, cands, "regular-block")
+	if reg.SpecText != "a(*, block), b(block, *)" {
+		t.Errorf("regular-block spec = %q, want a(*, block), b(block, *)", reg.SpecText)
+	}
+	ac := reg.affinity[0]
+	if ac == nil {
+		t.Fatal("no affinity synthesized for the transpose nest")
+	}
+	// The write target a is preferred; affinity(i) = data(a(1, i)) keys
+	// the same block partition of i as the paper's data(b(i, 1)).
+	if got := ac.Clause(an.Nests[0]); got != "affinity(i) = data(a(1, i))" {
+		t.Errorf("affinity clause = %q", got)
+	}
+}
+
+// TestInferConvolution checks both paper variants of §8.3: one-level
+// (*, block) and two-level (block, block) with the nest clause.
+func TestInferConvolution(t *testing.T) {
+	an, _ := analyzeSrc(t, workloads.Convolution(32, 1, 1, workloads.Plain))
+	cands := enumerate(an, machine.Scaled(16).PageBytes)
+	reg := candidateByLabel(t, cands, "regular-block")
+	if reg.SpecText != "a(*, block), b(*, block)" {
+		t.Errorf("1-level spec = %q, want a(*, block), b(*, block)", reg.SpecText)
+	}
+	var timed *Nest
+	for ni, nest := range an.Nests {
+		if got := reg.affinity[ni]; got != nil {
+			timed = nest
+			if cl := got.Clause(nest); cl != "affinity(j) = data(a(1, j))" {
+				t.Errorf("1-level affinity = %q, want affinity(j) = data(a(1, j))", cl)
+			}
+		}
+	}
+	if timed == nil {
+		t.Fatal("no affinity on the 1-level stencil nest")
+	}
+
+	an2, _ := analyzeSrc(t, workloads.Convolution(32, 1, 2, workloads.Plain))
+	cands2 := enumerate(an2, machine.Scaled(16).PageBytes)
+	reg2 := candidateByLabel(t, cands2, "regular-block")
+	if reg2.SpecText != "a(block, block), b(block, block)" {
+		t.Errorf("2-level spec = %q, want a(block, block), b(block, block)", reg2.SpecText)
+	}
+	for ni, nest := range an2.Nests {
+		if ac := reg2.affinity[ni]; ac != nil {
+			if cl := ac.Clause(nest); cl != "affinity(j, i) = data(a(i, j))" {
+				t.Errorf("2-level affinity = %q, want affinity(j, i) = data(a(i, j))", cl)
+			}
+		}
+	}
+}
+
+// TestInferLU checks the 4-D NAS-LU distribution (*, block, block, *).
+func TestInferLU(t *testing.T) {
+	an, _ := analyzeSrc(t, workloads.LU(8, 1, workloads.Plain))
+	cands := enumerate(an, machine.Scaled(16).PageBytes)
+	reg := candidateByLabel(t, cands, "regular-block")
+	// Arrays are listed in symbol-table (alphabetical) order; the
+	// directive is equivalent to the paper's "u(...), rsd(...)".
+	want := "rsd(*, block, block, *), u(*, block, block, *)"
+	if reg.SpecText != want {
+		t.Errorf("LU spec = %q, want %q", reg.SpecText, want)
+	}
+	if an.SerialWrite[an.Arrays[0]] {
+		t.Errorf("LU initializes in parallel; u must not be marked serially written")
+	}
+}
+
+// TestRewriteCandidatesCompile applies every candidate of the transpose
+// and checks the rewritten program still parses, analyzes and builds.
+func TestRewriteCandidatesCompile(t *testing.T) {
+	src := workloads.Transpose(32, 1, workloads.Reshaped) // existing directives must be replaced
+	an, stripped := analyzeSrc(t, src)
+	cands := enumerate(an, machine.Scaled(4).PageBytes)
+	for _, c := range cands {
+		out, err := apply(stripped, an, c)
+		if err != nil {
+			t.Fatalf("%s: apply: %v", c.Label, err)
+		}
+		if c.Specs != nil {
+			if !strings.Contains(out, "c$distribute") {
+				t.Fatalf("%s: no distribute directive in rewritten source", c.Label)
+			}
+			if !strings.Contains(out, "affinity(") {
+				t.Fatalf("%s: no affinity clause in rewritten source", c.Label)
+			}
+		} else if strings.Contains(out, "c$distribute") {
+			t.Fatalf("%s: plain candidate still carries a distribute directive", c.Label)
+		}
+		tc := core.NewAt(xform.O3())
+		tc.RuntimeChecks = false
+		if _, err := tc.Build(map[string]string{"main.f": out}); err != nil {
+			t.Fatalf("%s: rewritten source does not build: %v\n%s", c.Label, err, out)
+		}
+	}
+}
+
+// runHandVariant builds and runs one of the paper's hand-directed
+// variants, returning timed-section cycles.
+func runHandVariant(t *testing.T, cache *core.BuildCache, src string, policy ospage.Policy, p int) int64 {
+	t.Helper()
+	tc := core.New()
+	tc.RuntimeChecks = false
+	tc.Cache = cache
+	img, err := tc.Build(map[string]string{"bench.f": src})
+	if err != nil {
+		t.Fatalf("hand variant build: %v", err)
+	}
+	res, err := core.Run(img, machine.Scaled(p), core.RunOptions{Policy: policy})
+	if err != nil {
+		t.Fatalf("hand variant run: %v", err)
+	}
+	return measured(res)
+}
+
+// checkWithinHandBest runs the acceptance criterion: the advisor's
+// winner must be within tol of the best hand-directed variant's cycles
+// at a minimum number of processor counts.
+func checkWithinHandBest(t *testing.T, gen func(workloads.Variant) string, rep *Report, procs []int, tol float64, minOK int) {
+	t.Helper()
+	w := rep.Winner()
+	if w == nil || !w.Verified {
+		t.Fatalf("winner missing or unverified")
+	}
+	hand := []struct {
+		v      workloads.Variant
+		policy ospage.Policy
+	}{
+		{workloads.Plain, ospage.FirstTouch},
+		{workloads.Plain, ospage.RoundRobin},
+		{workloads.Regular, ospage.FirstTouch},
+		{workloads.Reshaped, ospage.FirstTouch},
+	}
+	cache := core.NewBuildCache()
+	ok := 0
+	for pi, p := range procs {
+		best := int64(0)
+		for _, h := range hand {
+			cyc := runHandVariant(t, cache, gen(h.v), h.policy, p)
+			if best == 0 || cyc < best {
+				best = cyc
+			}
+		}
+		got := w.Cycles[pi]
+		t.Logf("P=%d: winner %s %d cycles, hand best %d (ratio %.3f)",
+			p, w.Label, got, best, float64(got)/float64(best))
+		if float64(got) <= float64(best)*(1+tol) {
+			ok++
+		}
+	}
+	if ok < minOK {
+		t.Errorf("winner within %.0f%% of hand best at %d of %d processor counts, want >= %d",
+			tol*100, ok, len(procs), minOK)
+	}
+}
+
+// TestAdviseTransposeQuick is the acceptance test on the §8.2 transpose
+// at quick scale: the advisor must land within 10%% of the best
+// hand-directed variant at two or more processor counts.
+func TestAdviseTransposeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator acceptance run")
+	}
+	procs := []int{4, 16}
+	gen := func(v workloads.Variant) string { return workloads.Transpose(256, 1, v) }
+	rep, err := Advise(map[string]string{"main.f": gen(workloads.Plain)},
+		Options{Procs: procs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWithinHandBest(t, gen, rep, procs, 0.10, 2)
+	if !strings.Contains(rep.Directives, "block") {
+		t.Errorf("winning directives carry no block distribution:\n%s", rep.Directives)
+	}
+}
+
+// TestAdviseConvolutionQuick is the acceptance test on the §8.3 stencil.
+func TestAdviseConvolutionQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator acceptance run")
+	}
+	procs := []int{4, 16}
+	gen := func(v workloads.Variant) string { return workloads.Convolution(96, 1, 1, v) }
+	rep, err := Advise(map[string]string{"main.f": gen(workloads.Plain)},
+		Options{Procs: procs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWithinHandBest(t, gen, rep, procs, 0.10, 2)
+}
+
+// TestAdviseDeterministicUnderParallelism: the ranked report must be
+// bit-identical whether verification runs serially or on 8 workers.
+func TestAdviseDeterministicUnderParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator run")
+	}
+	gen := workloads.Transpose(64, 1, workloads.Plain)
+	var texts [2]string
+	for i, par := range []int{1, 8} {
+		rep, err := Advise(map[string]string{"main.f": gen},
+			Options{Procs: []int{1, 4}, Par: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := rep.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		texts[i] = b.String()
+	}
+	if texts[0] != texts[1] {
+		t.Errorf("report differs between par=1 and par=8:\n--- par=1\n%s\n--- par=8\n%s", texts[0], texts[1])
+	}
+}
+
+// heatMapFor fakes a measured profile: array a hot, array b cold.
+func heatMapFor(an *Analysis, hotA, coldB int64) *obs.HeatMap {
+	return &obs.HeatMap{Machine: "test", Arrays: []obs.ArrayHeat{
+		{Name: an.Unit.Name + ".a", Local: hotA, Remote: hotA},
+		{Name: an.Unit.Name + ".b", Local: coldB},
+	}}
+}
+
+// TestAdviseHeatWeights: a heat map reweighs arrays without breaking the
+// pipeline, and unknown arrays are ignored.
+func TestAdviseHeatWeights(t *testing.T) {
+	an, _ := analyzeSrc(t, workloads.Transpose(32, 1, workloads.Plain))
+	h := heatMapFor(an, 1000, 50)
+	w := heatWeights(an, h)
+	if w == nil {
+		t.Fatal("no weights from heat map")
+	}
+	if w["a"] <= w["b"] {
+		t.Errorf("hot array a should outweigh b: %v", w)
+	}
+}

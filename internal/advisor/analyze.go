@@ -1,0 +1,301 @@
+// Static affine analysis: the advisor's front half. It walks the lowered
+// IR of a unit and extracts, for every doacross nest, the affine access
+// footprint of each array reference — which loop variable indexes which
+// array dimension, with what coefficient and stride — plus the loop trip
+// counts needed to weigh nests against each other. This is the same
+// "simple form a*i+c" subscript discipline the paper's §7 optimizations
+// and the §3.4 affinity clause rely on, reused here as an analysis.
+package advisor
+
+import (
+	"dsmdist/internal/ir"
+)
+
+// Subscript classifies one dimension's index expression of a reference.
+type Subscript struct {
+	// Var is the loop variable when the subscript is affine a*Var+c;
+	// nil for a constant or unanalyzable subscript.
+	Var *ir.Sym
+	A   int64 // coefficient (one-based index = A*Var + C)
+	C   int64
+	// Affine reports whether the subscript matched a*v+c at all.
+	Affine bool
+}
+
+// Loop is one counted loop level enclosing a reference.
+type Loop struct {
+	Var    *ir.Sym
+	Lo, Hi int64 // inclusive bounds; 1..Trip when bounds are unknown
+	Trip   int64
+}
+
+// Ref is one array reference inside a doacross nest.
+type Ref struct {
+	Sym   *ir.Sym
+	Write bool
+	Subs  []Subscript
+	// Loops are the loop levels enclosing the reference inside the nest,
+	// outermost first; the first Nest entries are the parallel loops.
+	Loops []Loop
+	// Iter is the number of executions per program run: the product of
+	// all enclosing trip counts, inside and outside the nest.
+	Iter int64
+}
+
+// Nest is one doacross parallel nest of the unit.
+type Nest struct {
+	Par  *ir.Par
+	Line int
+	// ParLoops are the parallel loop levels, outermost first
+	// (len == Par.Nest).
+	ParLoops []Loop
+	// Outer is the product of the trip counts of serial loops enclosing
+	// the whole nest (how many times the nest is dispatched).
+	Outer int64
+	Refs  []*Ref
+	// Weight is the total reference traffic of the nest (sum of
+	// Ref.Iter), used to pick the dominant nest per array.
+	Weight int64
+}
+
+// Analysis is the static summary of one unit.
+type Analysis struct {
+	Unit  *ir.Unit
+	Nests []*Nest
+	// Arrays are the distribution candidates: local arrays with constant
+	// extents that are referenced inside at least one nest, in symbol
+	// order.
+	Arrays []*ir.Sym
+	// Extents caches ConstDims per array symbol.
+	Extents map[*ir.Sym][]int64
+	// SerialWrite marks arrays written outside every parallel nest (the
+	// serial-initialization pattern that makes first-touch place every
+	// page on node 0, §8.2).
+	SerialWrite map[*ir.Sym]bool
+}
+
+// unknownTrip stands in for loop bounds the analysis cannot fold; it only
+// affects relative weights, not correctness.
+const unknownTrip = 16
+
+// Analyze summarizes the doacross nests of a lowered unit.
+func Analyze(unit *ir.Unit) *Analysis {
+	an := &Analysis{
+		Unit:        unit,
+		Extents:     map[*ir.Sym][]int64{},
+		SerialWrite: map[*ir.Sym]bool{},
+	}
+	w := &walker{an: an}
+	w.stmts(unit.Body)
+
+	seen := map[*ir.Sym]bool{}
+	for _, nest := range an.Nests {
+		for _, r := range nest.Refs {
+			nest.Weight += r.Iter
+			seen[r.Sym] = true
+		}
+	}
+	for _, s := range unit.Syms {
+		if s.Kind != ir.Array || !seen[s] {
+			continue
+		}
+		ext, ok := s.ConstDims()
+		if !ok {
+			continue // assumed-size or variable extents: cannot advise
+		}
+		an.Arrays = append(an.Arrays, s)
+		an.Extents[s] = ext
+	}
+	return an
+}
+
+// walker carries the loop environment during the statement walk.
+type walker struct {
+	an   *Analysis
+	env  []Loop // loops enclosing the current statement, outermost first
+	nest *Nest  // non-nil inside a doacross nest
+	// nestDepth is len(env) at the nest's outer loop, so Ref.Loops can be
+	// sliced out of env.
+	nestDepth int
+}
+
+func (w *walker) stmts(ss []ir.Stmt) {
+	for _, s := range ss {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ir.Stmt) {
+	switch x := s.(type) {
+	case *ir.Do:
+		lo, hi, trip := loopBounds(x)
+		loop := Loop{Var: x.Var, Lo: lo, Hi: hi, Trip: trip}
+		opened := false
+		if x.Par != nil && w.nest == nil {
+			nest := &Nest{Par: x.Par, Line: x.Par.Line, Outer: w.outerTrip()}
+			w.an.Nests = append(w.an.Nests, nest)
+			w.nest = nest
+			w.nestDepth = len(w.env)
+			opened = true
+		}
+		w.env = append(w.env, loop)
+		if w.nest != nil && len(w.nest.ParLoops) < w.nest.Par.Nest &&
+			len(w.env)-w.nestDepth <= w.nest.Par.Nest {
+			w.nest.ParLoops = append(w.nest.ParLoops, loop)
+		}
+		w.stmts(x.Body)
+		w.env = w.env[:len(w.env)-1]
+		if opened {
+			w.nest = nil
+		}
+	case *ir.If:
+		w.stmts(x.Then)
+		w.stmts(x.Else)
+	case *ir.Assign:
+		w.expr(x.Lhs, true)
+		w.expr(x.Rhs, false)
+	case *ir.CallStmt:
+		for _, a := range x.Args {
+			w.expr(a, false)
+		}
+	case *ir.Region:
+		w.stmts(x.Body)
+	}
+}
+
+// expr records array references; write applies to the top-level node only
+// (subscripts and RHS subtrees are reads).
+func (w *walker) expr(e ir.Expr, write bool) {
+	if e == nil {
+		return
+	}
+	if ar, ok := e.(*ir.ArrayRef); ok {
+		w.ref(ar, write)
+		for _, ix := range ar.Idx {
+			w.expr(ix, false)
+		}
+		return
+	}
+	ir.WalkExpr(e, func(sub ir.Expr) bool {
+		if ar, ok := sub.(*ir.ArrayRef); ok && sub != e {
+			w.ref(ar, false)
+		}
+		return true
+	})
+}
+
+func (w *walker) ref(ar *ir.ArrayRef, write bool) {
+	if w.nest == nil {
+		if write {
+			w.an.SerialWrite[ar.Sym] = true
+		}
+		return
+	}
+	r := &Ref{Sym: ar.Sym, Write: write, Iter: w.nest.Outer}
+	r.Loops = append(r.Loops, w.env[w.nestDepth:]...)
+	for _, l := range r.Loops {
+		r.Iter *= l.Trip
+	}
+	r.Subs = make([]Subscript, len(ar.Idx))
+	for d, ix := range ar.Idx {
+		if af, ok := ir.MatchAffine(ix); ok {
+			r.Subs[d] = Subscript{Var: af.Var, A: af.A, C: af.C, Affine: true}
+		}
+	}
+	w.nest.Refs = append(w.nest.Refs, r)
+}
+
+// outerTrip is the product of the current (serial) loop trips.
+func (w *walker) outerTrip() int64 {
+	t := int64(1)
+	for _, l := range w.env {
+		t *= l.Trip
+	}
+	return t
+}
+
+// loopBounds folds a loop's bounds to constants, defaulting unknowns.
+func loopBounds(d *ir.Do) (lo, hi, trip int64) {
+	lo, lok := evalInt(d.Lo)
+	hi, hok := evalInt(d.Hi)
+	step := int64(1)
+	if d.Step != nil {
+		if s, ok := evalInt(d.Step); ok && s != 0 {
+			step = s
+		}
+	}
+	if !lok || !hok {
+		return 1, unknownTrip, unknownTrip
+	}
+	if step < 0 {
+		lo, hi, step = hi, lo, -step
+	}
+	trip = (hi-lo)/step + 1
+	if trip < 1 {
+		trip = 1
+	}
+	return lo, hi, trip
+}
+
+// evalInt folds an integer expression built from constants (sema folds
+// parameter constants, so loop bounds like n-1 are usually already
+// ConstInt; this handles leftover Bin/Un/Intrinsic shapes).
+func evalInt(e ir.Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *ir.ConstInt:
+		return x.V, true
+	case *ir.Un:
+		if x.Not {
+			return 0, false
+		}
+		v, ok := evalInt(x.X)
+		return -v, ok
+	case *ir.Bin:
+		l, lok := evalInt(x.L)
+		r, rok := evalInt(x.R)
+		if !lok || !rok {
+			return 0, false
+		}
+		switch x.Op {
+		case ir.Add:
+			return l + r, true
+		case ir.Sub:
+			return l - r, true
+		case ir.Mul:
+			return l * r, true
+		case ir.Div:
+			if r != 0 {
+				return l / r, true
+			}
+		case ir.Mod:
+			if r != 0 {
+				return l % r, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// InnerStride returns the element stride of the reference with respect to
+// the innermost enclosing loop whose variable appears in a subscript, and
+// the trip count of that loop (0, 1 when no loop variable appears). The
+// extents are the array's constant dimensions.
+func (r *Ref) InnerStride(ext []int64) (stride, trip int64) {
+	for l := len(r.Loops) - 1; l >= 0; l-- {
+		v := r.Loops[l].Var
+		s := int64(0)
+		dimStride := int64(1)
+		for d, sub := range r.Subs {
+			if sub.Affine && sub.Var == v {
+				s += sub.A * dimStride
+			}
+			if d < len(ext) {
+				dimStride *= ext[d]
+			}
+		}
+		if s != 0 {
+			return s, r.Loops[l].Trip
+		}
+	}
+	return 0, 1
+}

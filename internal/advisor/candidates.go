@@ -1,0 +1,323 @@
+// Candidate enumeration: from the affine footprints, infer how each array
+// aligns with the parallel loops (which array dimension is indexed by
+// which parallel loop variable), then enumerate the legal distribution
+// menu of §3.2 — block / cyclic / cyclic(k) on the aligned dimensions,
+// regular (§4.2 page placement) vs reshaped (§4.3 portion pools) — plus
+// the two no-directive baselines (first-touch, round-robin) the paper's
+// figures always compare against. Every candidate carries the matching
+// §3.4 affinity clause for each nest, so the emitted directives are
+// exactly what a hand-tuned program would say.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dsmdist/internal/dist"
+	"dsmdist/internal/ir"
+	"dsmdist/internal/ospage"
+)
+
+// Alignment maps array dimensions to parallel loop variables for one
+// array: Dims[d] is the nest parallel-loop index keyed to array dimension
+// d, or -1. It is derived from the array's dominant nest.
+type Alignment struct {
+	Sym  *ir.Sym
+	Nest *Nest
+	// Dims[d] >= 0 names ParLoops[Dims[d]] as the variable that indexes
+	// dimension d with coefficient 1.
+	Dims []int
+}
+
+// Aligned reports whether any dimension is keyed to a parallel loop.
+func (al *Alignment) Aligned() bool {
+	for _, l := range al.Dims {
+		if l >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// alignments infers the per-array alignment from the dominant (heaviest)
+// nest that references the array with a parallel loop variable.
+func alignments(an *Analysis) map[*ir.Sym]*Alignment {
+	out := map[*ir.Sym]*Alignment{}
+	for _, s := range an.Arrays {
+		var best *Alignment
+		for _, nest := range an.Nests {
+			al := alignIn(s, nest, an.Extents[s])
+			if al == nil || !al.Aligned() {
+				continue
+			}
+			if best == nil || nest.Weight > best.Nest.Weight {
+				best = al
+			}
+		}
+		if best != nil {
+			out[s] = best
+		}
+	}
+	return out
+}
+
+// alignIn computes the alignment of one array within one nest by voting:
+// each reference whose dimension-d subscript is 1*v+c for a parallel loop
+// variable v casts its Iter weight for the (d, v) pairing. Pairings are
+// then granted greedily, heaviest first, each dimension and each variable
+// at most once (an affinity variable may key only one distributed
+// dimension, §3.4).
+func alignIn(s *ir.Sym, nest *Nest, ext []int64) *Alignment {
+	if len(ext) == 0 {
+		return nil
+	}
+	votes := map[[2]int]int64{}
+	for _, r := range nest.Refs {
+		if r.Sym != s {
+			continue
+		}
+		for d, sub := range r.Subs {
+			if !sub.Affine || sub.Var == nil || sub.A != 1 {
+				continue
+			}
+			for l, pl := range nest.ParLoops {
+				if pl.Var == sub.Var {
+					votes[[2]int{d, l}] += r.Iter
+				}
+			}
+		}
+	}
+	if len(votes) == 0 {
+		return nil
+	}
+	type pair struct {
+		d, l int
+		w    int64
+	}
+	pairs := make([]pair, 0, len(votes))
+	for k, w := range votes {
+		pairs = append(pairs, pair{k[0], k[1], w})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].w != pairs[j].w {
+			return pairs[i].w > pairs[j].w
+		}
+		if pairs[i].d != pairs[j].d {
+			return pairs[i].d < pairs[j].d
+		}
+		return pairs[i].l < pairs[j].l
+	})
+	al := &Alignment{Sym: s, Nest: nest, Dims: make([]int, len(ext))}
+	for d := range al.Dims {
+		al.Dims[d] = -1
+	}
+	usedVar := map[int]bool{}
+	for _, p := range pairs {
+		if al.Dims[p.d] >= 0 || usedVar[p.l] {
+			continue
+		}
+		al.Dims[p.d] = p.l
+		usedVar[p.l] = true
+	}
+	return al
+}
+
+// AffinityChoice is the synthesized affinity clause of one nest under one
+// candidate: affinity(vars...) = data(Array(subs...)).
+type AffinityChoice struct {
+	Array *ir.Sym
+	// Subs[d] is the parallel-loop index whose variable appears as the
+	// subscript of dimension d, or -1 for the constant 1.
+	Subs []int
+}
+
+// Clause renders the affinity clause text for the nest.
+func (ac *AffinityChoice) Clause(nest *Nest) string {
+	vars := make([]string, len(nest.ParLoops))
+	for i, pl := range nest.ParLoops {
+		vars[i] = pl.Var.Name
+	}
+	subs := make([]string, len(ac.Subs))
+	for d, l := range ac.Subs {
+		if l >= 0 {
+			subs[d] = nest.ParLoops[l].Var.Name
+		} else {
+			subs[d] = "1"
+		}
+	}
+	return fmt.Sprintf("affinity(%s) = data(%s(%s))",
+		strings.Join(vars, ", "), ac.Array.Name, strings.Join(subs, ", "))
+}
+
+// Candidate is one point of the search space: a full distribution
+// strategy for the unit.
+type Candidate struct {
+	ID    int    `json:"id"`
+	Label string `json:"label"`
+	// Policy is the page policy for pages not claimed by a directive;
+	// it is the whole strategy for the two plain candidates.
+	Policy ospage.Policy `json:"-"`
+	// Specs maps array name -> distribution; empty for plain candidates.
+	Specs map[string]dist.Spec `json:"-"`
+	// SpecText is the rendered directive body, e.g.
+	// "a(*, block), b(block, *)" ("" for plain candidates).
+	SpecText string `json:"spec"`
+	Reshape  bool   `json:"reshape"`
+	// affinity[nest index in Analysis.Nests] is the synthesized clause.
+	affinity map[int]*AffinityChoice
+
+	StaticCost float64 `json:"static_cost"`
+	// Cycles[i] is the measured timed-section cycles at Procs[i]
+	// (nil until verified).
+	Cycles   []int64 `json:"cycles,omitempty"`
+	Total    int64   `json:"total_cycles,omitempty"`
+	Verified bool    `json:"verified"`
+	// Source is the rewritten program implementing the candidate.
+	Source string `json:"-"`
+}
+
+// PolicyName is the page-policy spelling for reports.
+func (c *Candidate) PolicyName() string { return c.Policy.String() }
+
+// enumerate builds the candidate list for an analysis. The aligned
+// distributed dimensions are taken from the alignment; the kind menu is
+// block, cyclic, and page-sized cyclic(k), each as regular and reshaped.
+func enumerate(an *Analysis, pageBytes int) []*Candidate {
+	als := alignments(an)
+	// Deterministic array order: symbol order of the unit.
+	var arrays []*ir.Sym
+	for _, s := range an.Arrays {
+		if als[s] != nil {
+			arrays = append(arrays, s)
+		}
+	}
+
+	cands := []*Candidate{
+		{Label: "first-touch", Policy: ospage.FirstTouch},
+		{Label: "round-robin", Policy: ospage.RoundRobin},
+	}
+	if len(arrays) > 0 {
+		kinds := []struct {
+			tag  string
+			kind dist.Kind
+		}{
+			{"block", dist.Block},
+			{"cyclic-page", dist.BlockCyclic},
+			{"cyclic", dist.Cyclic},
+		}
+		for _, k := range kinds {
+			for _, reshape := range []bool{false, true} {
+				c := &Candidate{Policy: ospage.FirstTouch, Reshape: reshape,
+					Specs: map[string]dist.Spec{}, affinity: map[int]*AffinityChoice{}}
+				if reshape {
+					c.Label = "reshaped-" + k.tag
+				} else {
+					c.Label = "regular-" + k.tag
+				}
+				for _, s := range arrays {
+					c.Specs[s.Name] = specFor(als[s], an.Extents[s], k.kind, reshape, pageBytes)
+				}
+				for ni, nest := range an.Nests {
+					if ac := chooseAffinity(an, nest, c.Specs, als); ac != nil {
+						c.affinity[ni] = ac
+					}
+				}
+				c.SpecText = renderSpecs(arrays, c.Specs)
+				cands = append(cands, c)
+			}
+		}
+	}
+	for i, c := range cands {
+		c.ID = i
+	}
+	return cands
+}
+
+// specFor builds the spec for one array: the given kind on aligned
+// dimensions, * elsewhere. cyclic-page chunks are sized so one chunk of
+// the dimension spans about one page of consecutive memory.
+func specFor(al *Alignment, ext []int64, kind dist.Kind, reshape bool, pageBytes int) dist.Spec {
+	sp := dist.Spec{Dims: make([]dist.Dim, len(al.Dims)), Reshape: reshape}
+	dimStride := int64(1)
+	for d := range al.Dims {
+		if al.Dims[d] >= 0 {
+			dm := dist.Dim{Kind: kind}
+			if kind == dist.BlockCyclic {
+				chunk := int64(pageBytes/8) / dimStride
+				if chunk < 1 {
+					chunk = 1
+				}
+				dm.Chunk = int(chunk)
+			}
+			sp.Dims[d] = dm
+		}
+		dimStride *= ext[d]
+	}
+	return sp
+}
+
+// chooseAffinity picks the affinity array of one nest under the given
+// specs: the distributed array with the most aligned traffic in the nest,
+// writes preferred (affinity scheduling makes the written data local).
+func chooseAffinity(an *Analysis, nest *Nest, specs map[string]dist.Spec, als map[*ir.Sym]*Alignment) *AffinityChoice {
+	var best *ir.Sym
+	var bestSubs []int
+	var bestScore int64
+	for _, s := range an.Arrays {
+		sp, ok := specs[s.Name]
+		if !ok || !sp.Distributed() {
+			continue
+		}
+		al := alignIn(s, nest, an.Extents[s])
+		if al == nil {
+			continue
+		}
+		// Every distributed dim must be keyed by a nest variable or be
+		// constant-subscriptable; unkeyed distributed dims get the
+		// constant 1, which is always legal.
+		subs := make([]int, len(sp.Dims))
+		keyed := false
+		for d := range sp.Dims {
+			subs[d] = -1
+			if sp.Dims[d].Distributed() && al.Dims[d] >= 0 {
+				subs[d] = al.Dims[d]
+				keyed = true
+			}
+		}
+		if !keyed {
+			continue
+		}
+		var score int64
+		for _, r := range nest.Refs {
+			if r.Sym != s {
+				continue
+			}
+			score += r.Iter
+			if r.Write {
+				score += 4 * r.Iter // writes dominate the choice
+			}
+		}
+		if score > bestScore {
+			best, bestSubs, bestScore = s, subs, score
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return &AffinityChoice{Array: best, Subs: bestSubs}
+}
+
+// renderSpecs renders "a(*, block), b(block, *)" in array order.
+func renderSpecs(arrays []*ir.Sym, specs map[string]dist.Spec) string {
+	parts := make([]string, 0, len(arrays))
+	for _, s := range arrays {
+		sp := specs[s.Name]
+		dims := make([]string, len(sp.Dims))
+		for d, dm := range sp.Dims {
+			dims[d] = dm.String()
+		}
+		parts = append(parts, fmt.Sprintf("%s(%s)", s.Name, strings.Join(dims, ", ")))
+	}
+	return strings.Join(parts, ", ")
+}

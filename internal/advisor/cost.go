@@ -1,0 +1,413 @@
+// The analytic cost model: scores a candidate distribution against a
+// machine.Config without running it. It estimates, per nest and per
+// reference, the cache-miss volume (from strides and per-processor
+// footprints), splits it into local and remote misses by sampling the
+// iteration space deterministically and asking the dist-package owner
+// transforms where each element lives, and adds the three second-order
+// terms the paper's evaluation turns on: node-memory bandwidth
+// serialization when one node serves everything (§8.2 first-touch after
+// serial initialization), page-granularity false sharing at portion
+// boundaries of regular distributions (§4.2 vs §4.3), and TLB reach when
+// portions are page-sparse. Measured heat maps, when supplied, reweigh
+// arrays by observed traffic.
+package advisor
+
+import (
+	"dsmdist/internal/dist"
+	"dsmdist/internal/ir"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/ospage"
+)
+
+// samples per loop level when sampling the iteration space.
+const (
+	parSamples    = 5
+	serialSamples = 3
+)
+
+// arrayGeom is the per-candidate geometry of one distributed array.
+type arrayGeom struct {
+	ext   []int64
+	grid  dist.Grid
+	maps  []dist.DimMap
+	bytes int64
+}
+
+// costModel evaluates one candidate at one processor count.
+type costModel struct {
+	an      *Analysis
+	cand    *Candidate
+	cfg     *machine.Config
+	weights map[string]float64
+	geom    map[*ir.Sym]*arrayGeom
+	nnodes  int
+}
+
+// staticCost returns the model's estimated execution cycles for the
+// candidate at the machine's processor count. Only relative order between
+// candidates matters; the verifier measures real cycles afterwards.
+func staticCost(an *Analysis, cand *Candidate, cfg *machine.Config, weights map[string]float64) float64 {
+	m := &costModel{an: an, cand: cand, cfg: cfg, weights: weights,
+		geom: map[*ir.Sym]*arrayGeom{}, nnodes: cfg.NNodes()}
+	for _, s := range an.Arrays {
+		ext := an.Extents[s]
+		g := &arrayGeom{ext: ext, bytes: 8}
+		for _, e := range ext {
+			g.bytes *= e
+		}
+		if sp, ok := cand.Specs[s.Name]; ok && sp.Distributed() {
+			grid, err := dist.NewGrid(sp, cfg.NProcs)
+			if err != nil {
+				continue
+			}
+			iext := make([]int, len(ext))
+			for i, e := range ext {
+				iext[i] = int(e)
+			}
+			maps, err := grid.Maps(iext)
+			if err != nil {
+				continue
+			}
+			g.grid, g.maps = grid, maps
+		}
+		m.geom[s] = g
+	}
+
+	total := 0.0
+	nodeServe := make([]float64, m.nnodes)
+	for ni, nest := range an.Nests {
+		total += m.nestCost(ni, nest, nodeServe)
+	}
+	// Bandwidth serialization: the excess a hot node serves beyond its
+	// balanced share stalls everyone behind it (§8.2).
+	maxServe, sumServe := 0.0, 0.0
+	for _, s := range nodeServe {
+		sumServe += s
+		if s > maxServe {
+			maxServe = s
+		}
+	}
+	total += maxServe - sumServe/float64(m.nnodes)
+	return total
+}
+
+// nestCost sums the per-reference miss costs of one nest, divided by the
+// processor count (the nest runs in parallel), and feeds nodeServe.
+func (m *costModel) nestCost(ni int, nest *Nest, nodeServe []float64) float64 {
+	p := float64(m.cfg.NProcs)
+	lineElems := int64(m.cfg.L2LineSize / 8)
+	cost := 0.0
+	for _, r := range nest.Refs {
+		g := m.geom[r.Sym]
+		if g == nil {
+			continue
+		}
+		accesses := float64(r.Iter)
+		// Miss volume from the inner stride.
+		stride, innerTrip := r.InnerStride(g.ext)
+		missFrac := 1.0
+		switch {
+		case stride == 0:
+			missFrac = 1 / float64(max64(1, innerTrip))
+		case abs64(stride) < lineElems:
+			missFrac = float64(abs64(stride)) / float64(lineElems)
+		}
+		// When the per-processor share fits comfortably in L2, repeat
+		// sweeps hit in cache: charge only the first dispatch.
+		perProc := g.bytes / int64(m.cfg.NProcs)
+		if m.cand.Reshape {
+			perProc = m.portionBytes(g)
+		}
+		if perProc <= int64(m.cfg.L2Bytes/2) && nest.Outer > 1 {
+			missFrac /= float64(nest.Outer)
+		}
+		misses := accesses * missFrac
+
+		st := m.sampleRef(ni, nest, r, g)
+
+		avgRemote := float64(m.cfg.RemoteBaseCyc+m.cfg.RemoteMaxCyc) / 2
+		perMiss := (1-st.remoteFrac)*float64(m.cfg.LocalMemCyc) + st.remoteFrac*avgRemote
+		refCost := misses * perMiss
+
+		// Page-granularity false sharing: writes to regular pages whose
+		// owner differs from the element owner ping coherence.
+		if r.Write && !m.cand.Reshape && g.maps != nil {
+			refCost += misses * st.splitFrac * float64(m.cfg.CoherenceCyc) * 2
+		}
+		// TLB reach: page-sparse strides over a footprint beyond the TLB.
+		strideBytes := abs64(stride) * 8
+		if perProc > int64(m.cfg.TLBEntries*m.cfg.PageBytes) && strideBytes > 0 {
+			pageFrac := float64(strideBytes) / float64(m.cfg.PageBytes)
+			if pageFrac > 1 {
+				pageFrac = 1
+			}
+			refCost += accesses * missFrac * pageFrac * float64(m.cfg.TLBMissCyc)
+		}
+		// Residual reshaped addressing cost after the §7 optimizations.
+		if m.cand.Reshape && g.maps != nil {
+			refCost += accesses * 0.5
+		}
+
+		w := 1.0
+		if m.weights != nil {
+			if ww, ok := m.weights[r.Sym.Name]; ok {
+				w = ww
+			}
+		}
+		cost += w * refCost / p
+		for n := range nodeServe {
+			nodeServe[n] += w * misses * st.servedFrac[n] * float64(m.cfg.MemServiceCyc)
+		}
+	}
+	return cost
+}
+
+// refStats are the sampled locality fractions of one reference.
+type refStats struct {
+	remoteFrac float64
+	splitFrac  float64 // element owner != page owner (regular boundary pages)
+	servedFrac []float64
+}
+
+// sampleRef walks a deterministic lattice over the reference's loop
+// environment and classifies each sampled access.
+func (m *costModel) sampleRef(ni int, nest *Nest, r *Ref, g *arrayGeom) refStats {
+	st := refStats{servedFrac: make([]float64, m.nnodes)}
+	vals := make([]int64, len(r.Loops))
+	var samples, remote, split float64
+	served := make([]float64, m.nnodes)
+
+	var walk func(l int)
+	walk = func(l int) {
+		if l == len(r.Loops) {
+			samples++
+			proc := m.execProc(ni, nest, r.Loops, vals)
+			owner := m.ownerNode(r, g, vals)
+			node := m.cfg.NodeOf(proc)
+			served[owner]++
+			if owner != node {
+				remote++
+			}
+			if !m.cand.Reshape && g.maps != nil && m.pageSplit(r, g, vals) {
+				split++
+			}
+			return
+		}
+		n := serialSamples
+		if l < len(nest.ParLoops) {
+			n = parSamples
+		}
+		lp := r.Loops[l]
+		if int64(n) > lp.Trip {
+			n = int(lp.Trip)
+		}
+		for t := 0; t < n; t++ {
+			v := lp.Lo
+			if n > 1 {
+				v = lp.Lo + (lp.Hi-lp.Lo)*int64(t)/int64(n-1)
+			}
+			vals[l] = v
+			walk(l + 1)
+		}
+	}
+	walk(0)
+
+	if samples > 0 {
+		st.remoteFrac = remote / samples
+		st.splitFrac = split / samples
+		for n := range served {
+			st.servedFrac[n] = served[n] / samples
+		}
+	}
+	return st
+}
+
+// execProc returns the processor executing the sampled iteration.
+func (m *costModel) execProc(ni int, nest *Nest, loops []Loop, vals []int64) int {
+	if ac := m.cand.affinity[ni]; ac != nil {
+		// Affinity scheduling: the iteration runs where the affinity
+		// element lives (§3.4, Figure 2).
+		ag := m.geom[ac.Array]
+		if ag != nil && ag.maps != nil {
+			idx := make([]int, len(ac.Subs))
+			for d, l := range ac.Subs {
+				if l >= 0 {
+					idx[d] = clamp(int(vals[l]-1), 0, int(ag.ext[d])-1)
+				}
+			}
+			return ag.grid.OwnerLinear(ag.maps, idx)
+		}
+	}
+	// Simple scheduling: block partition of the parallel loops over a
+	// near-square processor grid (the nest-grid factorization).
+	k := len(nest.ParLoops)
+	sp := dist.Spec{Dims: make([]dist.Dim, k)}
+	for i := range sp.Dims {
+		sp.Dims[i] = dist.Dim{Kind: dist.Block}
+	}
+	grid, err := dist.NewGrid(sp, m.cfg.NProcs)
+	if err != nil {
+		return 0
+	}
+	proc, mul := 0, 1
+	for l := 0; l < k && l < len(loops); l++ {
+		pl := grid.DimProcs[l]
+		lp := loops[l]
+		c := int((vals[l] - lp.Lo) * int64(pl) / max64(1, lp.Trip))
+		proc += clamp(c, 0, pl-1) * mul
+		mul *= pl
+	}
+	return proc
+}
+
+// elemIndex evaluates the reference's zero-based element coordinates at
+// the sampled loop values.
+func (m *costModel) elemIndex(r *Ref, g *arrayGeom, vals []int64) []int {
+	idx := make([]int, len(g.ext))
+	for d := range g.ext {
+		var e int64
+		if d < len(r.Subs) && r.Subs[d].Affine {
+			sub := r.Subs[d]
+			e = sub.C - 1
+			if sub.Var != nil {
+				v := int64(0)
+				found := false
+				for l, lp := range r.Loops {
+					if lp.Var == sub.Var {
+						v, found = vals[l], true
+						break
+					}
+				}
+				if !found {
+					v = (g.ext[d] + 1) / 2
+				}
+				e = sub.A*v + sub.C - 1
+			}
+		} else {
+			e = g.ext[d] / 2
+		}
+		idx[d] = clamp(int(e), 0, int(g.ext[d])-1)
+	}
+	return idx
+}
+
+// ownerNode returns the home node of the sampled element under the
+// candidate.
+func (m *costModel) ownerNode(r *Ref, g *arrayGeom, vals []int64) int {
+	idx := m.elemIndex(r, g, vals)
+	if g.maps != nil {
+		if m.cand.Reshape {
+			return m.cfg.NodeOf(g.grid.OwnerLinear(g.maps, idx))
+		}
+		// Regular: page granularity; the page's last element decides
+		// (ascending-processor placement, last requester wins, §4.2).
+		return m.cfg.NodeOf(g.grid.OwnerLinear(g.maps, m.pageAnchor(g, idx)))
+	}
+	// Plain candidates: page policy.
+	page := m.linear(g, idx) * 8 / int64(m.cfg.PageBytes)
+	if m.cand.Policy == ospage.RoundRobin {
+		return int(page % int64(m.nnodes))
+	}
+	// First touch: serial initialization lands everything on node 0;
+	// parallel initialization approximates the aligned block partition.
+	if m.an.SerialWrite[r.Sym] {
+		return 0
+	}
+	al := alignments(m.an)[r.Sym]
+	if al == nil {
+		return 0
+	}
+	sp := specFor(al, g.ext, dist.Block, false, m.cfg.PageBytes)
+	grid, err := dist.NewGrid(sp, m.cfg.NProcs)
+	if err != nil {
+		return 0
+	}
+	iext := make([]int, len(g.ext))
+	for i, e := range g.ext {
+		iext[i] = int(e)
+	}
+	maps, err := grid.Maps(iext)
+	if err != nil {
+		return 0
+	}
+	return m.cfg.NodeOf(grid.OwnerLinear(maps, m.pageAnchorIn(g, maps, idx)))
+}
+
+// pageSplit reports whether the sampled element's owner differs from its
+// page's owner — a portion-boundary page shared by two processors.
+func (m *costModel) pageSplit(r *Ref, g *arrayGeom, vals []int64) bool {
+	idx := m.elemIndex(r, g, vals)
+	return g.grid.OwnerLinear(g.maps, idx) != g.grid.OwnerLinear(g.maps, m.pageAnchor(g, idx))
+}
+
+// pageAnchor returns the coordinates of the last element of the page
+// containing idx (the element whose owner the OS placement keeps).
+func (m *costModel) pageAnchor(g *arrayGeom, idx []int) []int {
+	return m.pageAnchorIn(g, g.maps, idx)
+}
+
+func (m *costModel) pageAnchorIn(g *arrayGeom, maps []dist.DimMap, idx []int) []int {
+	lin := m.linear(g, idx)
+	pageElems := int64(m.cfg.PageBytes / 8)
+	last := (lin/pageElems+1)*pageElems - 1
+	total := int64(1)
+	for _, e := range g.ext {
+		total *= e
+	}
+	if last >= total {
+		last = total - 1
+	}
+	out := make([]int, len(g.ext))
+	for d, e := range g.ext {
+		out[d] = int(last % e)
+		last /= e
+	}
+	return out
+}
+
+// linear converts zero-based coordinates to the column-major element
+// offset.
+func (m *costModel) linear(g *arrayGeom, idx []int) int64 {
+	lin, mul := int64(0), int64(1)
+	for d, e := range g.ext {
+		lin += int64(idx[d]) * mul
+		mul *= e
+	}
+	return lin
+}
+
+// portionBytes is the per-processor portion size of a reshaped array.
+func (m *costModel) portionBytes(g *arrayGeom) int64 {
+	if g.maps == nil {
+		return g.bytes / int64(m.cfg.NProcs)
+	}
+	b := int64(8)
+	for _, dm := range g.maps {
+		b *= int64(dm.MaxPortionLen())
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

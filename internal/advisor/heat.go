@@ -1,0 +1,55 @@
+// Measured feedback: when the user supplies a dsmprof -heat-json profile
+// (obs.HeatMap), the advisor reweighs each array's contribution to the
+// static cost by its observed miss traffic. Arrays the profile shows to
+// be hot dominate the model; arrays the static weights overestimate are
+// damped. The schema is pinned by internal/obs's golden-file test.
+package advisor
+
+import (
+	"strings"
+
+	"dsmdist/internal/obs"
+)
+
+// heatWeights converts a measured heat map into per-array multipliers,
+// normalized so the mean weight over matched arrays is 1. Heat-map names
+// are "unit.array"; matching is by the suffix after the dot so profiles
+// taken from any build of the same program apply.
+func heatWeights(an *Analysis, h *obs.HeatMap) map[string]float64 {
+	if h == nil {
+		return nil
+	}
+	raw := map[string]float64{}
+	var sum float64
+	for _, s := range an.Arrays {
+		ah := findHeat(h, an.Unit.Name, s.Name)
+		if ah == nil {
+			continue
+		}
+		raw[s.Name] = float64(ah.Local + ah.Remote + 1)
+		sum += raw[s.Name]
+	}
+	if len(raw) == 0 {
+		return nil
+	}
+	mean := sum / float64(len(raw))
+	out := map[string]float64{}
+	for name, v := range raw {
+		out[name] = v / mean
+	}
+	return out
+}
+
+// findHeat locates an array's heat entry by exact "unit.name" or by the
+// ".name" suffix.
+func findHeat(h *obs.HeatMap, unit, name string) *obs.ArrayHeat {
+	if ah := h.Array(unit + "." + name); ah != nil {
+		return ah
+	}
+	for i := range h.Arrays {
+		if strings.HasSuffix(h.Arrays[i].Name, "."+name) {
+			return &h.Arrays[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+// Directive rewriting: the advisor edits programs at the source level,
+// exactly like the user would. stripDirectives removes every existing
+// distribution decision (c$distribute, c$distribute_reshape,
+// c$redistribute, and the affinity clauses of c$doacross lines) while
+// preserving line numbers, so one analysis of the stripped program maps
+// back onto the original text. apply then inserts a candidate's
+// directives: one distribute line after the arrays' declarations and a
+// synthesized affinity clause on each doacross.
+package advisor
+
+import (
+	"fmt"
+	"strings"
+
+	"dsmdist/internal/fortran"
+)
+
+// stripAffinity removes an "affinity(...) = data(...)" clause from a
+// directive line. The subscripts nest parentheses (data(b(i, 1))), so
+// this scans with balance counting instead of a regular expression.
+func stripAffinity(line string) string {
+	lower := strings.ToLower(line)
+	start := strings.Index(lower, "affinity")
+	if start < 0 {
+		return line
+	}
+	i := start + len("affinity")
+	skip := func() {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+	}
+	balanced := func() bool {
+		if i >= len(line) || line[i] != '(' {
+			return false
+		}
+		depth := 0
+		for ; i < len(line); i++ {
+			switch line[i] {
+			case '(':
+				depth++
+			case ')':
+				depth--
+				if depth == 0 {
+					i++
+					return true
+				}
+			}
+		}
+		return false
+	}
+	skip()
+	if !balanced() {
+		return line
+	}
+	skip()
+	if i >= len(line) || line[i] != '=' {
+		return line
+	}
+	i++
+	skip()
+	if !strings.HasPrefix(strings.ToLower(line[i:]), "data") {
+		return line
+	}
+	i += len("data")
+	skip()
+	if !balanced() {
+		return line
+	}
+	// Trim surrounding whitespace once, keeping a single separator.
+	before := strings.TrimRight(line[:start], " \t")
+	return before + " " + strings.TrimLeft(line[i:], " \t")
+}
+
+// splitLines splits keeping no trailing empty element.
+func splitLines(src string) []string {
+	lines := strings.Split(src, "\n")
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// isDirective reports whether the line is the start of the named
+// directive ("distribute" also matches "distribute_reshape" when asked).
+func isDirective(line string, names ...string) bool {
+	l := strings.ToLower(strings.TrimSpace(line))
+	if !strings.HasPrefix(l, "c$") {
+		return false
+	}
+	l = l[2:]
+	for _, n := range names {
+		if strings.HasPrefix(l, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// continues reports whether the logical line continues onto the next
+// physical line (ends with '&', ignoring a trailing comment).
+func continues(line string) bool {
+	if i := strings.Index(line, "!"); i >= 0 {
+		line = line[:i]
+	}
+	return strings.HasSuffix(strings.TrimSpace(line), "&")
+}
+
+// stripDirectives removes every distribution decision from the source,
+// replacing removed lines with plain comment lines so that line numbers
+// are stable. It returns the stripped source.
+func stripDirectives(src string) string {
+	lines := splitLines(src)
+	for i := 0; i < len(lines); i++ {
+		if isDirective(lines[i], "distribute", "redistribute") {
+			cont := continues(lines[i])
+			lines[i] = "c"
+			for cont && i+1 < len(lines) {
+				i++
+				cont = continues(lines[i])
+				lines[i] = "c"
+			}
+			continue
+		}
+		if isDirective(lines[i], "doacross") {
+			// The affinity clause may sit on the directive line or on a
+			// continuation; strip it wherever it appears.
+			j := i
+			for {
+				lines[j] = stripAffinity(lines[j])
+				if !continues(lines[j]) || j+1 >= len(lines) {
+					break
+				}
+				j++
+			}
+			i = j
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// apply renders the candidate into the stripped source: directives are
+// inserted after the declaration of the distributed arrays of the program
+// unit, and each nest with an affinity choice gets its clause appended to
+// the doacross line. an must come from analyzing the stripped source.
+func apply(stripped string, an *Analysis, cand *Candidate) (string, error) {
+	lines := splitLines(stripped)
+	if cand.Specs != nil && len(cand.Specs) > 0 {
+		for ni, ac := range cand.affinity {
+			if ni >= len(an.Nests) {
+				continue
+			}
+			nest := an.Nests[ni]
+			li := nest.Line - 1
+			if li < 0 || li >= len(lines) || !isDirective(lines[li], "doacross") {
+				return "", fmt.Errorf("advisor: doacross for nest at line %d not found in source", nest.Line)
+			}
+			// Append to the end of the logical directive line.
+			for continues(lines[li]) && li+1 < len(lines) {
+				li++
+			}
+			lines[li] = lines[li] + " " + ac.Clause(nest)
+		}
+
+		declLine, err := declLineFor(an, stripped)
+		if err != nil {
+			return "", err
+		}
+		name := "c$distribute"
+		if cand.Reshape {
+			name = "c$distribute_reshape"
+		}
+		directive := name + " " + cand.SpecText
+		out := make([]string, 0, len(lines)+1)
+		out = append(out, lines[:declLine]...)
+		out = append(out, directive)
+		out = append(out, lines[declLine:]...)
+		lines = out
+	}
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// declLineFor finds the last declaration line among the advised arrays of
+// the program unit (the directive must follow every array it names).
+func declLineFor(an *Analysis, stripped string) (int, error) {
+	f, err := fortran.Parse(an.Unit.SourceFile, stripped)
+	if err != nil {
+		return 0, err
+	}
+	names := map[string]bool{}
+	for _, s := range an.Arrays {
+		names[s.Name] = true
+	}
+	line := 0
+	for _, u := range f.Units {
+		if u.Name != an.Unit.Name {
+			continue
+		}
+		for _, d := range u.Decls {
+			td, ok := d.(*fortran.TypeDecl)
+			if !ok {
+				continue
+			}
+			for _, it := range td.Items {
+				if names[it.Name] && it.Line > line {
+					line = it.Line
+				}
+			}
+		}
+	}
+	if line == 0 {
+		return 0, fmt.Errorf("advisor: declarations of advised arrays not found in %s", an.Unit.SourceFile)
+	}
+	return line, nil
+}
+
+// DirectiveText renders the candidate's directives for human consumption:
+// the distribute line plus each nest's doacross affinity clause.
+func (c *Candidate) DirectiveText(an *Analysis) string {
+	if c.Specs == nil || len(c.Specs) == 0 {
+		return fmt.Sprintf("(no directives; run with -policy %s)", c.Policy)
+	}
+	var b strings.Builder
+	name := "c$distribute"
+	if c.Reshape {
+		name = "c$distribute_reshape"
+	}
+	fmt.Fprintf(&b, "%s %s\n", name, c.SpecText)
+	for ni, nest := range an.Nests {
+		if ac := c.affinity[ni]; ac != nil {
+			fmt.Fprintf(&b, "c$doacross (line %d): %s\n", nest.Line, ac.Clause(nest))
+		}
+	}
+	return b.String()
+}

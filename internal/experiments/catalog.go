@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Experiment is one runnable entry of the harness: a stable name (the
+// dsmbench -exp argument), a one-line description, and the function that
+// regenerates it.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(Sizes) ([]Row, error)
+}
+
+// Catalog lists every experiment in the order dsmbench runs them. dsmbench
+// -list prints it; -exp dispatches through it.
+func Catalog() []Experiment {
+	return []Experiment{
+		{"table2", "reshape-optimization ablation: LU on 1 processor, opt levels none → all, vs the non-reshaped build", Table2},
+		{"fig4", "NAS-LU kernel speedups under first-touch / round-robin / regular / reshaped placement", Fig4},
+		{"fig5", "matrix-transpose speedups: the (block,*) operand that only reshaping can localize", Fig5},
+		{"fig6", "2-D convolution (small input), one- and two-level parallelism, all four placements", Fig6},
+		{"fig7", "2-D convolution (large input), one- and two-level parallelism, all four placements", Fig7},
+	}
+}
+
+// Find returns the catalog entry with the given name, or an error listing
+// the valid names.
+func Find(name string) (Experiment, error) {
+	names := make([]string, 0, 8)
+	for _, e := range Catalog() {
+		if e.Name == name {
+			return e, nil
+		}
+		names = append(names, e.Name)
+	}
+	return Experiment{}, fmt.Errorf("unknown experiment %q (available: %s; see dsmbench -list)",
+		name, strings.Join(names, ", "))
+}

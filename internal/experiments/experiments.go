@@ -130,12 +130,13 @@ func runOne(cache *core.BuildCache, src string, opt xform.Options, cfg *machine.
 	return core.Run(img, cfg, core.RunOptions{Policy: policy})
 }
 
-// forEach runs jobs 0..n-1 over a pool of at most par workers (0 =
+// ForEach runs jobs 0..n-1 over a pool of at most par workers (0 =
 // GOMAXPROCS). Results must be written to preallocated per-index slots so
 // output order never depends on scheduling; the error returned is the one
 // from the lowest-numbered failing job, which keeps error reporting
-// deterministic too.
-func forEach(par, n int, job func(int) error) error {
+// deterministic too. The sweeps here and the advisor's candidate
+// verification both fan out through it.
+func ForEach(par, n int, job func(int) error) error {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
@@ -236,7 +237,7 @@ func Table2(s Sizes) ([]Row, error) {
 	}
 	cache := core.NewBuildCache()
 	rows := make([]Row, len(steps))
-	err := forEach(s.Par, len(steps), func(i int) error {
+	err := ForEach(s.Par, len(steps), func(i int) error {
 		st := steps[i]
 		t0 := time.Now()
 		res, err := runOne(cache, src(st.v), st.opt, cfg(), ospage.FirstTouch)
@@ -328,7 +329,7 @@ func sweep(exp string, gen func(workloads.Variant) string, s Sizes,
 		}
 	}
 	rows := make([]Row, len(points))
-	err = forEach(s.Par, len(points), func(i int) error {
+	err = ForEach(s.Par, len(points), func(i int) error {
 		pt := points[i]
 		cfg := mkCfg(pt.p)
 		t0 := time.Now()

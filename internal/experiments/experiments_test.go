@@ -129,7 +129,7 @@ func TestForEach(t *testing.T) {
 	for _, par := range []int{0, 1, 3, 16} {
 		var n32 int32
 		seen := make([]int32, 40)
-		if err := forEach(par, 40, func(i int) error {
+		if err := ForEach(par, 40, func(i int) error {
 			atomic.AddInt32(&n32, 1)
 			atomic.AddInt32(&seen[i], 1)
 			return nil
@@ -146,7 +146,7 @@ func TestForEach(t *testing.T) {
 		}
 	}
 	errA, errB := errors.New("a"), errors.New("b")
-	err := forEach(4, 10, func(i int) error {
+	err := ForEach(4, 10, func(i int) error {
 		switch i {
 		case 3:
 			return errB

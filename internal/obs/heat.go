@@ -1,0 +1,94 @@
+// Machine-readable per-array × per-node heat maps: the schema dsmprof
+// -heat-json writes and internal/advisor reads back as measured feedback
+// for its cost model. The golden-file test in heat_test.go pins the JSON
+// shape; extend it only by adding fields.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// HeatCell is one node's share of an array's traffic.
+type HeatCell struct {
+	Node         int   `json:"node"`
+	LocalMiss    int64 `json:"local_miss"`
+	RemoteMiss   int64 `json:"remote_miss"`
+	ServedRemote int64 `json:"served_remote"`
+	TLBMiss      int64 `json:"tlb_miss"`
+	// OwnedPages is how many of the array's pages the registered
+	// distribution assigns to this node (0 when no ownership map was
+	// registered).
+	OwnedPages int64 `json:"owned_pages"`
+}
+
+// ArrayHeat is the full heat map of one source array.
+type ArrayHeat struct {
+	Name   string     `json:"name"` // unit.array
+	Bytes  int64      `json:"bytes"`
+	Spec   string     `json:"spec,omitempty"` // distribution directive text, "" when undistributed
+	Local  int64      `json:"local_miss"`
+	Remote int64      `json:"remote_miss"`
+	TLB    int64      `json:"tlb_miss"`
+	Nodes  []HeatCell `json:"nodes"`
+}
+
+// HeatMap is the per-run container: machine identification plus one
+// ArrayHeat per registered array, in registration order.
+type HeatMap struct {
+	Machine   string      `json:"machine"`
+	Procs     int         `json:"procs"`
+	Nodes     int         `json:"nodes"`
+	PageBytes int         `json:"page_bytes"`
+	Arrays    []ArrayHeat `json:"arrays"`
+}
+
+// HeatMap freezes the recorder's per-array heat into the export schema.
+func (r *Recorder) HeatMap() *HeatMap {
+	h := &HeatMap{
+		Machine:   r.cfg.Name,
+		Procs:     r.cfg.NProcs,
+		Nodes:     r.nnodes,
+		PageBytes: r.cfg.PageBytes,
+	}
+	for _, ai := range r.arrays {
+		local, remote := ai.Misses()
+		ah := ArrayHeat{Name: ai.Name, Bytes: ai.Bytes, Spec: ai.Spec, Local: local, Remote: remote}
+		owned := ai.OwnedPages(r.nnodes)
+		for n, nh := range ai.Nodes {
+			ah.TLB += nh.TLBMiss
+			ah.Nodes = append(ah.Nodes, HeatCell{Node: n, LocalMiss: nh.LocalMiss,
+				RemoteMiss: nh.RemoteMiss, ServedRemote: nh.ServedRemote,
+				TLBMiss: nh.TLBMiss, OwnedPages: owned[n]})
+		}
+		h.Arrays = append(h.Arrays, ah)
+	}
+	return h
+}
+
+// WriteJSON writes the heat map as indented JSON.
+func (h *HeatMap) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(h)
+}
+
+// ReadHeatMap parses a heat map written by WriteJSON (the dsmprof
+// -heat-json output the advisor consumes).
+func ReadHeatMap(r io.Reader) (*HeatMap, error) {
+	var h HeatMap
+	if err := json.NewDecoder(r).Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Array returns the heat of one array by its registered name, or nil.
+func (h *HeatMap) Array(name string) *ArrayHeat {
+	for i := range h.Arrays {
+		if h.Arrays[i].Name == name {
+			return &h.Arrays[i]
+		}
+	}
+	return nil
+}

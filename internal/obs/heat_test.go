@@ -1,0 +1,110 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dsmdist/internal/machine"
+	"dsmdist/internal/obs"
+	"dsmdist/internal/ospage"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSrc is a tiny fully deterministic program: one distributed array,
+// one doacross, fixed bounds, so the exported heat map is byte-stable.
+const goldenSrc = `      program hg
+      integer n
+      parameter (n = 64)
+      real*8 x(n, n)
+c$distribute x(block, *)
+      integer i, j
+c$doacross local(i, j) shared(x)
+      do j = 1, n
+        do i = 1, n
+          x(i, j) = dble(i) + dble(j)
+        end do
+      end do
+      end
+`
+
+// TestHeatJSONGolden pins the dsmprof -heat-json schema with a golden
+// file: the advisor reads this format back as measured feedback, so any
+// change to the JSON shape must be deliberate (regenerate with
+// `go test ./internal/obs -run TestHeatJSONGolden -update`).
+func TestHeatJSONGolden(t *testing.T) {
+	cfg := machine.Tiny(4)
+	_, rec := runWithRecorder(t, goldenSrc, cfg, ospage.FirstTouch)
+
+	var buf bytes.Buffer
+	if err := rec.HeatMap().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "heat_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("heat JSON drifted from golden file %s\n--- got ---\n%s\n--- want ---\n%s\n(regenerate with -update if the change is intended)",
+			golden, buf.Bytes(), want)
+	}
+
+	// The schema must survive a round trip through the reader the advisor
+	// uses, with the fields it depends on intact.
+	h, err := obs.ReadHeatMap(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if h.Machine != cfg.Name || h.Procs != cfg.NProcs || h.PageBytes != cfg.PageBytes {
+		t.Errorf("machine identification lost in round trip: %+v", h)
+	}
+	ah := h.Array("hg.x")
+	if ah == nil {
+		t.Fatal("array hg.x missing from heat map")
+	}
+	if ah.Spec != "distribute(block,*)" {
+		t.Errorf("spec = %q, want distribute(block,*)", ah.Spec)
+	}
+	if ah.Bytes != 64*64*8 {
+		t.Errorf("bytes = %d, want %d", ah.Bytes, 64*64*8)
+	}
+	var local, remote, owned int64
+	for _, c := range ah.Nodes {
+		local += c.LocalMiss
+		remote += c.RemoteMiss
+		owned += c.OwnedPages
+	}
+	if local != ah.Local || remote != ah.Remote {
+		t.Errorf("per-node cells (%d local, %d remote) disagree with array totals (%d, %d)",
+			local, remote, ah.Local, ah.Remote)
+	}
+	if want := ah.Bytes / int64(cfg.PageBytes); owned < want {
+		t.Errorf("ownership map covers %d pages, array spans %d", owned, want)
+	}
+
+	// The golden file also guards key names: a rename in the Go structs
+	// would silently strand old profiles.
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"machine", "procs", "nodes", "page_bytes", "arrays"} {
+		if _, ok := raw[k]; !ok {
+			t.Errorf("top-level key %q missing from heat JSON", k)
+		}
+	}
+}

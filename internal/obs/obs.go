@@ -87,6 +87,39 @@ type ArrayInfo struct {
 	Name  string // unit.array
 	Bytes int64
 	Nodes []NodeHeat // indexed by node
+
+	// Spec is the array's distribution rendered as directive text
+	// ("distribute(block,*)"), or "" for undistributed arrays. It tracks
+	// redistribution: rtl re-registers ownership on every c$redistribute.
+	Spec string
+	// pageOwner maps virtual page -> node the current distribution
+	// assigns the page to (page-granularity, last-owner-wins at portion
+	// boundaries, matching the §4.2 placement). nil when no ownership was
+	// registered.
+	pageOwner map[int64]int
+}
+
+// OwnerOf returns the node the registered ownership map assigns to a
+// virtual page, or -1 when unknown.
+func (a *ArrayInfo) OwnerOf(vpage int64) int {
+	if a.pageOwner == nil {
+		return -1
+	}
+	if n, ok := a.pageOwner[vpage]; ok {
+		return n
+	}
+	return -1
+}
+
+// OwnedPages counts the pages the ownership map assigns to each node.
+func (a *ArrayInfo) OwnedPages(nnodes int) []int64 {
+	out := make([]int64, nnodes)
+	for _, n := range a.pageOwner {
+		if n >= 0 && n < nnodes {
+			out[n]++
+		}
+	}
+	return out
 }
 
 // Misses sums the local and remote misses over all nodes.
@@ -256,6 +289,9 @@ func (r *Recorder) Meta(key string) string { return r.meta[key] }
 // RegisterArray records the address ranges backing one source array, so
 // misses can be attributed back to it. Reshaped arrays register one range
 // per portion; regular and static arrays register their base range.
+// Re-registering a name replaces its ranges (accumulated heat is kept), so
+// the call is idempotent: rtl registers at load and again whenever the
+// array's storage mapping changes.
 func (r *Recorder) RegisterArray(name string, ranges [][2]int64) {
 	if r == nil {
 		return
@@ -265,6 +301,16 @@ func (r *Recorder) RegisterArray(name string, ranges [][2]int64) {
 		ai = &ArrayInfo{Name: name, Nodes: make([]NodeHeat, r.nnodes)}
 		r.byName[name] = ai
 		r.arrays = append(r.arrays, ai)
+	} else if ai.Bytes > 0 {
+		// Replace, don't append: drop the ranges registered earlier.
+		kept := r.ranges[:0]
+		for _, rg := range r.ranges {
+			if rg.arr != ai {
+				kept = append(kept, rg)
+			}
+		}
+		r.ranges = kept
+		ai.Bytes = 0
 	}
 	for _, rg := range ranges {
 		if rg[1] <= rg[0] {
@@ -274,6 +320,27 @@ func (r *Recorder) RegisterArray(name string, ranges [][2]int64) {
 		r.ranges = append(r.ranges, addrRange{lo: rg[0], hi: rg[1], arr: ai})
 	}
 	r.sorted = false
+}
+
+// SetArrayOwnership records (or, after a c$redistribute, replaces) the
+// distribution and page-ownership map of a registered array: spec is the
+// directive text, pageOwner maps virtual page -> owning node. rtl derives
+// the map from the runtime distribution state with the same
+// last-owner-wins boundary-page rule the §4.2 placement uses, so the
+// recorder's view of "who should serve this page" always matches the
+// distribution currently in force.
+func (r *Recorder) SetArrayOwnership(name, spec string, pageOwner map[int64]int) {
+	if r == nil {
+		return
+	}
+	ai := r.byName[name]
+	if ai == nil {
+		ai = &ArrayInfo{Name: name, Nodes: make([]NodeHeat, r.nnodes)}
+		r.byName[name] = ai
+		r.arrays = append(r.arrays, ai)
+	}
+	ai.Spec = spec
+	ai.pageOwner = pageOwner
 }
 
 // Arrays returns the registered arrays in registration order.

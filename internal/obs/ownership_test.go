@@ -1,0 +1,233 @@
+package obs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmdist/internal/core"
+	"dsmdist/internal/dist"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/ospage"
+)
+
+// ownSrc generates a single-array program with the given distribution
+// directive and a doacross that makes every processor touch every
+// column, so ownership attribution is exercised from all sides.
+func ownSrc(n int, directive string) string {
+	return fmt.Sprintf(`      program own
+      integer n
+      parameter (n = %d)
+      real*8 b(n, n)
+%s      integer i, j
+c$doacross local(i, j) shared(b)
+      do j = 1, n
+        do i = 1, n
+          b(i, j) = dble(i) + dble(j)*0.5
+        end do
+      end do
+      end
+`, n, directive)
+}
+
+// checkOwnershipAgainstDist runs the program, then checks three views of
+// page ownership against each other for every page with traffic:
+//
+//	dist (fresh Grid/DimMap math)  ==  obs ArrayInfo.OwnerOf (the map
+//	rtl registered)  ==  ospage placement (PageHeat.Home)
+//
+// Pages whose elements span owners are skipped for the dist comparison
+// (placement there is last-owner-wins) but must still agree between the
+// registered map and the placement.
+func checkOwnershipAgainstDist(t *testing.T, n, nprocs int, directive string, spec dist.Spec) {
+	t.Helper()
+	cfg := machine.Scaled(nprocs)
+	res, rec := runWithRecorder(t, ownSrc(n, directive), cfg, ospage.FirstTouch)
+
+	st := core.ArrayState(res, "own", "b")
+	if st == nil {
+		t.Fatal("array own.b not found")
+	}
+	ai := rec.ArrayHeat("own.b")
+	if ai == nil {
+		t.Fatal("own.b not registered with the recorder")
+	}
+	if ai.Spec != spec.String() {
+		t.Errorf("registered spec %q, want %q", ai.Spec, spec.String())
+	}
+
+	grid, err := dist.NewGrid(spec, nprocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps, err := grid.Maps([]int{n, n})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := st.Base
+	size := int64(n) * int64(n) * 8
+	pb := int64(cfg.PageBytes)
+	checked, uniform := 0, 0
+	for vp := base / pb; vp*pb < base+size; vp++ {
+		ph := rec.Page(vp)
+		if ph == nil || ph.Local+ph.Remote == 0 {
+			continue
+		}
+		reg := ai.OwnerOf(vp)
+		if reg < 0 {
+			t.Fatalf("page %d: no registered owner", vp)
+		}
+		if reg != ph.Home {
+			t.Errorf("page %d: registered owner %d, placement homed it on %d", vp, reg, ph.Home)
+		}
+		checked++
+
+		// dist's element-level view, when the page has a single owner.
+		lo, hi := vp*pb, (vp+1)*pb
+		if lo < base {
+			lo = base
+		}
+		if hi > base+size {
+			hi = base + size
+		}
+		owner := -1
+		for addr := lo; addr < hi; addr += 8 {
+			lin := (addr - base) / 8
+			idx := []int{int(lin % int64(n)), int(lin / int64(n))}
+			nd := cfg.NodeOf(grid.OwnerLinear(maps, idx))
+			if owner == -1 {
+				owner = nd
+			} else if owner != nd {
+				owner = -2
+				break
+			}
+		}
+		if owner < 0 {
+			continue
+		}
+		uniform++
+		if reg != owner {
+			t.Errorf("page %d: registered owner %d, dist says %d", vp, reg, owner)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d touched pages checked", checked)
+	}
+	if uniform < checked/2 {
+		t.Fatalf("only %d of %d pages were single-owner; distribution should align with pages", uniform, checked)
+	}
+
+	// OwnedPages must partition the touched range consistently.
+	var owned int64
+	for _, c := range ai.OwnedPages(cfg.NNodes()) {
+		owned += c
+	}
+	if want := (size + pb - 1) / pb; owned < want {
+		t.Errorf("ownership map covers %d pages, array spans %d", owned, want)
+	}
+}
+
+// TestOwnershipCyclicK covers the cyclic(k) specifier: with k sized to
+// exactly one page, every page is single-owner and dealt round-robin
+// across the processors of dimension 1.
+func TestOwnershipCyclicK(t *testing.T) {
+	n := 512
+	k := machine.Scaled(16).PageBytes / 8 // one page worth of elements
+	spec := dist.Spec{Dims: []dist.Dim{{Kind: dist.BlockCyclic, Chunk: k}, {}}}
+	checkOwnershipAgainstDist(t, n, 16,
+		fmt.Sprintf("c$distribute b(cyclic(%d), *)\n", k), spec)
+}
+
+// TestOwnershipBlockBlock covers the 2-D (block,block) distribution: a
+// 4x4 processor grid whose dimension-0 blocks are exactly one page.
+func TestOwnershipBlockBlock(t *testing.T) {
+	spec := dist.Spec{Dims: []dist.Dim{{Kind: dist.Block}, {Kind: dist.Block}}}
+	checkOwnershipAgainstDist(t, 512, 16, "c$distribute b(block, block)\n", spec)
+}
+
+// redisSrc initializes under (block, *), redistributes to (*, block),
+// then sweeps again — the §3.3 pattern whose heat attribution used to be
+// stuck on the load-time distribution.
+const redisSrc = `      program redis
+      integer n
+      parameter (n = 512)
+      real*8 b(n, n)
+c$distribute b(block, *)
+      integer i, j
+c$doacross local(i, j) shared(b)
+      do j = 1, n
+        do i = 1, n
+          b(i, j) = dble(i)
+        end do
+      end do
+c$redistribute b(*, block)
+c$doacross local(i, j) shared(b)
+      do j = 1, n
+        do i = 1, n
+          b(i, j) = b(i, j) + 1.0
+        end do
+      end do
+      end
+`
+
+// TestRedistributeReregistersOwnership is the regression test for heat
+// attribution after c$redistribute: the recorder's ownership map must
+// reflect the new (*, block) distribution, not the load-time (block, *).
+func TestRedistributeReregistersOwnership(t *testing.T) {
+	const n, nprocs = 512, 16
+	cfg := machine.Scaled(nprocs)
+	res, rec := runWithRecorder(t, redisSrc, cfg, ospage.FirstTouch)
+
+	st := core.ArrayState(res, "redis", "b")
+	if st == nil {
+		t.Fatal("array redis.b not found")
+	}
+	ai := rec.ArrayHeat("redis.b")
+	if ai == nil {
+		t.Fatal("redis.b not registered")
+	}
+	want := dist.Spec{Dims: []dist.Dim{{}, {Kind: dist.Block}}}
+	if ai.Spec != want.String() {
+		t.Fatalf("registered spec after redistribute = %q, want %q", ai.Spec, want.String())
+	}
+
+	// Fresh dist math for the NEW spec: pages must be owned by the node
+	// of their column block. One column is n*8 = 4 KB = 4 aligned pages,
+	// so every page is single-owner.
+	grid, err := dist.NewGrid(want, nprocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps, err := grid.Maps([]int{n, n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := st.Base
+	size := int64(n) * int64(n) * 8
+	pb := int64(cfg.PageBytes)
+	mismatch, checked := 0, 0
+	for vp := base / pb; vp*pb < base+size; vp++ {
+		lin := vp*pb/8 - base/8
+		if lin < 0 {
+			continue
+		}
+		j0 := int(lin / int64(n))
+		if j0 >= n {
+			break
+		}
+		wantNode := cfg.NodeOf(grid.OwnerLinear(maps, []int{0, j0}))
+		checked++
+		if got := ai.OwnerOf(vp); got != wantNode {
+			mismatch++
+			if mismatch <= 5 {
+				t.Errorf("page %d (column %d): owner %d, new distribution says %d", vp, j0, got, wantNode)
+			}
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d pages checked", checked)
+	}
+	if mismatch > 0 {
+		t.Errorf("%d of %d pages still attributed to the old distribution", mismatch, checked)
+	}
+}

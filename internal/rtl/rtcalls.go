@@ -148,6 +148,10 @@ func (rt *Runtime) redistribute(t *bytecode.Thread, planID int) (int64, error) {
 	perPage := int64(rt.Cfg.PageBytes/8) + 2000
 	rt.Sys.AddCycles(t.Proc, int64(moved)*perPage)
 	if rt.Rec != nil {
+		// Re-register the ownership map so events after the
+		// redistribution attribute to the new owners, not the load-time
+		// distribution.
+		rt.registerArrayObs(rt.Rec, st)
 		rt.Rec.Redistribute(st.Plan.Unit+"."+st.Plan.Name, moved, t.Proc,
 			start, rt.Sys.Clock(t.Proc))
 	}

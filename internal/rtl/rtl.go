@@ -180,10 +180,53 @@ func LoadObs(res *codegen.Result, cfg *machine.Config, policy ospage.Policy, rec
 	}
 	if rec != nil {
 		for _, st := range rt.Arrays {
-			rec.RegisterArray(st.Plan.Unit+"."+st.Plan.Name, st.AddrRanges())
+			rt.registerArrayObs(rec, st)
 		}
 	}
 	return rt, nil
+}
+
+// registerArrayObs (re-)registers one array with the recorder: its address
+// ranges for miss attribution plus, for distributed arrays, the
+// distribution text and page-ownership map. redistribute calls it again so
+// post-redistribute events attribute against the new ownership.
+func (rt *Runtime) registerArrayObs(rec *obs.Recorder, st *ArrayState) {
+	name := st.Plan.Unit + "." + st.Plan.Name
+	rec.RegisterArray(name, st.AddrRanges())
+	if st.Plan.Spec != nil {
+		rec.SetArrayOwnership(name, st.Plan.Spec.String(), st.PageOwners(rt.Cfg))
+	}
+}
+
+// PageOwners computes the node the current distribution assigns to each
+// virtual page of the array. Regular arrays follow the §4.2 placement rule
+// (ascending processor order, so a boundary page shared by several
+// portions belongs to its last requester); reshaped arrays own the pool
+// pages their portions occupy.
+func (st *ArrayState) PageOwners(cfg *machine.Config) map[int64]int {
+	if st.Plan.Spec == nil {
+		return nil
+	}
+	pb := int64(cfg.PageBytes)
+	owners := map[int64]int{}
+	if st.Portions != nil {
+		for p, base := range st.Portions {
+			node := cfg.NodeOf(p)
+			for vp := base / pb; vp*pb < base+st.PortionBytes; vp++ {
+				owners[vp] = node
+			}
+		}
+		return owners
+	}
+	for p := 0; p < st.Grid.Used; p++ {
+		node := cfg.NodeOf(p)
+		st.ownedRuns(p, func(lo, hi int64) {
+			for vp := lo / pb; vp*pb < hi; vp++ {
+				owners[vp] = node
+			}
+		})
+	}
+	return owners
 }
 
 // AttachRecorder connects an observability sink to an already-loaded
@@ -195,7 +238,7 @@ func (rt *Runtime) AttachRecorder(rec *obs.Recorder) {
 	rt.Sys.SetRecorder(rec)
 	if rec != nil {
 		for _, st := range rt.Arrays {
-			rec.RegisterArray(st.Plan.Unit+"."+st.Plan.Name, st.AddrRanges())
+			rt.registerArrayObs(rec, st)
 		}
 	}
 }
