@@ -22,6 +22,8 @@
 //	-trace FILE   also write a Chrome trace_event timeline
 //	-heat-json F  also write the per-array × per-node heat map in the
 //	              schema internal/advisor consumes (dsmadvise -heat F)
+//	-redist M     scheduled | serial (default scheduled): cost model for
+//	              c$redistribute, as in dsmrun
 package main
 
 import (
@@ -49,6 +51,7 @@ func main() {
 	csvOut := flag.String("csv", "", "write per-region CSV to file")
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON to file")
 	heatOut := flag.String("heat-json", "", "write the per-array heat map (advisor schema) to file")
+	redist := flag.String("redist", "scheduled", "c$redistribute model: scheduled | serial")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -69,6 +72,14 @@ func main() {
 	}
 	policy, err := ospage.ParsePolicy(*policyName)
 	die(err)
+	var redistSerial bool
+	switch *redist {
+	case "scheduled":
+	case "serial":
+		redistSerial = true
+	default:
+		die(fmt.Errorf("unknown -redist %q (accepted: scheduled, serial)", *redist))
+	}
 
 	rec := obs.NewRecorder(cfg)
 	if *traceOut != "" {
@@ -97,7 +108,8 @@ func main() {
 		res = img.Res
 	}
 
-	run, err := exec.Run(res, cfg, exec.Options{Policy: policy, Rec: rec})
+	run, err := exec.Run(res, cfg, exec.Options{Policy: policy, Rec: rec,
+		RedistSerial: redistSerial})
 	die(err)
 
 	fmt.Printf("dsmprof: %d cycles (%.6f s at %d MHz), policy %s\n\n",

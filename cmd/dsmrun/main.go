@@ -21,6 +21,11 @@
 //	-arrays       print the final contents of small arrays (<= 64 elements)
 //	-trace FILE   write a Chrome trace_event timeline (chrome://tracing)
 //	-prof         print a dsmprof-style profile after the run
+//	-redist M     scheduled | serial (default scheduled): cost model for
+//	              c$redistribute. "scheduled" moves data as a round-based
+//	              bulk-transfer collective across all nodes; "serial" keeps
+//	              the legacy per-page walk charged to the calling processor
+//	              (A/B comparison)
 package main
 
 import (
@@ -47,6 +52,7 @@ func main() {
 	arrays := flag.Bool("arrays", false, "print final contents of small arrays")
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON to file")
 	prof := flag.Bool("prof", false, "print a profile breakdown after the run")
+	redist := flag.String("redist", "scheduled", "c$redistribute model: scheduled | serial")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -67,6 +73,14 @@ func main() {
 	}
 	policy, err := ospage.ParsePolicy(*policyName)
 	die(err)
+	var redistSerial bool
+	switch *redist {
+	case "scheduled":
+	case "serial":
+		redistSerial = true
+	default:
+		die(fmt.Errorf("unknown -redist %q (accepted: scheduled, serial)", *redist))
+	}
 
 	// The observability layer is only attached when asked for, keeping
 	// plain runs on the untraced fast path.
@@ -99,7 +113,8 @@ func main() {
 		res = img.Res
 	}
 
-	run, err := exec.Run(res, cfg, exec.Options{Policy: policy, Rec: rec})
+	run, err := exec.Run(res, cfg, exec.Options{Policy: policy, Rec: rec,
+		RedistSerial: redistSerial})
 	die(err)
 
 	fmt.Printf("machine: %s, %d processors (%d nodes), policy %s\n",

@@ -123,12 +123,16 @@ type RunOptions struct {
 	// Recorder, when non-nil, observes the run (see internal/obs); nil
 	// keeps the simulation on the untraced fast path.
 	Recorder *obs.Recorder
+	// RedistSerial selects the legacy serial c$redistribute cost model
+	// instead of the scheduled collective (see exec.Options).
+	RedistSerial bool
 }
 
 // Run executes an image on a machine configuration.
 func Run(img *link.Image, cfg *machine.Config, opts RunOptions) (*exec.Result, error) {
 	return exec.Run(img.Res, cfg, exec.Options{
-		Policy: opts.Policy, Quantum: opts.Quantum, Rec: opts.Recorder})
+		Policy: opts.Policy, Quantum: opts.Quantum, Rec: opts.Recorder,
+		RedistSerial: opts.RedistSerial})
 }
 
 // Array extracts an array's logical contents from a finished run. Unit is

@@ -31,6 +31,10 @@ type Options struct {
 	// Rec, when non-nil, receives observability events from the whole
 	// stack (load-time placement, memory system, regions, barriers).
 	Rec *obs.Recorder
+	// RedistSerial runs c$redistribute under the legacy serial cost model
+	// (a page walk charged to the calling processor) instead of the
+	// scheduled bulk-transfer collective — the -redist=serial A/B switch.
+	RedistSerial bool
 }
 
 // Result is a completed run.
@@ -69,6 +73,9 @@ func Run(res *codegen.Result, cfg *machine.Config, opts Options) (*Result, error
 func RunLoaded(rt *rtl.Runtime, opts Options) (*Result, error) {
 	if opts.Rec != nil && rt.Rec == nil {
 		rt.AttachRecorder(opts.Rec)
+	}
+	if opts.RedistSerial {
+		rt.RedistSerial = true
 	}
 	cfg := rt.Cfg
 	quantum := opts.Quantum

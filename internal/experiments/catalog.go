@@ -23,6 +23,7 @@ func Catalog() []Experiment {
 		{"fig5", "matrix-transpose speedups: the (block,*) operand that only reshaping can localize", Fig5},
 		{"fig6", "2-D convolution (small input), one- and two-level parallelism, all four placements", Fig6},
 		{"fig7", "2-D convolution (large input), one- and two-level parallelism, all four placements", Fig7},
+		{"redist", "c$redistribute cost: scheduled bulk-transfer collective vs the serial page-walk model, by size × P × spec pair", Redist},
 	}
 }
 

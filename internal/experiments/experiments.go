@@ -88,6 +88,9 @@ type Row struct {
 	TLBPct  float64 `json:"tlb_pct"` // fraction of time in TLB refill
 	HwDiv   int64   `json:"hw_div"`
 	SoftDiv int64   `json:"soft_div"`
+	// RedistCyc is the wall-clock cycles spent inside c$redistribute
+	// (only the redist experiment measures it; 0 elsewhere).
+	RedistCyc int64 `json:"redist_cyc,omitempty"`
 	// Stats aggregates the per-processor memory-system counters over the
 	// whole run (not just the timed section).
 	Stats memsim.ProcStats `json:"stats"`

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRedistRows(t *testing.T) {
+	s := tinySizes()
+	s.Procs = []int{4} // below one full node there is no inter-node motion
+	rows, err := Redist(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 sizes x 2 spec pairs x 2 modes x 1 processor count.
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	sched, serial := 0, 0
+	for _, r := range rows {
+		if r.Cycles <= 0 {
+			t.Fatalf("row %+v has no cycles", r)
+		}
+		if r.RedistCyc <= 0 {
+			t.Fatalf("row %+v recorded no redistribution cycles", r)
+		}
+		switch {
+		case strings.HasSuffix(r.Variant, " scheduled"):
+			sched++
+			// The serial baseline pairing must have been resolved.
+			if r.Speedup <= 0 {
+				t.Fatalf("scheduled row %+v has no serial-vs-scheduled ratio", r)
+			}
+		case strings.HasSuffix(r.Variant, " serial"):
+			serial++
+		default:
+			t.Fatalf("row variant %q names no redist mode", r.Variant)
+		}
+	}
+	if sched != 4 || serial != 4 {
+		t.Fatalf("mode split = %d scheduled, %d serial", sched, serial)
+	}
+}

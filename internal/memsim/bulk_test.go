@@ -1,0 +1,75 @@
+package memsim
+
+import (
+	"testing"
+)
+
+func TestBulkTransferCostModel(t *testing.T) {
+	s := tinySys(t, 4) // 2 nodes on Tiny (2 procs/node)
+	line := int64(s.Cfg.L2LineSize)
+	svc := int64(s.Cfg.MemServiceCyc)
+
+	// Zero or negative sizes are free and advance nothing.
+	if c := s.BulkTransfer(0, 0, 1, 0); c != 0 {
+		t.Fatalf("zero-byte transfer cost %d", c)
+	}
+	if s.Clock(0) != 0 {
+		t.Fatalf("clock moved on empty transfer")
+	}
+
+	// One line node 0 -> node 1: startup latency + one service slot.
+	cost := s.BulkTransfer(0, 0, 1, line)
+	want := int64(s.Cfg.RemoteLatency(0, 1)) + svc
+	if cost != want {
+		t.Fatalf("single-line remote transfer cost %d, want %d", cost, want)
+	}
+	if s.Clock(0) != cost {
+		t.Fatalf("clock %d, want %d", s.Clock(0), cost)
+	}
+
+	// An uncontended stream is linear in lines at the service rate.
+	s2 := tinySys(t, 4)
+	n := int64(8)
+	cost = s2.BulkTransfer(0, 0, 1, n*line)
+	want = int64(s2.Cfg.RemoteLatency(0, 1)) + n*svc
+	if cost != want {
+		t.Fatalf("%d-line transfer cost %d, want %d", n, cost, want)
+	}
+
+	// Partial trailing lines round up to a full line.
+	s3 := tinySys(t, 4)
+	if a, b := s3.BulkTransfer(0, 0, 1, line+1), int64(s3.Cfg.RemoteLatency(0, 1))+2*svc; a != b {
+		t.Fatalf("partial line cost %d, want %d", a, b)
+	}
+}
+
+func TestBulkTransferContention(t *testing.T) {
+	// Two processors streaming out of the same source node must share its
+	// bandwidth window: the second stream sees queuing waits.
+	s := tinySys(t, 4)
+	line := int64(s.Cfg.L2LineSize)
+	bytes := 64 * line
+
+	solo := tinySys(t, 4)
+	base := solo.BulkTransfer(0, 0, 1, bytes)
+
+	s.BulkTransfer(0, 0, 1, bytes)
+	second := s.BulkTransfer(1, 0, 1, bytes)
+	if second <= base {
+		t.Fatalf("contended transfer cost %d not above uncontended %d", second, base)
+	}
+	if w := s.Stats(1).WaitCyc; w <= 0 {
+		t.Fatalf("contended transfer recorded no WaitCyc")
+	}
+}
+
+func TestBulkTransferLocalCheaperThanRemote(t *testing.T) {
+	a := tinySys(t, 4)
+	b := tinySys(t, 4)
+	bytes := int64(16 * a.Cfg.L2LineSize)
+	local := a.BulkTransfer(0, 0, 0, bytes)
+	remote := b.BulkTransfer(0, 0, 1, bytes)
+	if local >= remote {
+		t.Fatalf("local transfer (%d) not cheaper than remote (%d)", local, remote)
+	}
+}

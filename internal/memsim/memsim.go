@@ -319,7 +319,6 @@ type System struct {
 	// nil-guarded and placed off the arithmetic paths, so a run without
 	// a recorder is cycle-for-cycle identical.
 	rec *obs.Recorder
-
 }
 
 // SetL0 enables or disables the host-side access fast paths (the per-
@@ -784,4 +783,42 @@ func (s *System) MigratePage(vpage int64) {
 	for _, pr := range s.procs {
 		pr.tlb.shootdown(vpage)
 	}
+}
+
+// BulkTransfer models a DMA-style streaming copy of `bytes` bytes from
+// srcNode's memory to dstNode's memory, driven by processor p (the one
+// programming the engine). Unlike a demand miss, the stream pays the
+// interconnect latency between the nodes once as startup, then books one
+// cache-line service slot per L2 line on the source node's bandwidth window
+// — and, when the destination differs, on the destination's window too — so
+// redistribution traffic contends with demand misses through the same
+// windowed bandwidth model. Queuing delays accumulate in p's WaitCyc. p's
+// clock advances to the completion time and the total cycle cost is
+// returned.
+func (s *System) BulkTransfer(p, srcNode, dstNode int, bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	pr := s.procs[p]
+	start := pr.clock
+	t := start + int64(s.Cfg.RemoteLatency(srcNode, dstNode))
+	lines := (bytes + int64(s.Cfg.L2LineSize) - 1) / int64(s.Cfg.L2LineSize)
+	svc := int64(s.Cfg.MemServiceCyc)
+	if svc < 1 {
+		svc = 1
+	}
+	var waited int64
+	for i := int64(0); i < lines; i++ {
+		wait := s.reserve(srcNode, t)
+		if dstNode != srcNode {
+			if w := s.reserve(dstNode, t+wait); w > 0 {
+				wait += w
+			}
+		}
+		waited += wait
+		t += wait + svc
+	}
+	pr.stats.WaitCyc += waited
+	pr.clock = t
+	return t - start
 }

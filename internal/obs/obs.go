@@ -30,6 +30,7 @@
 package obs
 
 import (
+	"fmt"
 	"sort"
 
 	"dsmdist/internal/machine"
@@ -56,6 +57,7 @@ const (
 	KArgCheckFail
 	KRegion
 	KQuantumSwitch
+	KRedistRound
 	nKinds
 )
 
@@ -64,7 +66,7 @@ var kindNames = [...]string{
 	"invalidation", "intervention", "bw-wait", "barrier-wait",
 	"page-place", "page-migrate", "page-spill",
 	"redistribute", "pool-alloc", "arg-check", "arg-check-fail",
-	"region", "quantum-switch",
+	"region", "quantum-switch", "redist-round",
 }
 
 func (k Kind) String() string {
@@ -156,6 +158,7 @@ type RegionStats struct {
 	TLBCyc        int64
 	BWWaitCyc     int64
 	BarrierCyc    int64
+	RedistCyc     int64
 
 	L1Miss        int64
 	LocalMiss     int64
@@ -168,7 +171,7 @@ type RegionStats struct {
 // ComputeCyc is what remains of Cycles after the memory-system and
 // synchronization components: instruction issue plus cache-hit time.
 func (r *RegionStats) ComputeCyc() int64 {
-	c := r.Cycles - r.LocalMissCyc - r.RemoteMissCyc - r.TLBCyc - r.BWWaitCyc - r.BarrierCyc
+	c := r.Cycles - r.LocalMissCyc - r.RemoteMissCyc - r.TLBCyc - r.BWWaitCyc - r.BarrierCyc - r.RedistCyc
 	if c < 0 {
 		c = 0
 	}
@@ -552,23 +555,56 @@ func (r *Recorder) PageMigrated(vpage int64, from, to int) {
 // --- rtl hooks ---
 
 // Redistribute records a c$redistribute call: the array, pages moved and
-// the cycle span charged to the calling processor.
+// the cycle span the collective (or the serial page walk, under
+// -redist=serial) occupied. The span is folded into the current region's
+// RedistCyc so profiles report redistribution as its own cycle category
+// instead of undifferentiated compute.
 func (r *Recorder) Redistribute(array string, pages int, proc int, start, end int64) {
 	if r != nil {
 		r.counts[KRedistribute]++
 		r.redistPages += int64(pages)
+		if end > start {
+			r.cur.RedistCyc += end - start
+		}
 		if end > r.now {
 			r.now = end
 		}
 		if r.trace != nil {
-			r.trace.span("redistribute "+array, "rtl", proc, r.ts(start), r.dur(end-start),
+			r.trace.span("redistribute "+array, "redist", proc, r.ts(start), r.dur(end-start),
 				map[string]any{"pages": pages})
+		}
+	}
+}
+
+// RedistRound records one round of the scheduled redistribution collective:
+// its ordinal, the number of node-to-node bulk transfers it carried, and
+// its cycle span (all rounds execute back to back inside the enclosing
+// Redistribute span).
+func (r *Recorder) RedistRound(round, transfers int, start, end int64) {
+	if r != nil {
+		r.counts[KRedistRound]++
+		if end > r.now {
+			r.now = end
+		}
+		if r.trace != nil {
+			r.trace.span(fmt.Sprintf("redist round %d", round), "redist", 0,
+				r.ts(start), r.dur(end-start), map[string]any{"transfers": transfers})
 		}
 	}
 }
 
 // RedistPages returns the total pages moved by redistributions.
 func (r *Recorder) RedistPages() int64 { return r.redistPages }
+
+// RedistCycles sums the redistribution cycle spans over all regions — the
+// total wall-clock time the run spent inside c$redistribute.
+func (r *Recorder) RedistCycles() int64 {
+	var t int64
+	for _, rs := range r.regions {
+		t += rs.RedistCyc
+	}
+	return t
+}
 
 // PoolAlloc records a reshaped-pool chunk allocation on a processor's
 // node.

@@ -25,6 +25,7 @@ type RegionSummary struct {
 	TLBCyc      int64   `json:"tlb_cyc"`
 	BWWaitCyc   int64   `json:"bw_wait_cyc"`
 	BarrierCyc  int64   `json:"barrier_cyc"`
+	RedistCyc   int64   `json:"redist_cyc,omitempty"`
 	TLBFrac     float64 `json:"tlb_frac"`
 	LocalMiss   int64   `json:"local_miss"`
 	RemoteMiss  int64   `json:"remote_miss"`
@@ -95,6 +96,7 @@ func (r *Recorder) Summarize(topPages int) *Summary {
 			ComputeCyc: rs.ComputeCyc(), LocalCyc: rs.LocalMissCyc,
 			RemoteCyc: rs.RemoteMissCyc, TLBCyc: rs.TLBCyc,
 			BWWaitCyc: rs.BWWaitCyc, BarrierCyc: rs.BarrierCyc,
+			RedistCyc: rs.RedistCyc,
 			TLBFrac:   rs.TLBFrac(),
 			LocalMiss: rs.LocalMiss, RemoteMiss: rs.RemoteMiss, TLBMiss: rs.TLBMiss,
 		})
@@ -151,7 +153,7 @@ func (s *Summary) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"region", "file", "line", "invocations", "procs",
 		"cycles", "compute_cyc", "local_miss_cyc", "remote_miss_cyc", "tlb_cyc",
-		"bw_wait_cyc", "barrier_cyc", "tlb_frac", "local_miss", "remote_miss", "tlb_miss"}); err != nil {
+		"bw_wait_cyc", "barrier_cyc", "redist_cyc", "tlb_frac", "local_miss", "remote_miss", "tlb_miss"}); err != nil {
 		return err
 	}
 	for _, rg := range s.Regions {
@@ -161,6 +163,7 @@ func (s *Summary) WriteCSV(w io.Writer) error {
 			strconv.FormatInt(rg.LocalCyc, 10), strconv.FormatInt(rg.RemoteCyc, 10),
 			strconv.FormatInt(rg.TLBCyc, 10), strconv.FormatInt(rg.BWWaitCyc, 10),
 			strconv.FormatInt(rg.BarrierCyc, 10),
+			strconv.FormatInt(rg.RedistCyc, 10),
 			strconv.FormatFloat(rg.TLBFrac, 'f', 6, 64),
 			strconv.FormatInt(rg.LocalMiss, 10), strconv.FormatInt(rg.RemoteMiss, 10),
 			strconv.FormatInt(rg.TLBMiss, 10)}
@@ -195,19 +198,20 @@ func (s *Summary) WriteText(w io.Writer) error {
 		s.TotalCycles, 100*s.TLBFraction)
 
 	fmt.Fprintf(w, "per-region breakdown (cycles summed over processors):\n")
-	fmt.Fprintf(w, "  %-24s %-16s %6s %5s %14s %8s %8s %8s %7s %7s %8s\n",
+	fmt.Fprintf(w, "  %-24s %-16s %6s %5s %14s %8s %8s %8s %7s %7s %8s %7s\n",
 		"region", "source", "invoc", "procs", "cycles",
-		"compute%", "l2loc%", "l2rem%", "tlb%", "bwq%", "barrier%")
+		"compute%", "l2loc%", "l2rem%", "tlb%", "bwq%", "barrier%", "redist%")
 	for _, rg := range s.Regions {
 		src := "-"
 		if rg.File != "" {
 			src = fmt.Sprintf("%s:%d", rg.File, rg.Line)
 		}
-		fmt.Fprintf(w, "  %-24s %-16s %6d %5d %14d %7.1f%% %7.1f%% %7.1f%% %6.1f%% %6.1f%% %7.1f%%\n",
+		fmt.Fprintf(w, "  %-24s %-16s %6d %5d %14d %7.1f%% %7.1f%% %7.1f%% %6.1f%% %6.1f%% %7.1f%% %6.1f%%\n",
 			rg.Name, src, rg.Invocations, rg.Procs, rg.Cycles,
 			pct(rg.ComputeCyc, rg.Cycles), pct(rg.LocalCyc, rg.Cycles),
 			pct(rg.RemoteCyc, rg.Cycles), pct(rg.TLBCyc, rg.Cycles),
-			pct(rg.BWWaitCyc, rg.Cycles), pct(rg.BarrierCyc, rg.Cycles))
+			pct(rg.BWWaitCyc, rg.Cycles), pct(rg.BarrierCyc, rg.Cycles),
+			pct(rg.RedistCyc, rg.Cycles))
 	}
 
 	if len(s.Arrays) > 0 {

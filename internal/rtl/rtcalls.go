@@ -34,13 +34,18 @@ func (rt *Runtime) RTCall(t *bytecode.Thread, id int, args []int64) (int64, erro
 		return 0, rt.argCheck(args[0], int(args[1]))
 
 	case bytecode.RTTimerStart:
+		// Pin the timer to the starting processor's clock; a stop
+		// executed elsewhere reads the same clock, so cross-processor
+		// start/stop pairs cannot yield skewed or negative elapsed
+		// cycles.
+		rt.TimerProc = t.Proc
 		rt.TimerStart = rt.Sys.Clock(t.Proc)
 		rt.TimerRunning = true
 		return 0, nil
 
 	case bytecode.RTTimerStop:
 		if rt.TimerRunning {
-			rt.TimerCycles += rt.Sys.Clock(t.Proc) - rt.TimerStart
+			rt.TimerCycles += rt.Sys.Clock(rt.TimerProc) - rt.TimerStart
 			rt.TimerRunning = false
 		}
 		return 0, nil
@@ -89,6 +94,14 @@ func (rt *Runtime) RTCall(t *bytecode.Thread, id int, args []int64) (int64, erro
 		if chunk < 1 {
 			chunk = 1
 		}
+		if total >= dynPackLimit {
+			// The packed result holds both fields in one int64; a trip
+			// count at or beyond 2^31 would silently corrupt them, so
+			// reject it loudly instead.
+			return 0, fmt.Errorf(
+				"rtl: schedtype(dynamic/gss) loop has %d iterations, exceeding the %d (2^31-1) limit of the packed start<<31|len chunk encoding",
+				total, dynPackLimit-1)
+		}
 		start := rt.DynCursor
 		if start >= total {
 			return 0, nil
@@ -110,9 +123,33 @@ func (rt *Runtime) RTCall(t *bytecode.Thread, id int, args []int64) (int64, erro
 	return 0, fmt.Errorf("rtl: unknown runtime call %d", id)
 }
 
+// dynPackLimit bounds schedtype(dynamic)/gss trip counts: RTDynGrab packs
+// its result as start<<31 | len, so start and len must each fit in 31 bits.
+// Loops with total < 2^31 can never produce an out-of-range start or len.
+const dynPackLimit = int64(1) << 31
+
+// Scheduled-collective cost constants.
+const (
+	// redistSetupCyc is the collective's fixed overhead: computing the
+	// intersection schedule and dispatching the participants, paid once
+	// by every processor at the rendezvous.
+	redistSetupCyc = 2000
+	// dmaSetupCyc is the per-transfer overhead of programming one
+	// node-to-node DMA stream and rewriting the page mappings it covers.
+	dmaSetupCyc = 2000
+)
+
 // redistribute implements c$redistribute (§3.3, §4.2): remap the array's
-// pages to the new distribution and update the descriptor. The calling
-// processor is charged a per-page migration cost.
+// pages to the new distribution and update the descriptor.
+//
+// By default the data motion is modeled as a communication-scheduled
+// collective: the old×new ownership intersection yields per-(src,dst)-node
+// transfer sets, a bipartite edge coloring packs them into rounds in which
+// every node sends and receives at most one bulk stream, and all nodes
+// move their transfers concurrently through the memory system's bandwidth
+// windows (redistCollective). With RedistSerial the legacy model is used
+// instead: a serial page walk charging a flat per-page cost to the calling
+// processor.
 func (rt *Runtime) redistribute(t *bytecode.Thread, planID int) (int64, error) {
 	if planID < 0 || planID >= len(rt.Res.Redists) {
 		return 0, fmt.Errorf("rtl: bad redistribute id %d", planID)
@@ -136,17 +173,24 @@ func (rt *Runtime) redistribute(t *bytecode.Thread, planID int) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	oldGrid, oldMaps := st.Grid, st.Maps
 	st.Grid, st.Maps = grid, maps
 	sp := spec
 	st.Plan.Spec = &sp
 	rt.writeDescriptor(st)
 
 	start := rt.Sys.Clock(t.Proc)
-	moved := rt.placeRegular(st, true)
+	var moved int
+	if rt.RedistSerial {
+		moved = rt.placeRegular(st, true)
+		// Legacy cost model: page copy plus remap overhead per moved
+		// page, all charged to the caller.
+		perPage := int64(rt.Cfg.PageBytes/8) + 2000
+		rt.Sys.AddCycles(t.Proc, int64(moved)*perPage)
+	} else {
+		moved = rt.redistCollective(st, oldGrid, oldMaps)
+	}
 	rt.RedistPages += int64(moved)
-	// Cost model: page copy plus remap overhead per moved page.
-	perPage := int64(rt.Cfg.PageBytes/8) + 2000
-	rt.Sys.AddCycles(t.Proc, int64(moved)*perPage)
 	if rt.Rec != nil {
 		// Re-register the ownership map so events after the
 		// redistribution attribute to the new owners, not the load-time
@@ -156,6 +200,53 @@ func (rt *Runtime) redistribute(t *bytecode.Thread, planID int) (int64, error) {
 			start, rt.Sys.Clock(t.Proc))
 	}
 	return int64(moved), nil
+}
+
+// redistCollective performs the scheduled redistribution: every processor
+// rendezvouses, the pages are remapped (with cache/TLB invalidation, as in
+// the serial model), and the inter-node element traffic computed by
+// dist.Intersect is streamed in dist.Schedule's contention-free rounds —
+// each source node's lead processor drives one DMA bulk transfer per round,
+// charging the source and destination bandwidth windows, and all clocks
+// advance together at each round boundary. Returns the number of pages
+// whose home node changed.
+func (rt *Runtime) redistCollective(st *ArrayState, oldGrid dist.Grid, oldMaps []dist.DimMap) int {
+	cfg := rt.Cfg
+	np := cfg.NProcs
+	all := make([]int, np)
+	for p := range all {
+		all[p] = p
+	}
+	// Rendezvous: the collective involves every processor, so the slowest
+	// clock gates the start, and everyone pays the schedule setup.
+	m := rt.Sys.MaxClock(all) + redistSetupCyc
+	for p := 0; p < np; p++ {
+		rt.Sys.SetClock(p, m)
+	}
+
+	moved := rt.placeRegular(st, true)
+
+	xfers := dist.Intersect(oldGrid, oldMaps, st.Grid, st.Maps, cfg.NodeOf)
+	rounds := dist.Schedule(xfers)
+	for ri, round := range rounds {
+		roundStart := rt.Sys.Clock(0)
+		for _, x := range round {
+			// The first processor of the source node programs and
+			// drives the stream; senders are distinct within a round,
+			// so every transfer proceeds concurrently.
+			driver := x.Src * cfg.ProcsPerNode
+			rt.Sys.AddCycles(driver, dmaSetupCyc)
+			rt.Sys.BulkTransfer(driver, x.Src, x.Dst, x.Elems*8)
+		}
+		end := rt.Sys.MaxClock(all)
+		for p := 0; p < np; p++ {
+			rt.Sys.SetClock(p, end)
+		}
+		if rt.Rec != nil {
+			rt.Rec.RedistRound(ri, len(round), roundStart, end)
+		}
+	}
+	return moved
 }
 
 // portionBound implements dsm_portion_lo/hi(array, dim, proc): the 1-based

@@ -1,0 +1,73 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"dsmdist/internal/bytecode"
+	"dsmdist/internal/ospage"
+)
+
+func TestDynGrabPackedEncoding(t *testing.T) {
+	rt := loadSrc(t, loaderSrc, 2, ospage.FirstTouch)
+	th := &bytecode.Thread{Proc: 0}
+
+	// Largest legal trip count: both fields of the packed result must
+	// round-trip, including a start value near the top of its 31-bit
+	// range.
+	total := dynPackLimit - 1
+	v, err := rt.RTCall(th, bytecode.RTDynGrab, []int64{total, 5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start, grab := v>>31, v&(dynPackLimit-1); start != 0 || grab != 5 {
+		t.Fatalf("first grab = (%d, %d), want (0, 5)", start, grab)
+	}
+	rt.DynCursor = total - 3 // tail chunk: start close to 2^31
+	v, err = rt.RTCall(th, bytecode.RTDynGrab, []int64{total, 5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start, grab := v>>31, v&(dynPackLimit-1); start != total-3 || grab != 3 {
+		t.Fatalf("tail grab = (%d, %d), want (%d, 3)", start, grab, total-3)
+	}
+}
+
+func TestDynGrabOverflowGuard(t *testing.T) {
+	rt := loadSrc(t, loaderSrc, 2, ospage.FirstTouch)
+	th := &bytecode.Thread{Proc: 0}
+
+	// A trip count of 2^31 no longer fits the packed start<<31|len
+	// encoding; it must be a clear runtime error, not silent corruption.
+	_, err := rt.RTCall(th, bytecode.RTDynGrab, []int64{dynPackLimit, 1, 0})
+	if err == nil {
+		t.Fatal("2^31-iteration dynamic loop accepted")
+	}
+	if !strings.Contains(err.Error(), "2^31") {
+		t.Fatalf("overflow error does not explain the limit: %v", err)
+	}
+}
+
+func TestTimerPinnedToStartingProc(t *testing.T) {
+	rt := loadSrc(t, loaderSrc, 4, ospage.FirstTouch)
+
+	// Start on processor 1, advance it by a known amount, then stop from
+	// processor 3 whose clock has raced far ahead. The elapsed time must
+	// be processor 1's 5000 cycles, not a cross-clock difference.
+	rt.RTCall(&bytecode.Thread{Proc: 1}, bytecode.RTTimerStart, nil)
+	rt.Sys.AddCycles(1, 5000)
+	rt.Sys.AddCycles(3, 1_000_000)
+	rt.RTCall(&bytecode.Thread{Proc: 3}, bytecode.RTTimerStop, nil)
+	if rt.TimerCycles != 5000 {
+		t.Fatalf("timer = %d cycles, want 5000 (stop sampled the wrong clock)", rt.TimerCycles)
+	}
+
+	// And the other skew direction: stopping from a processor that lags
+	// the starter must not produce a negative interval.
+	rt.RTCall(&bytecode.Thread{Proc: 3}, bytecode.RTTimerStart, nil)
+	rt.Sys.AddCycles(3, 700)
+	rt.RTCall(&bytecode.Thread{Proc: 0}, bytecode.RTTimerStop, nil)
+	if rt.TimerCycles != 5700 {
+		t.Fatalf("timer = %d cycles after second interval, want 5700", rt.TimerCycles)
+	}
+}

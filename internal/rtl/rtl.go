@@ -83,10 +83,19 @@ type Runtime struct {
 	// RedistPages counts pages moved by redistribute calls.
 	RedistPages int64
 
-	// Region-of-interest timer (dsm_timer_start/stop).
+	// RedistSerial selects the legacy serial redistribute cost model (a
+	// page walk charged to the calling processor only) instead of the
+	// scheduled collective — the -redist=serial A/B escape hatch.
+	RedistSerial bool
+
+	// Region-of-interest timer (dsm_timer_start/stop). The timer is
+	// pinned to the processor that started it (TimerProc), so a stop
+	// executed by a different processor reads the starter's clock and
+	// cannot produce skewed or negative spans.
 	TimerStart   int64
 	TimerCycles  int64
 	TimerRunning bool
+	TimerProc    int
 
 	// Dynamic-scheduling cursor for the region currently executing
 	// (schedtype(dynamic) and schedtype(gss)); the executor resets it at

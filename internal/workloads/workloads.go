@@ -216,3 +216,33 @@ func LU(n, iters int, v Variant) string {
 `)
 	return b.String()
 }
+
+// Redistribute generates the redistribution benchmark: an n×n array laid
+// out under the `from` spec, whose pages then ping-pong between the `to`
+// and `from` specs iters times inside the timed section. from/to are
+// dimension spec lists like "(*, block)". The program's only timed work is
+// the redistribution itself, so the dsm_timer section isolates the §3.3
+// data-motion cost the redist experiment sweeps.
+func Redistribute(n, iters int, from, to string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `      program redist
+      integer n
+      parameter (n = %d)
+      real*8 a(n, n)
+c$distribute a%s
+      integer i, j, it
+      do j = 1, n
+        do i = 1, n
+          a(i, j) = dble(i) + dble(j)*0.5
+        end do
+      end do
+      call dsm_timer_start
+      do it = 1, %d
+c$redistribute a%s
+c$redistribute a%s
+      end do
+      call dsm_timer_stop
+      end
+`, n, from, iters, to, from)
+	return b.String()
+}
