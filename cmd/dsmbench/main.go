@@ -10,9 +10,13 @@
 //	                              (table2 | fig4 | fig5 | fig6 | fig7)
 //	dsmbench -quick               small sizes for a fast smoke run
 //	dsmbench -procs 1,4,16,64     override the processor sweep
-//	dsmbench -par 4               host worker parallelism per sweep
+//	dsmbench -par 4               host worker budget: sets the shared
+//	                              hostpool budget that sweep workers AND the
+//	                              parallel engine's region workers draw from
 //	                              (0 = GOMAXPROCS; simulated results are
 //	                              bit-identical at any setting)
+//	dsmbench -engine parallel     host execution engine per point
+//	                              (serial | parallel | auto; bit-identical)
 //	dsmbench -json rows.json      also write every row (including the full
 //	                              per-policy memory-system counters and the
 //	                              host wall_ms per point) as JSON
@@ -31,7 +35,9 @@ import (
 	"strings"
 	"time"
 
+	"dsmdist/internal/exec"
 	"dsmdist/internal/experiments"
+	"dsmdist/internal/hostpool"
 )
 
 func main() {
@@ -39,7 +45,8 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	quick := flag.Bool("quick", false, "use small sizes")
 	procsFlag := flag.String("procs", "", "comma-separated processor counts")
-	par := flag.Int("par", 0, "host workers per sweep (0 = GOMAXPROCS, 1 = serial)")
+	par := flag.Int("par", 0, "host worker budget shared by sweeps and the parallel engine (0 = GOMAXPROCS, 1 = serial)")
+	engineName := flag.String("engine", "auto", "host engine: serial | parallel | auto")
 	jsonOut := flag.String("json", "", "write all rows as JSON to file")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write a host heap profile to file")
@@ -57,6 +64,14 @@ func main() {
 		sizes = experiments.Quick()
 	}
 	sizes.Par = *par
+	if *par > 0 {
+		// One budget governs both levels of host parallelism: sweep
+		// points and the parallel engine's per-region workers.
+		hostpool.SetBudget(*par)
+	}
+	eng, err := exec.ParseEngine(*engineName)
+	die(err)
+	sizes.Engine = eng
 	if *procsFlag != "" {
 		var ps []int
 		for _, tok := range strings.Split(*procsFlag, ",") {
@@ -90,8 +105,8 @@ func main() {
 		rows, err := e.Run(sizes)
 		die(err)
 		experiments.Print(os.Stdout, rows)
-		fmt.Printf("host: %s wall, %d workers\n\n",
-			time.Since(t0).Round(time.Millisecond), workers(sizes.Par))
+		fmt.Printf("host: %s wall, budget %d workers, engine %s\n\n",
+			time.Since(t0).Round(time.Millisecond), hostpool.Budget(), eng)
 		allRows = append(allRows, rows...)
 	}
 	if *jsonOut != "" {
@@ -108,13 +123,6 @@ func main() {
 		die(pprof.WriteHeapProfile(f))
 		die(f.Close())
 	}
-}
-
-func workers(par int) int {
-	if par <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return par
 }
 
 func die(err error) {

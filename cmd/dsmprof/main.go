@@ -24,6 +24,10 @@
 //	              schema internal/advisor consumes (dsmadvise -heat F)
 //	-redist M     scheduled | serial (default scheduled): cost model for
 //	              c$redistribute, as in dsmrun
+//	-engine E     serial | parallel | auto (default auto): host execution
+//	              engine, as in dsmrun; profiles are bit-identical across
+//	              engines
+//	-max-quanta N raise the runaway-loop guard, as in dsmrun
 package main
 
 import (
@@ -52,6 +56,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON to file")
 	heatOut := flag.String("heat-json", "", "write the per-array heat map (advisor schema) to file")
 	redist := flag.String("redist", "scheduled", "c$redistribute model: scheduled | serial")
+	engineName := flag.String("engine", "auto", "host engine: serial | parallel | auto")
+	maxQuanta := flag.Int64("max-quanta", 0, "runaway-loop guard: max scheduling rounds (0 = default)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -71,6 +77,8 @@ func main() {
 		die(fmt.Errorf("unknown machine %q (accepted: origin2000, scaled, tiny)", *machName))
 	}
 	policy, err := ospage.ParsePolicy(*policyName)
+	die(err)
+	engine, err := exec.ParseEngine(*engineName)
 	die(err)
 	var redistSerial bool
 	switch *redist {
@@ -109,7 +117,7 @@ func main() {
 	}
 
 	run, err := exec.Run(res, cfg, exec.Options{Policy: policy, Rec: rec,
-		RedistSerial: redistSerial})
+		RedistSerial: redistSerial, Engine: engine, MaxQuanta: *maxQuanta})
 	die(err)
 
 	fmt.Printf("dsmprof: %d cycles (%.6f s at %d MHz), policy %s\n\n",

@@ -26,10 +26,18 @@
 //	              bulk-transfer collective across all nodes; "serial" keeps
 //	              the legacy per-page walk charged to the calling processor
 //	              (A/B comparison)
+//	-engine E     serial | parallel | auto (default auto): host execution
+//	              engine. The parallel engine runs simulated processors on
+//	              real cores; results are bit-identical to serial (the
+//	              DSM_ENGINE environment variable overrides auto)
+//	-max-quanta N raise the runaway-loop guard (scheduling rounds before
+//	              the run is aborted as an infinite loop)
+//	-json         print the run's statistics as JSON instead of text
 package main
 
 import (
 	"encoding/gob"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +47,7 @@ import (
 	"dsmdist/internal/core"
 	"dsmdist/internal/exec"
 	"dsmdist/internal/machine"
+	"dsmdist/internal/memsim"
 	"dsmdist/internal/obs"
 	"dsmdist/internal/ospage"
 )
@@ -53,6 +62,9 @@ func main() {
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON to file")
 	prof := flag.Bool("prof", false, "print a profile breakdown after the run")
 	redist := flag.String("redist", "scheduled", "c$redistribute model: scheduled | serial")
+	engineName := flag.String("engine", "auto", "host engine: serial | parallel | auto")
+	maxQuanta := flag.Int64("max-quanta", 0, "runaway-loop guard: max scheduling rounds (0 = default)")
+	jsonOut := flag.Bool("json", false, "print statistics as JSON")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -72,6 +84,8 @@ func main() {
 		die(fmt.Errorf("unknown machine %q (accepted: origin2000, scaled, tiny)", *machName))
 	}
 	policy, err := ospage.ParsePolicy(*policyName)
+	die(err)
+	engine, err := exec.ParseEngine(*engineName)
 	die(err)
 	var redistSerial bool
 	switch *redist {
@@ -114,11 +128,20 @@ func main() {
 	}
 
 	run, err := exec.Run(res, cfg, exec.Options{Policy: policy, Rec: rec,
-		RedistSerial: redistSerial})
+		RedistSerial: redistSerial, Engine: engine, MaxQuanta: *maxQuanta})
 	die(err)
+
+	if *jsonOut {
+		die(writeJSON(os.Stdout, cfg, policy, run))
+		return
+	}
 
 	fmt.Printf("machine: %s, %d processors (%d nodes), policy %s\n",
 		cfg.Name, cfg.NProcs, cfg.NNodes(), policy)
+	if run.EngineUsed == exec.EngineParallel {
+		fmt.Printf("engine:  parallel (%d epochs committed, %d serial fallbacks)\n",
+			run.EpochsCommitted, run.EpochsFallback)
+	}
 	fmt.Printf("cycles:  %d (%.6f s at %d MHz)\n", run.Cycles, run.Seconds(), cfg.ClockMHz)
 	if run.TimerCycles > 0 {
 		fmt.Printf("timed section: %d cycles (%.6f s)\n",
@@ -166,6 +189,44 @@ func main() {
 		fmt.Printf("trace: wrote %d events to %s (open in chrome://tracing)\n",
 			len(rec.TraceEvents()), *traceOut)
 	}
+}
+
+// writeJSON emits the run's simulated statistics. Every field is a
+// simulated quantity, so the output is byte-identical across host engines
+// (the CI smoke test diffs serial vs parallel output of this).
+func writeJSON(w *os.File, cfg *machine.Config, policy ospage.Policy, run *exec.Result) error {
+	type arrayTraffic struct {
+		Name   string `json:"name"`
+		L2Miss int64  `json:"l2_miss"`
+	}
+	var arrays []arrayTraffic
+	for _, st := range run.RT.Arrays {
+		arrays = append(arrays, arrayTraffic{
+			Name: st.Plan.Unit + "." + st.Plan.Name, L2Miss: run.RT.Traffic(st)})
+	}
+	out := struct {
+		Machine     string             `json:"machine"`
+		Procs       int                `json:"procs"`
+		Policy      string             `json:"policy"`
+		Cycles      int64              `json:"cycles"`
+		Seconds     float64            `json:"seconds"`
+		TimerCycles int64              `json:"timer_cycles"`
+		HwDiv       int64              `json:"hw_div"`
+		SoftDiv     int64              `json:"soft_div"`
+		Instrs      int64              `json:"instrs"`
+		Total       memsim.ProcStats   `json:"total"`
+		PerProc     []memsim.ProcStats `json:"per_proc"`
+		Pages       ospage.Stats       `json:"pages"`
+		Arrays      []arrayTraffic     `json:"arrays"`
+	}{
+		Machine: cfg.Name, Procs: cfg.NProcs, Policy: policy.String(),
+		Cycles: run.Cycles, Seconds: run.Seconds(), TimerCycles: run.TimerCycles,
+		HwDiv: run.HwDiv, SoftDiv: run.SoftDiv, Instrs: run.Instrs,
+		Total: run.Total, PerProc: run.Stats, Pages: run.Pages, Arrays: arrays,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func die(err error) {

@@ -1,0 +1,67 @@
+package bytecode
+
+// ThreadSnapshot captures everything a Thread owns privately — its call
+// stack (register files, out-arg buffers, program counters), stack
+// pointer, pending parallel-region descriptor, operation counters, and
+// error slot. The parallel execution engine snapshots each thread before
+// an epoch's speculative pass so a conflicting epoch can be rolled back
+// and re-run serially.
+//
+// The snapshot does NOT cover simulated-machine state (clocks, caches,
+// TLB, memory): memsim journals that separately (see memsim scout mode).
+type ThreadSnapshot struct {
+	sp      int64
+	parFn   int
+	parArgs []int64
+	hwDiv   int64
+	softDiv int64
+	instrs  int64
+	err     error
+	frames  []frame
+}
+
+// Snapshot deep-copies the thread's private state. Register files and
+// out-arg buffers are copied; each frame's incoming `args` slice is shared
+// deliberately — the interpreter never writes through it after the frame
+// is pushed (SetArg goes to outArgs, GetArg only reads).
+func (t *Thread) Snapshot() *ThreadSnapshot {
+	s := &ThreadSnapshot{
+		sp:      t.SP,
+		parFn:   t.ParFn,
+		parArgs: t.ParArgs,
+		hwDiv:   t.HwDiv,
+		softDiv: t.SoftDiv,
+		instrs:  t.Instrs,
+		err:     t.Err,
+		frames:  make([]frame, len(t.frames)),
+	}
+	for i := range t.frames {
+		f := &t.frames[i]
+		nf := frame{fn: f.fn, pc: f.pc, args: f.args, savedSP: f.savedSP}
+		if f.regs != nil {
+			nf.regs = make([]int64, len(f.regs))
+			copy(nf.regs, f.regs)
+		}
+		if f.outArgs != nil {
+			nf.outArgs = make([]int64, len(f.outArgs))
+			copy(nf.outArgs, f.outArgs)
+		}
+		s.frames[i] = nf
+	}
+	return s
+}
+
+// Restore rewinds the thread to the snapshotted state. The snapshot's
+// buffers are installed directly (not re-copied), so a snapshot may be
+// restored at most once; take a fresh one for each speculative attempt.
+func (t *Thread) Restore(s *ThreadSnapshot) {
+	t.SP = s.sp
+	t.ParFn = s.parFn
+	t.ParArgs = s.parArgs
+	t.HwDiv = s.hwDiv
+	t.SoftDiv = s.softDiv
+	t.Instrs = s.instrs
+	t.Err = s.err
+	t.frames = t.frames[:0]
+	t.frames = append(t.frames, s.frames...)
+}

@@ -1,0 +1,84 @@
+package bytecode
+
+import (
+	"testing"
+)
+
+// TestSnapshotRestoreRewindsExecution runs a counting loop, snapshots
+// mid-flight, runs further, restores, and checks the re-run from the
+// snapshot reproduces the same registers, counters, and final state.
+func TestSnapshotRestoreRewindsExecution(t *testing.T) {
+	sys, costs := testEnv(t)
+	base := sys.Alloc(64, 8)
+	// r1 = 0; loop 100 times: r1 += 3 (with a divide to exercise HwDiv);
+	// store r1; halt.
+	code := []Instr{
+		{Op: LdI, A: 1, Imm: 0},
+		{Op: LdI, A: 2, Imm: 100},
+		{Op: LdI, A: 3, Imm: 3},
+		{Op: LdI, A: 5, Imm: 7},
+		{Op: LdI, A: 4, Imm: 0},
+		// loop:
+		{Op: Add, A: 1, B: 1, C: 3},
+		{Op: DivI, A: 6, B: 1, C: 5},
+		{Op: Sub, A: 2, B: 2, C: 3},
+		{Op: Bgt, A: 2, B: 4, C: 5},
+		{Op: LdI, A: 7, Imm: base},
+		{Op: St, A: 1, B: 7, Imm: 0},
+		{Op: Halt},
+	}
+	prog := prog1(8, code)
+	stack := sys.Alloc(4096, 8)
+
+	run := func(snapAfter int) (snap *ThreadSnapshot, th *Thread) {
+		th = NewThread(0, sys, prog, &nopRT{}, costs, prog.Main, nil, stack, stack+4096)
+		for i := 0; i < 10000; i++ {
+			if i == snapAfter {
+				snap = th.Snapshot()
+			}
+			if st := th.Step(20); st == Done {
+				if th.Err != nil {
+					t.Fatalf("thread error: %v", th.Err)
+				}
+				return snap, th
+			}
+		}
+		t.Fatal("did not terminate")
+		return nil, nil
+	}
+
+	_, ref := run(-1)
+	wantStore := sys.Peek(base)
+	wantInstrs, wantHwDiv := ref.Instrs, ref.HwDiv
+
+	snap, th2 := run(3)
+	if snap == nil {
+		t.Fatal("snapshot not taken")
+	}
+	if th2.Instrs != wantInstrs || th2.HwDiv != wantHwDiv {
+		t.Fatalf("second run diverged before restore: instrs %d vs %d", th2.Instrs, wantInstrs)
+	}
+
+	// Restore the mid-flight snapshot onto the finished thread and re-run
+	// the remainder; counters and the final store must match.
+	th2.Restore(snap)
+	if th2.Instrs >= wantInstrs {
+		t.Fatalf("restore did not rewind Instrs: %d", th2.Instrs)
+	}
+	sys.Poke(base, 0)
+	for i := 0; i < 10000; i++ {
+		if st := th2.Step(20); st == Done {
+			if th2.Err != nil {
+				t.Fatalf("thread error after restore: %v", th2.Err)
+			}
+			break
+		}
+	}
+	if got := sys.Peek(base); got != wantStore {
+		t.Fatalf("store after restore = %d, want %d", got, wantStore)
+	}
+	if th2.Instrs != wantInstrs || th2.HwDiv != wantHwDiv {
+		t.Fatalf("counters after restore: instrs %d hwdiv %d, want %d %d",
+			th2.Instrs, th2.HwDiv, wantInstrs, wantHwDiv)
+	}
+}

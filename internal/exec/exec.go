@@ -4,6 +4,11 @@
 // shared memory system sees realistic contention; implicit barriers close
 // every region (paper §3.1 "an implicit barrier at the end of the doacross
 // loop"); explicit dsm_barrier calls rendezvous inside regions.
+//
+// Two engines execute regions: the serial engine interleaves all simulated
+// processors on one goroutine; the parallel engine (parallel.go) runs them
+// on real host cores in speculative epochs. Both are bit-identical in every
+// simulated cycle, stat, and recorder event.
 package exec
 
 import (
@@ -11,6 +16,7 @@ import (
 
 	"dsmdist/internal/bytecode"
 	"dsmdist/internal/codegen"
+	"dsmdist/internal/hostpool"
 	"dsmdist/internal/machine"
 	"dsmdist/internal/memsim"
 	"dsmdist/internal/obs"
@@ -26,7 +32,7 @@ type Options struct {
 	// Quantum is the instruction interleave granularity (default 2000).
 	Quantum int
 	// MaxQuanta bounds total scheduling rounds as a runaway guard
-	// (default 1<<40 instructions equivalent).
+	// (default 1<<34; raise with dsmrun -max-quanta).
 	MaxQuanta int64
 	// Rec, when non-nil, receives observability events from the whole
 	// stack (load-time placement, memory system, regions, barriers).
@@ -35,6 +41,14 @@ type Options struct {
 	// (a page walk charged to the calling processor) instead of the
 	// scheduled bulk-transfer collective — the -redist=serial A/B switch.
 	RedistSerial bool
+	// Engine selects the host execution engine (serial, parallel, auto).
+	// Results are bit-identical either way; see Engine.
+	Engine Engine
+	// Workers fixes the number of host goroutines the parallel engine may
+	// use per region. 0 (the default) draws from the shared hostpool
+	// budget each region, cooperating with experiments.ForEach; the
+	// DSM_WORKERS environment variable fills an unset value.
+	Workers int
 }
 
 // Result is a completed run.
@@ -54,6 +68,15 @@ type Result struct {
 	// TimerCycles is the dsm_timer region-of-interest time, 0 when the
 	// program never called the timer.
 	TimerCycles int64
+
+	// EngineUsed is the engine that actually ran (after auto/env
+	// resolution); diagnostics only.
+	EngineUsed Engine
+	// EpochsCommitted / EpochsFallback count the parallel engine's
+	// speculative epochs that published vs. re-ran serially (always 0
+	// under the serial engine); diagnostics only.
+	EpochsCommitted int64
+	EpochsFallback  int64
 }
 
 // Seconds converts the run's cycles to seconds on the simulated clock.
@@ -86,17 +109,19 @@ func RunLoaded(rt *rtl.Runtime, opts Options) (*Result, error) {
 	if maxQuanta <= 0 {
 		maxQuanta = 1 << 34
 	}
+	engine := resolveEngine(opts.Engine, cfg.NProcs)
+	workers := resolveWorkers(opts.Workers)
 	costs := bytecode.NewCosts(cfg)
 
 	serial := bytecode.NewThread(0, rt.Sys, rt.Prog, rt, costs, rt.Prog.Main, nil,
 		rt.StackBase[0], rt.StackEnd[0])
 
-	acc := &Result{RT: rt}
+	acc := &Result{RT: rt, EngineUsed: engine}
 	var rounds int64
 	for {
 		rounds++
 		if rounds > maxQuanta {
-			return nil, fmt.Errorf("exec: exceeded quantum budget (infinite loop?)")
+			return nil, fmt.Errorf("exec: exceeded quantum budget of %d (infinite loop? raise with -max-quanta)", maxQuanta)
 		}
 		switch serial.Step(quantum) {
 		case bytecode.Running:
@@ -112,7 +137,13 @@ func RunLoaded(rt *rtl.Runtime, opts Options) (*Result, error) {
 		case bytecode.AtBarrier:
 			// A barrier in serial code synchronizes nothing.
 		case bytecode.AtParCall:
-			if err := runRegion(rt, costs, serial, quantum, maxQuanta, acc); err != nil {
+			var err error
+			if engine == EngineParallel {
+				err = runRegionWithWorkers(rt, costs, serial, quantum, maxQuanta, workers, acc)
+			} else {
+				err = runRegion(rt, costs, serial, quantum, maxQuanta, acc)
+			}
+			if err != nil {
 				return nil, err
 			}
 			serial.Resume()
@@ -120,130 +151,24 @@ func RunLoaded(rt *rtl.Runtime, opts Options) (*Result, error) {
 	}
 }
 
-// cycleQuantum bounds how far (in cycles) one processor may run ahead of
-// the others inside a region; it must stay small relative to the memsim
-// bandwidth-window ring so contention is observed accurately.
-const cycleQuantum = 4000
+// runRegionWithWorkers sizes the parallel engine's worker set for one
+// region and runs it. With Workers unset we draw extra workers from the
+// shared hostpool budget (the caller's goroutine is always one worker);
+// an explicit Workers bypasses the pool so tests can force concurrency on
+// small hosts.
+func runRegionWithWorkers(rt *rtl.Runtime, costs *bytecode.Costs, serial *bytecode.Thread,
+	quantum int, maxQuanta int64, workers int, acc *Result) error {
 
-// runRegion fans a region function out to all processors and runs them to
-// completion, always advancing the processor with the smallest clock.
-func runRegion(rt *rtl.Runtime, costs *bytecode.Costs, serial *bytecode.Thread,
-	quantum int, maxQuanta int64, acc *Result) error {
-
-	cfg := rt.Cfg
-	np := cfg.NProcs
-	sys := rt.Sys
-	rec := rt.Rec
-	rt.ResetDynamic()
-
-	// Fork: idle processors jump to the master's clock; everyone pays
-	// the dispatch cost.
-	t0 := sys.Clock(0)
-	if rec != nil {
-		fn := rt.Prog.Fns[serial.ParFn]
-		rec.RegionBegin(fn.Name, fn.File, fn.Line, t0, np)
+	np := rt.Cfg.NProcs
+	if workers <= 0 {
+		extra := hostpool.Acquire(np - 1)
+		defer hostpool.Release(extra)
+		workers = 1 + extra
 	}
-	procs := make([]int, np)
-	for p := 0; p < np; p++ {
-		procs[p] = p
-		if sys.Clock(p) < t0 {
-			sys.SetClock(p, t0)
-		}
-		sys.AddCycles(p, int64(cfg.ForkCyc))
+	if workers > np {
+		workers = np
 	}
-
-	threads := make([]*bytecode.Thread, np)
-	for p := 0; p < np; p++ {
-		args := make([]int64, len(serial.ParArgs))
-		copy(args, serial.ParArgs)
-		sp := rt.StackBase[p]
-		end := rt.StackEnd[p]
-		if p == 0 {
-			sp = serial.SP // above the serial frames
-		}
-		threads[p] = bytecode.NewThread(p, sys, rt.Prog, rt, costs, serial.ParFn, args, sp, end)
-	}
-
-	done := make([]bool, np)
-	atBarrier := make([]bool, np)
-	remaining := np
-	lastSel := -1
-	var rounds int64
-	for remaining > 0 {
-		rounds++
-		if rounds > maxQuanta {
-			return fmt.Errorf("exec: region exceeded quantum budget")
-		}
-		// Run the runnable thread with the smallest clock, so simulated
-		// time advances roughly in lockstep and the node-bandwidth
-		// model sees a fair arrival order (threads scheduled by
-		// instruction count alone would let cache-hitting threads race
-		// far ahead in cycle time).
-		sel := -1
-		var selClock int64
-		for p := 0; p < np; p++ {
-			if done[p] || atBarrier[p] {
-				continue
-			}
-			if c := sys.Clock(p); sel < 0 || c < selClock {
-				sel, selClock = p, c
-			}
-		}
-		if sel >= 0 {
-			if rec != nil && sel != lastSel {
-				rec.QuantumSwitch(sel)
-				lastSel = sel
-			}
-			switch threads[sel].StepCycles(quantum, cycleQuantum) {
-			case bytecode.Running:
-			case bytecode.Done:
-				if threads[sel].Err != nil {
-					return fmt.Errorf("processor %d: %w", sel, threads[sel].Err)
-				}
-				done[sel] = true
-				remaining--
-			case bytecode.AtBarrier:
-				atBarrier[sel] = true
-			case bytecode.AtParCall:
-				return fmt.Errorf("processor %d: nested doacross regions are not supported", sel)
-			}
-			continue
-		}
-		// No runnable thread: release the explicit barrier once every
-		// live thread has arrived.
-		var waiting []int
-		for p := 0; p < np; p++ {
-			if atBarrier[p] {
-				waiting = append(waiting, p)
-			}
-		}
-		if len(waiting) == 0 {
-			return fmt.Errorf("exec: region scheduler wedged")
-		}
-		sys.Barrier(waiting)
-		for _, p := range waiting {
-			atBarrier[p] = false
-		}
-	}
-
-	// Implicit end-of-doacross barrier across all processors.
-	var ends []int64
-	if rec != nil {
-		ends = make([]int64, np)
-		for p := 0; p < np; p++ {
-			ends[p] = sys.Clock(p)
-		}
-	}
-	sys.Barrier(procs)
-	if rec != nil {
-		rec.RegionEnd(ends, sys.Clock(0))
-	}
-	for _, th := range threads {
-		acc.HwDiv += th.HwDiv
-		acc.SoftDiv += th.SoftDiv
-		acc.Instrs += th.Instrs
-	}
-	return nil
+	return runRegionParallel(rt, costs, serial, quantum, maxQuanta, workers, acc)
 }
 
 func finish(r *Result) {

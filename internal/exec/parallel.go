@@ -1,0 +1,304 @@
+package exec
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"dsmdist/internal/bytecode"
+	"dsmdist/internal/obs"
+	"dsmdist/internal/rtl"
+)
+
+// The parallel engine runs each simulated processor's bytecode thread on a
+// real host goroutine, in barrier-synchronous epochs of cycleQuantum
+// simulated cycles, and is bit-identical to the serial engine:
+//
+//  1. Epoch: all runnable threads whose clock lies in [minClock,
+//     minClock+cycleQuantum) run concurrently as memsim *scouts* — a
+//     read-only pass over shared state with per-processor overlays for
+//     directory lines, memory words, and bandwidth bookings (see
+//     internal/memsim/scout.go). Processor-private state (caches, TLB,
+//     clock, stats) advances lock-free with undo journals.
+//  2. Validation: at the epoch barrier the overlays are checked for
+//     conflicts — two scouts touching the same directory line, or
+//     bandwidth bookings that would have made another scout wait.
+//  3. Commit: a conflict-free epoch publishes every overlay; observability
+//     events buffered per processor are replayed in the exact serial
+//     schedule order (quanta merged by (start clock, proc id) — provably
+//     the order the serial scheduler would have used).
+//  4. Fallback: any conflict or abort (page fault, cross-processor
+//     invalidation, non-whitelisted runtime call, trap) rolls the epoch
+//     back and re-runs the same window through serialWindow — literally
+//     the serial engine's loop — so divergence is impossible by
+//     construction.
+var errScoutRTC = errors.New("exec: runtime call aborted speculative epoch")
+
+// gateRT wraps the real runtime so speculative quanta cannot mutate
+// runtime-library state. Whitelisted calls are pure (portion bounds, nest
+// grid) or touch nothing (dsm_barrier parks the thread); everything else
+// aborts the scout, and the serial fallback re-executes the call for real.
+type gateRT struct {
+	rt *rtl.Runtime
+}
+
+func (g *gateRT) RTCall(t *bytecode.Thread, id int, args []int64) (int64, error) {
+	if !g.rt.Sys.ScoutArmed(t.Proc) {
+		return g.rt.RTCall(t, id, args)
+	}
+	switch id {
+	case bytecode.RTBarrier, bytecode.RTPortionLo, bytecode.RTPortionHi, bytecode.RTNestGrid:
+		return g.rt.RTCall(t, id, args)
+	}
+	g.rt.Sys.AbortScoutRTC(t.Proc)
+	return 0, errScoutRTC
+}
+
+// scoutResult is one scout's outcome for an epoch.
+type scoutResult struct {
+	quanta  int64 // StepCycles calls made (== serial scheduling rounds)
+	done    bool  // thread finished cleanly
+	barrier bool  // thread parked at an explicit barrier
+	abort   bool  // anything that demands the serial fallback
+}
+
+// runRegionParallel executes one doacross region with the speculative
+// epoch engine. workers >= 1 host goroutines (including the caller's) run
+// the scouts; with workers == 1 the epochs still go through the scout
+// machinery, which keeps the engine's behavior independent of host size.
+func runRegionParallel(rt *rtl.Runtime, costs *bytecode.Costs, serial *bytecode.Thread,
+	quantum int, maxQuanta int64, workers int, acc *Result) error {
+
+	gate := &gateRT{rt: rt}
+	rr := newRegionRun(rt, costs, serial, quantum, maxQuanta, gate)
+	sys := rr.sys
+
+	var bufs []*obs.ProcBuffer
+	if rr.rec != nil {
+		bufs = make([]*obs.ProcBuffer, rr.np)
+		for p := range bufs {
+			bufs[p] = obs.NewProcBuffer()
+		}
+	}
+	snaps := make([]*bytecode.ThreadSnapshot, rr.np)
+	results := make([]scoutResult, rr.np)
+	cands := make([]int, 0, rr.np)
+
+	for rr.remaining > 0 {
+		// Plan the next epoch: the window starts at the smallest runnable
+		// clock and spans one cycleQuantum.
+		minC := int64(-1)
+		for p := 0; p < rr.np; p++ {
+			if rr.done[p] || rr.atBarrier[p] {
+				continue
+			}
+			if c := sys.Clock(p); minC < 0 || c < minC {
+				minC = c
+			}
+		}
+		if minC < 0 {
+			// Everyone parked: release the explicit barrier, exactly one
+			// serial scheduling round.
+			rr.rounds++
+			if rr.rounds > rr.maxQuanta {
+				return errRegionBudget(rr.maxQuanta)
+			}
+			if err := rr.releaseBarrier(); err != nil {
+				return err
+			}
+			continue
+		}
+		epochEnd := minC + cycleQuantum
+		cands = cands[:0]
+		for p := 0; p < rr.np; p++ {
+			if !rr.done[p] && !rr.atBarrier[p] && sys.Clock(p) < epochEnd {
+				cands = append(cands, p)
+			}
+		}
+		if len(cands) < 2 || workers < 2 {
+			// Not worth speculating; run the window serially (identical
+			// by definition).
+			if err := rr.serialWindow(epochEnd); err != nil {
+				return err
+			}
+			continue
+		}
+
+		// Speculate: snapshot threads, arm scouts, fan out.
+		for _, c := range cands {
+			snaps[c] = rr.threads[c].Snapshot()
+			var buf *obs.ProcBuffer
+			if bufs != nil {
+				buf = bufs[c]
+			}
+			sys.ArmScout(c, buf)
+			results[c] = scoutResult{}
+		}
+		rr.runScouts(cands, epochEnd, workers, bufs, results)
+
+		ok := true
+		for _, c := range cands {
+			if results[c].abort || sys.ScoutAborted(c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ok = sys.ValidateScouts(cands)
+		}
+		if !ok {
+			for _, c := range cands {
+				sys.AbortScout(c)
+				rr.threads[c].Restore(snaps[c])
+			}
+			acc.EpochsFallback++
+			if err := rr.serialWindow(epochEnd); err != nil {
+				return err
+			}
+			continue
+		}
+		acc.EpochsCommitted++
+
+		// Commit: publish overlays, account the scheduling rounds the
+		// serial engine would have spent, replay observability events in
+		// serial order, and apply thread outcomes.
+		var rounds int64
+		for _, c := range cands {
+			sys.CommitScout(c)
+			rounds += results[c].quanta
+		}
+		rr.rounds += rounds
+		if rr.rounds > rr.maxQuanta {
+			return errRegionBudget(rr.maxQuanta)
+		}
+		if rr.rec != nil {
+			rr.replayEpoch(cands, bufs)
+		}
+		for _, c := range cands {
+			if results[c].done {
+				rr.done[c] = true
+				rr.remaining--
+			}
+			if results[c].barrier {
+				rr.atBarrier[c] = true
+			}
+		}
+	}
+	return rr.finishRegion(acc)
+}
+
+// runScouts drives the candidates' scout passes on min(workers,
+// len(cands)) goroutines, the caller's included. Each worker claims
+// candidates off a shared counter; a scout runs until its clock leaves the
+// epoch window, it finishes, parks at a barrier, or aborts.
+func (rr *regionRun) runScouts(cands []int, epochEnd int64, workers int,
+	bufs []*obs.ProcBuffer, results []scoutResult) {
+
+	nw := workers
+	if nw > len(cands) {
+		nw = len(cands)
+	}
+	var next atomic.Int32
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(cands) {
+				return
+			}
+			c := cands[i]
+			results[c] = rr.scoutOne(c, epochEnd, bufs)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// scoutOne runs one processor's thread speculatively to the end of the
+// epoch window. Quanta are counted exactly as the serial scheduler would
+// (one round per StepCycles call).
+func (rr *regionRun) scoutOne(c int, epochEnd int64, bufs []*obs.ProcBuffer) scoutResult {
+	var res scoutResult
+	th := rr.threads[c]
+	var buf *obs.ProcBuffer
+	if bufs != nil {
+		buf = bufs[c]
+	}
+	for {
+		if rr.sys.ScoutAborted(c) {
+			res.abort = true
+			return res
+		}
+		if rr.sys.Clock(c) >= epochEnd {
+			break
+		}
+		res.quanta++
+		if buf != nil {
+			buf.BeginQuantum(rr.sys.Clock(c))
+		}
+		switch th.StepCycles(rr.quantum, cycleQuantum) {
+		case bytecode.Running:
+		case bytecode.Done:
+			if th.Err != nil {
+				// Traps (including the gate's sentinel) re-execute in the
+				// serial fallback so errors surface in serial order.
+				res.abort = true
+				return res
+			}
+			res.done = true
+			goto out
+		case bytecode.AtBarrier:
+			res.barrier = true
+			goto out
+		case bytecode.AtParCall:
+			res.abort = true
+			return res
+		}
+	}
+out:
+	if rr.sys.ScoutAborted(c) {
+		res.abort = true
+		return res
+	}
+	if buf != nil {
+		buf.EndEpoch()
+	}
+	return res
+}
+
+// replayEpoch merges the candidates' buffered quanta by (start clock, proc
+// id) — the order the serial scheduler provably executes them in — and
+// replays their events into the recorder, synthesizing the QuantumSwitch
+// stream the serial engine would have emitted.
+func (rr *regionRun) replayEpoch(cands []int, bufs []*obs.ProcBuffer) {
+	idx := make(map[int]int, len(cands))
+	for {
+		sel := -1
+		var selStart int64
+		for _, c := range cands {
+			i := idx[c]
+			if i >= bufs[c].NumQuanta() {
+				continue
+			}
+			if s := bufs[c].QuantumStart(i); sel < 0 || s < selStart || (s == selStart && c < sel) {
+				sel, selStart = c, s
+			}
+		}
+		if sel < 0 {
+			return
+		}
+		if sel != rr.lastSel {
+			rr.rec.QuantumSwitch(sel)
+			rr.lastSel = sel
+		}
+		bufs[sel].ReplayQuantum(idx[sel], sel, rr.rec)
+		idx[sel]++
+	}
+}

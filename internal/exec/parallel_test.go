@@ -1,0 +1,202 @@
+package exec
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dsmdist/internal/link"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/obj"
+	"dsmdist/internal/obs"
+	"dsmdist/internal/ospage"
+	"dsmdist/internal/xform"
+)
+
+// engineSrc mixes the behaviors the parallel engine must get right:
+// distributed arrays with disjoint partitions (epochs commit), a shared
+// barrier rendezvous inside a region, a redistribute (runtime call →
+// serial fallback), integer divides (operation counters), and a serial
+// tail between regions.
+const engineSrc = `
+      program p
+      integer n
+      parameter (n = 96)
+      real*8 a(n, n), b(n)
+c$distribute a(*, block)
+      integer i, j, it
+c$doacross nest(j, i) local(i, j) shared(a) affinity(j, i) = data(a(i, j))
+      do j = 1, n
+        do i = 1, n
+          a(i, j) = dble(i) + dble(j)
+        end do
+      end do
+      do it = 1, 2
+c$doacross local(i, j) shared(a) affinity(j) = data(a(1, j))
+      do j = 1, n
+        do i = 2, n
+          a(i, j) = a(i, j) + a(i-1, j) * 0.5
+        end do
+      end do
+      end do
+c$redistribute a(block, *)
+c$doacross local(i, j) shared(a) affinity(i) = data(a(i, 1))
+      do i = 1, n
+        do j = 2, n
+          a(i, j) = a(i, j) + a(i, j-1) * 0.5
+        end do
+      end do
+c$doacross local(i) shared(b)
+      do i = 1, n
+        b(i) = dble(mod(i * 7, 13)) / dble(i)
+        call dsm_barrier
+        b(i) = b(i) + b(mod(i, n) + 1) * 1.0d-9
+      end do
+      end
+`
+
+func compileSrc(t *testing.T, src string) *link.Image {
+	t.Helper()
+	o, err := obj.Compile("x.f", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	img, err := link.Link([]*obj.Object{o}, link.Config{Opt: xform.O3(), RuntimeChecks: true})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return img
+}
+
+// runEngine executes src on nprocs simulated processors with the given
+// engine and returns the result plus the serialized trace bytes.
+func runEngine(t *testing.T, src string, nprocs int, eng Engine, workers int) (*Result, []byte) {
+	t.Helper()
+	img := compileSrc(t, src)
+	cfg := machine.Tiny(nprocs)
+	rec := obs.NewRecorder(cfg)
+	rec.EnableTrace(1 << 20)
+	res, err := Run(img.Res, cfg, Options{
+		Policy:  ospage.FirstTouch,
+		Rec:     rec,
+		Engine:  eng,
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatalf("%v engine: %v", eng, err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	return res, buf.Bytes()
+}
+
+// checkIdentical asserts the two results are bit-identical in every
+// simulated quantity (wall time excluded by construction — it isn't in
+// Result).
+func checkIdentical(t *testing.T, label string, s, p *Result, st, pt []byte) {
+	t.Helper()
+	if s.Cycles != p.Cycles {
+		t.Errorf("%s: cycles %d (serial) vs %d (parallel)", label, s.Cycles, p.Cycles)
+	}
+	if !reflect.DeepEqual(s.Stats, p.Stats) {
+		for i := range s.Stats {
+			if s.Stats[i] != p.Stats[i] {
+				t.Errorf("%s: proc %d stats diverge:\n serial   %+v\n parallel %+v",
+					label, i, s.Stats[i], p.Stats[i])
+			}
+		}
+	}
+	if s.Total != p.Total {
+		t.Errorf("%s: totals diverge", label)
+	}
+	if !reflect.DeepEqual(s.Pages, p.Pages) {
+		t.Errorf("%s: page stats diverge: %+v vs %+v", label, s.Pages, p.Pages)
+	}
+	if s.HwDiv != p.HwDiv || s.SoftDiv != p.SoftDiv || s.Instrs != p.Instrs {
+		t.Errorf("%s: op counters diverge: (%d,%d,%d) vs (%d,%d,%d)", label,
+			s.HwDiv, s.SoftDiv, s.Instrs, p.HwDiv, p.SoftDiv, p.Instrs)
+	}
+	if s.TimerCycles != p.TimerCycles {
+		t.Errorf("%s: timer cycles diverge", label)
+	}
+	sa := s.RT.Gather(s.RT.ArrayByName("p", "a"))
+	pa := p.RT.Gather(p.RT.ArrayByName("p", "a"))
+	if !reflect.DeepEqual(sa, pa) {
+		t.Errorf("%s: final array contents diverge", label)
+	}
+	if !bytes.Equal(st, pt) {
+		t.Errorf("%s: traces diverge (serial %d bytes, parallel %d bytes)",
+			label, len(st), len(pt))
+	}
+}
+
+// TestParallelEngineBitIdentical is the tentpole acceptance test: the
+// parallel engine must reproduce the serial engine bit-for-bit — stats,
+// clocks, page counters, operation counts, array contents, and the full
+// observability trace — across processor counts.
+func TestParallelEngineBitIdentical(t *testing.T) {
+	for _, np := range []int{1, 4, 16} {
+		s, st := runEngine(t, engineSrc, np, EngineSerial, 0)
+		p, pt := runEngine(t, engineSrc, np, EngineParallel, 4)
+		checkIdentical(t, machine.Tiny(np).Name, s, p, st, pt)
+		if s.EpochsCommitted != 0 || s.EpochsFallback != 0 {
+			t.Errorf("np=%d: serial engine reported speculative epochs", np)
+		}
+		if np >= 4 && p.EpochsCommitted == 0 {
+			t.Errorf("np=%d: parallel engine never committed an epoch (%d fallbacks) — speculation is dead code",
+				np, p.EpochsFallback)
+		}
+	}
+}
+
+// TestParallelSingleWorkerIdentical pins the workers==1 path (epochs run
+// through serialWindow) to the serial engine.
+func TestParallelSingleWorkerIdentical(t *testing.T) {
+	s, st := runEngine(t, engineSrc, 8, EngineSerial, 0)
+	p, pt := runEngine(t, engineSrc, 8, EngineParallel, 1)
+	checkIdentical(t, "workers=1", s, p, st, pt)
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Engine
+		err  bool
+	}{
+		{"", EngineAuto, false},
+		{"auto", EngineAuto, false},
+		{"serial", EngineSerial, false},
+		{"parallel", EngineParallel, false},
+		{"turbo", EngineAuto, true},
+	} {
+		got, err := ParseEngine(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if EngineParallel.String() != "parallel" || EngineSerial.String() != "serial" ||
+		EngineAuto.String() != "auto" {
+		t.Error("Engine.String wrong")
+	}
+}
+
+// TestQuantumBudgetErrorNamesFlag checks the runaway guard reports the
+// limit and how to raise it, for both engines.
+func TestQuantumBudgetErrorNamesFlag(t *testing.T) {
+	img := compileSrc(t, engineSrc)
+	for _, eng := range []Engine{EngineSerial, EngineParallel} {
+		_, err := Run(img.Res, machine.Tiny(4), Options{
+			Policy:    ospage.FirstTouch,
+			Engine:    eng,
+			Workers:   2,
+			MaxQuanta: 8,
+		})
+		if err == nil || !strings.Contains(err.Error(), "quantum budget of 8") ||
+			!strings.Contains(err.Error(), "-max-quanta") {
+			t.Errorf("%v engine budget error = %v", eng, err)
+		}
+	}
+}

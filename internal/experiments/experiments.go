@@ -17,7 +17,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -25,6 +24,7 @@ import (
 
 	"dsmdist/internal/core"
 	"dsmdist/internal/exec"
+	"dsmdist/internal/hostpool"
 	"dsmdist/internal/machine"
 	"dsmdist/internal/memsim"
 	"dsmdist/internal/ospage"
@@ -45,11 +45,17 @@ type Sizes struct {
 	// free per node => ratio 1.44).
 	LUNodeFrac float64
 	// Par bounds the host-side worker pool that runs sweep points
-	// concurrently (0 = GOMAXPROCS, 1 = serial). Each point builds its
-	// own simulated machine, so Par affects host wall time only: the
-	// rows — cycles, counters, order — are bit-identical at any setting
-	// (TestSweepDeterministicUnderParallelism).
+	// concurrently (0 = the shared hostpool budget, default GOMAXPROCS;
+	// 1 = serial). Each point builds its own simulated machine, so Par
+	// affects host wall time only: the rows — cycles, counters, order —
+	// are bit-identical at any setting
+	// (TestSweepDeterministicUnderParallelism). Sweep workers and the
+	// parallel engine's region workers draw from the same budget, so the
+	// two levels of host parallelism never oversubscribe the machine.
 	Par int
+	// Engine selects the host execution engine for every point (see
+	// exec.Engine); rows are bit-identical across engines.
+	Engine exec.Engine
 }
 
 // Full is the scale used by cmd/dsmbench (paper sizes / ScaleFactor).
@@ -122,7 +128,8 @@ func figureVariants() []variantRun {
 // runOne builds and runs one configuration. The cache (shared across a
 // sweep, may be nil) deduplicates compiles of identical (source, options)
 // variants; every call still loads and runs its own image.
-func runOne(cache *core.BuildCache, src string, opt xform.Options, cfg *machine.Config, policy ospage.Policy) (*exec.Result, error) {
+func runOne(cache *core.BuildCache, src string, opt xform.Options, cfg *machine.Config,
+	policy ospage.Policy, eng exec.Engine) (*exec.Result, error) {
 	tc := core.NewAt(opt)
 	tc.RuntimeChecks = false // measurement runs, as in the paper
 	tc.Cache = cache
@@ -130,23 +137,31 @@ func runOne(cache *core.BuildCache, src string, opt xform.Options, cfg *machine.
 	if err != nil {
 		return nil, err
 	}
-	return core.Run(img, cfg, core.RunOptions{Policy: policy})
+	return core.Run(img, cfg, core.RunOptions{Policy: policy, Engine: eng})
 }
 
-// ForEach runs jobs 0..n-1 over a pool of at most par workers (0 =
-// GOMAXPROCS). Results must be written to preallocated per-index slots so
-// output order never depends on scheduling; the error returned is the one
-// from the lowest-numbered failing job, which keeps error reporting
-// deterministic too. The sweeps here and the advisor's candidate
-// verification both fan out through it.
+// ForEach runs jobs 0..n-1 over a bounded host worker set. The caller's
+// goroutine is always one worker; extra workers are drawn from the shared
+// hostpool budget (default GOMAXPROCS), the same budget the parallel
+// execution engine draws region workers from — so sweep-level and
+// engine-level host parallelism compose without oversubscribing the
+// machine. par > 0 additionally caps this job's draw (1 = strictly
+// serial); par <= 0 takes whatever the budget allows. Results must be
+// written to preallocated per-index slots so output order never depends on
+// scheduling; the error returned is the one from the lowest-numbered
+// failing job, which keeps error reporting deterministic too. The sweeps
+// here and the advisor's candidate verification both fan out through it.
 func ForEach(par, n int, job func(int) error) error {
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+	want := n - 1
+	if par > 0 && par-1 < want {
+		want = par - 1
 	}
-	if par > n {
-		par = n
+	extras := 0
+	if want > 0 {
+		extras = hostpool.Acquire(want)
+		defer hostpool.Release(extras)
 	}
-	if par <= 1 {
+	if extras == 0 {
 		for i := 0; i < n; i++ {
 			if err := job(i); err != nil {
 				return err
@@ -156,20 +171,24 @@ func ForEach(par, n int, job func(int) error) error {
 	}
 	errs := make([]error, n)
 	next := int64(-1)
+	work := func() {
+		for {
+			i := int(atomic.AddInt64(&next, 1))
+			if i >= n {
+				return
+			}
+			errs[i] = job(i)
+		}
+	}
 	var wg sync.WaitGroup
-	for w := 0; w < par; w++ {
+	for w := 0; w < extras; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				errs[i] = job(i)
-			}
+			work()
 		}()
 	}
+	work()
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -243,7 +262,7 @@ func Table2(s Sizes) ([]Row, error) {
 	err := ForEach(s.Par, len(steps), func(i int) error {
 		st := steps[i]
 		t0 := time.Now()
-		res, err := runOne(cache, src(st.v), st.opt, cfg(), ospage.FirstTouch)
+		res, err := runOne(cache, src(st.v), st.opt, cfg(), ospage.FirstTouch, s.Engine)
 		if err != nil {
 			return fmt.Errorf("table2 %s: %w", st.label, err)
 		}
@@ -315,7 +334,7 @@ func sweep(exp string, gen func(workloads.Variant) string, s Sizes,
 
 	cache := core.NewBuildCache()
 	baseCfg := mkCfg(1)
-	baseRes, err := runOne(cache, gen(workloads.Serial), xform.O3(), baseCfg, ospage.FirstTouch)
+	baseRes, err := runOne(cache, gen(workloads.Serial), xform.O3(), baseCfg, ospage.FirstTouch, s.Engine)
 	if err != nil {
 		return nil, fmt.Errorf("%s serial baseline: %w", exp, err)
 	}
@@ -336,7 +355,7 @@ func sweep(exp string, gen func(workloads.Variant) string, s Sizes,
 		pt := points[i]
 		cfg := mkCfg(pt.p)
 		t0 := time.Now()
-		res, err := runOne(cache, gen(pt.vr.variant), pt.vr.opt, cfg, pt.vr.policy)
+		res, err := runOne(cache, gen(pt.vr.variant), pt.vr.opt, cfg, pt.vr.policy, s.Engine)
 		if err != nil {
 			return fmt.Errorf("%s %s P=%d: %w", exp, pt.vr.label, pt.p, err)
 		}

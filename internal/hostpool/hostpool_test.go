@@ -1,0 +1,81 @@
+package hostpool
+
+import (
+	"sync"
+	"testing"
+)
+
+// reset puts the pool in a known state and restores it afterwards.
+func reset(t *testing.T, budget int) {
+	t.Helper()
+	prev := SetBudget(budget)
+	ResetPeak()
+	t.Cleanup(func() { SetBudget(prev) })
+}
+
+func TestAcquireRespectsBudget(t *testing.T) {
+	reset(t, 4)
+	if got := Acquire(10); got != 3 {
+		t.Fatalf("Acquire(10) under budget 4 = %d, want 3 (budget-1)", got)
+	}
+	if got := Acquire(1); got != 0 {
+		t.Fatalf("Acquire(1) with pool dry = %d, want 0", got)
+	}
+	Release(3)
+	if got := Acquire(2); got != 2 {
+		t.Fatalf("Acquire(2) after release = %d, want 2", got)
+	}
+	Release(2)
+	if InUse() != 0 {
+		t.Fatalf("InUse = %d after all releases, want 0", InUse())
+	}
+}
+
+func TestBudgetOneGrantsNothing(t *testing.T) {
+	reset(t, 1)
+	if got := Acquire(8); got != 0 {
+		t.Fatalf("Acquire under budget 1 = %d, want 0", got)
+	}
+}
+
+func TestPeakTracksHighWater(t *testing.T) {
+	reset(t, 8)
+	a := Acquire(3)
+	b := Acquire(2)
+	Release(a)
+	Release(b)
+	if Peak() != 5 {
+		t.Fatalf("Peak = %d, want 5", Peak())
+	}
+	ResetPeak()
+	if Peak() != 0 {
+		t.Fatalf("Peak after reset = %d, want 0", Peak())
+	}
+}
+
+// TestConcurrentAcquireNeverExceedsBudget hammers the pool from many
+// goroutines and checks the invariant that grants never exceed budget-1.
+func TestConcurrentAcquireNeverExceedsBudget(t *testing.T) {
+	reset(t, 5)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				n := Acquire(3)
+				if InUse() > Budget()-1 {
+					t.Errorf("inUse %d exceeds budget-1 %d", InUse(), Budget()-1)
+				}
+				Release(n)
+			}
+		}()
+	}
+	wg.Wait()
+	if InUse() != 0 {
+		t.Fatalf("InUse = %d after all releases, want 0", InUse())
+	}
+	if p := Peak(); p > 4 {
+		t.Fatalf("Peak = %d, exceeds budget-1 = 4", p)
+	}
+}

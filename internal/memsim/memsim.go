@@ -286,6 +286,12 @@ type proc struct {
 	// matches.
 	l1Hit  int64
 	noMemo bool
+
+	// sc, when non-nil, routes this processor's accesses through scout
+	// mode (speculative epoch of the parallel engine; see scout.go).
+	// scSpare parks the context between epochs for reuse.
+	sc      *scoutCtx
+	scSpare *scoutCtx
 }
 
 // System is the shared memory system for one simulated run.
@@ -319,6 +325,12 @@ type System struct {
 	// nil-guarded and placed off the arithmetic paths, so a run without
 	// a recorder is cycle-for-cycle identical.
 	rec *obs.Recorder
+
+	// Scout-epoch validation state (see scout.go): a monotone epoch
+	// counter and a per-directory-line claim table stamped
+	// epoch<<8|proc+1 so disjointness checks need no clearing.
+	scoutEpoch int64
+	claim      []int64
 }
 
 // SetL0 enables or disables the host-side access fast paths (the per-
@@ -565,6 +577,10 @@ func (s *System) evictL2(p int, victim int64, wasExcl bool) {
 // touch the backing store; LoadWord/StoreWord wrap it with data movement.
 func (s *System) Access(p int, addr int64, write bool) {
 	pr := s.procs[p]
+	if pr.sc != nil {
+		s.scoutAccess(p, pr, addr, write)
+		return
+	}
 	cfg := s.Cfg
 	l1line := addr >> pr.l1.shift
 	if write {
@@ -706,6 +722,9 @@ func (s *System) Access(p int, addr int64, write bool) {
 // TestL0FastPathBitIdentical.
 func (s *System) LoadWord(p int, addr int64) uint64 {
 	pr := s.procs[p]
+	if pr.sc != nil {
+		return s.scoutLoadWord(p, pr, addr)
+	}
 	l1line := addr >> pr.l1.shift
 	if l1line == pr.l0Line && pr.l1.tags[pr.l0Slot] == l1line {
 		pr.stats.Loads++
@@ -722,6 +741,10 @@ func (s *System) LoadWord(p int, addr int64) uint64 {
 // shared-line write needs the directory and takes the full Access walk.
 func (s *System) StoreWord(p int, addr int64, v uint64) {
 	pr := s.procs[p]
+	if pr.sc != nil {
+		s.scoutStoreWord(p, pr, addr, v)
+		return
+	}
 	l1line := addr >> pr.l1.shift
 	if l1line == pr.l0Line && pr.l1.tags[pr.l0Slot] == l1line &&
 		pr.l1.excl[pr.l0Slot] {

@@ -1,0 +1,112 @@
+package obs
+
+// ProcBuffer collects the Recorder events one simulated processor emits
+// during a speculative epoch of the parallel execution engine. The
+// Recorder itself is not safe for concurrent use — and must not be, since
+// its aggregation (heat maps, region tallies, trace spans) depends on the
+// global serial order of events. So under the parallel engine each scout
+// thread appends to its own ProcBuffer, and at epoch commit the executor
+// merges the buffers in the serial schedule's (startClock, procID) quantum
+// order and replays them onto the Recorder, reproducing the serial event
+// stream byte for byte.
+//
+// Events are grouped by the execution quantum that produced them so the
+// executor can interleave quanta from different processors exactly as the
+// serial scheduler would have.
+type ProcBuffer struct {
+	quanta []quantumMark
+	events []bufEvent
+}
+
+type quantumMark struct {
+	start  int64 // simulated clock when the quantum began
+	lo, hi int32 // event index range [lo, hi)
+}
+
+type bufEvent struct {
+	kind  uint8
+	node  int32 // accessing node (or waiting node for bwWait)
+	home  int32 // home node (l2Miss only)
+	addr  int64
+	cyc   int64 // miss/wait cycles
+	clock int64
+}
+
+const (
+	bufL1Miss = uint8(iota)
+	bufL2Miss
+	bufTLBMiss
+	bufBWWait
+)
+
+// NewProcBuffer returns an empty buffer.
+func NewProcBuffer() *ProcBuffer { return &ProcBuffer{} }
+
+// Reset clears the buffer for a new epoch, keeping capacity.
+func (b *ProcBuffer) Reset() {
+	b.quanta = b.quanta[:0]
+	b.events = b.events[:0]
+}
+
+// BeginQuantum marks the start of an execution quantum at the given
+// simulated clock; subsequent events belong to it until the next call.
+func (b *ProcBuffer) BeginQuantum(startClock int64) {
+	if n := len(b.quanta); n > 0 {
+		b.quanta[n-1].hi = int32(len(b.events))
+	}
+	b.quanta = append(b.quanta, quantumMark{start: startClock, lo: int32(len(b.events)), hi: int32(len(b.events))})
+}
+
+// EndEpoch seals the last quantum's event range.
+func (b *ProcBuffer) EndEpoch() {
+	if n := len(b.quanta); n > 0 {
+		b.quanta[n-1].hi = int32(len(b.events))
+	}
+}
+
+// L1Miss buffers a Recorder.L1Miss event. The proc is implied by buffer
+// ownership and supplied again at replay.
+func (b *ProcBuffer) L1Miss() {
+	b.events = append(b.events, bufEvent{kind: bufL1Miss})
+}
+
+// L2Miss buffers a Recorder.L2Miss event.
+func (b *ProcBuffer) L2Miss(accNode, homeNode int, addr, missCyc, clock int64) {
+	b.events = append(b.events, bufEvent{kind: bufL2Miss,
+		node: int32(accNode), home: int32(homeNode), addr: addr, cyc: missCyc, clock: clock})
+}
+
+// TLBMiss buffers a Recorder.TLBMiss event.
+func (b *ProcBuffer) TLBMiss(accNode int, addr, cyc, clock int64) {
+	b.events = append(b.events, bufEvent{kind: bufTLBMiss,
+		node: int32(accNode), addr: addr, cyc: cyc, clock: clock})
+}
+
+// BWWait buffers a Recorder.BWWait event.
+func (b *ProcBuffer) BWWait(node int, wait int64) {
+	b.events = append(b.events, bufEvent{kind: bufBWWait, node: int32(node), cyc: wait})
+}
+
+// NumQuanta returns how many quanta were recorded this epoch.
+func (b *ProcBuffer) NumQuanta() int { return len(b.quanta) }
+
+// QuantumStart returns the simulated clock at which quantum i began.
+func (b *ProcBuffer) QuantumStart(i int) int64 { return b.quanta[i].start }
+
+// ReplayQuantum replays quantum i's buffered events onto rec in their
+// original order, attributing L1 misses to proc.
+func (b *ProcBuffer) ReplayQuantum(i, proc int, rec *Recorder) {
+	q := b.quanta[i]
+	for _, e := range b.events[q.lo:q.hi] {
+		switch e.kind {
+		case bufL1Miss:
+			rec.L1Miss(proc)
+		case bufL2Miss:
+			rec.L2Miss(int(e.node), int(e.home), e.addr, e.cyc, e.clock)
+		case bufTLBMiss:
+			rec.TLBMiss(int(e.node), e.addr, e.cyc, e.clock)
+		case bufBWWait:
+			rec.BWWait(int(e.node), e.cyc)
+		}
+	}
+}

@@ -75,8 +75,8 @@ func TestArrayAttribution(t *testing.T) {
 	r.RegisterArray("main.a", [][2]int64{{4096, 8192}})
 	r.RegisterArray("main.b", [][2]int64{{16384, 16896}, {20480, 20992}})
 
-	r.L2Miss(0, 0, 4096, 70, 100)  // a, local
-	r.L2Miss(1, 0, 5000, 110, 200) // a, remote
+	r.L2Miss(0, 0, 4096, 70, 100)   // a, local
+	r.L2Miss(1, 0, 5000, 110, 200)  // a, remote
 	r.L2Miss(0, 1, 20480, 110, 300) // b (second portion), remote
 	r.L2Miss(0, 0, 12288, 70, 400)  // between arrays: unattributed
 	r.TLBMiss(1, 4097, 60, 500)
