@@ -17,6 +17,10 @@
 //	                              bit-identical at any setting)
 //	dsmbench -engine parallel     host execution engine per point
 //	                              (serial | parallel | auto; bit-identical)
+//	dsmbench -progress            live progress line on stderr per sweep
+//	                              (points done/total, compile-cache hits,
+//	                              ETA), with the lowest-index failure
+//	                              reported as soon as it is definitive
 //	dsmbench -json rows.json      also write every row (including the full
 //	                              per-policy memory-system counters and the
 //	                              host wall_ms per point) as JSON
@@ -48,6 +52,7 @@ func main() {
 	par := flag.Int("par", 0, "host worker budget shared by sweeps and the parallel engine (0 = GOMAXPROCS, 1 = serial)")
 	engineName := flag.String("engine", "auto", "host engine: serial | parallel | auto")
 	jsonOut := flag.String("json", "", "write all rows as JSON to file")
+	progress := flag.Bool("progress", false, "live progress line on stderr per sweep")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write a host heap profile to file")
 	flag.Parse()
@@ -72,6 +77,9 @@ func main() {
 	eng, err := exec.ParseEngine(*engineName)
 	die(err)
 	sizes.Engine = eng
+	if *progress {
+		sizes.Progress = os.Stderr
+	}
 	if *procsFlag != "" {
 		var ps []int
 		for _, tok := range strings.Split(*procsFlag, ",") {

@@ -28,6 +28,16 @@
 //	              engine, as in dsmrun; profiles are bit-identical across
 //	              engines
 //	-max-quanta N raise the runaway-loop guard, as in dsmrun
+//
+// Live observability, as in dsmrun (host-side only; the profile numbers
+// are unchanged):
+//
+//	-serve ADDR   serve /snapshot, /series, /trace and the HTML dashboard
+//	              during the run, and keep serving until interrupted
+//	-series FILE  append cycle-sampled snapshot rows to FILE as JSONL
+//	-sample N     snapshot every N simulated cycles (default 250000)
+//	-finalize SPOOL  convert an (interrupted) trace spool into loadable
+//	              Chrome trace JSON at the -trace path and exit
 package main
 
 import (
@@ -36,7 +46,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 
 	"dsmdist/internal/codegen"
 	"dsmdist/internal/core"
@@ -58,7 +71,21 @@ func main() {
 	redist := flag.String("redist", "scheduled", "c$redistribute model: scheduled | serial")
 	engineName := flag.String("engine", "auto", "host engine: serial | parallel | auto")
 	maxQuanta := flag.Int64("max-quanta", 0, "runaway-loop guard: max scheduling rounds (0 = default)")
+	serveAddr := flag.String("serve", "", "serve live run views on this address (e.g. :8080)")
+	seriesOut := flag.String("series", "", "append cycle-sampled snapshot rows to this JSONL file")
+	sample := flag.Int64("sample", 0, "snapshot sampling interval in simulated cycles (0 = default)")
+	finalize := flag.String("finalize", "", "convert this trace spool to Chrome trace JSON (with -trace OUT) and exit")
 	flag.Parse()
+
+	if *finalize != "" {
+		out := *traceOut
+		if out == "" {
+			out = strings.TrimSuffix(*finalize, ".spool") + ".json"
+		}
+		die(obs.FinalizeSpoolFile(*finalize, out))
+		fmt.Printf("dsmprof: finalized %s to %s\n", *finalize, out)
+		return
+	}
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "dsmprof: no input")
@@ -90,8 +117,54 @@ func main() {
 	}
 
 	rec := obs.NewRecorder(cfg)
-	if *traceOut != "" {
+	if *traceOut != "" || *serveAddr != "" {
 		rec.EnableTrace(0)
+	}
+
+	// Streaming observability, mirroring dsmrun: trace spool on disk,
+	// cycle-sampled series, live endpoints.
+	var ts *obs.TraceStream
+	var spool *obs.SpoolSink
+	if *traceOut != "" {
+		var err error
+		ts, err = obs.StreamTraceToFile(rec, *traceOut)
+		die(err)
+		spool = ts.Spool
+	} else if *serveAddr != "" {
+		tmp := filepath.Join(os.TempDir(), fmt.Sprintf("dsmprof-%d.spool", os.Getpid()))
+		sink, err := obs.NewSpoolSink(tmp)
+		die(err)
+		rec.SetTraceSink(sink)
+		spool = sink
+	}
+	if *seriesOut != "" || *serveAddr != "" {
+		var w *os.File
+		if *seriesOut != "" {
+			var err error
+			w, err = os.Create(*seriesOut)
+			die(err)
+		}
+		if w != nil {
+			rec.EnableSeries(*sample, w)
+		} else {
+			rec.EnableSeries(*sample, nil)
+		}
+	}
+	if *serveAddr != "" {
+		ln, err := obs.NewLiveServer(rec, spool).Serve(*serveAddr)
+		die(err)
+		fmt.Fprintf(os.Stderr, "dsmprof: serving live run on http://%s/\n", ln.Addr())
+	}
+	if *traceOut != "" {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			if err := ts.Finalize(); err == nil {
+				fmt.Fprintf(os.Stderr, "dsmprof: interrupted; partial trace finalized to %s\n", *traceOut)
+			}
+			os.Exit(130)
+		}()
 	}
 
 	var res *codegen.Result
@@ -132,10 +205,16 @@ func main() {
 		die(writeTo(*csvOut, sum.WriteCSV))
 	}
 	if *traceOut != "" {
-		die(writeTo(*traceOut, rec.WriteTrace))
+		die(ts.Finalize())
 	}
 	if *heatOut != "" {
 		die(writeTo(*heatOut, rec.HeatMap().WriteJSON))
+	}
+	if *serveAddr != "" {
+		fmt.Fprintln(os.Stderr, "dsmprof: run finished; still serving — interrupt to exit")
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		<-sigc
 	}
 }
 

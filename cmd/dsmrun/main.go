@@ -33,6 +33,20 @@
 //	-max-quanta N raise the runaway-loop guard (scheduling rounds before
 //	              the run is aborted as an infinite loop)
 //	-json         print the run's statistics as JSON instead of text
+//
+// Live observability (all host-side: none of these change a simulated
+// cycle — the run's -json output is byte-identical with or without them):
+//
+//	-serve ADDR   serve /snapshot, /series, /trace and an HTML dashboard
+//	              while the run executes; keeps serving after the run
+//	              finishes until interrupted
+//	-series FILE  append cycle-sampled snapshot rows to FILE as JSONL
+//	-sample N     snapshot every N simulated cycles (default 250000)
+//	-trace-events N  cap the in-memory trace buffer (default 1<<20, or
+//	              the DSM_TRACE_EVENTS environment variable). With -trace
+//	              the events stream to FILE.spool as the run progresses and
+//	              the cap only bounds staging memory; an interrupted run is
+//	              finalized from the spool into a loadable partial trace.
 package main
 
 import (
@@ -41,7 +55,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 
 	"dsmdist/internal/codegen"
 	"dsmdist/internal/core"
@@ -65,6 +82,10 @@ func main() {
 	engineName := flag.String("engine", "auto", "host engine: serial | parallel | auto")
 	maxQuanta := flag.Int64("max-quanta", 0, "runaway-loop guard: max scheduling rounds (0 = default)")
 	jsonOut := flag.Bool("json", false, "print statistics as JSON")
+	serveAddr := flag.String("serve", "", "serve live run views on this address (e.g. :8080)")
+	seriesOut := flag.String("series", "", "append cycle-sampled snapshot rows to this JSONL file")
+	sample := flag.Int64("sample", 0, "snapshot sampling interval in simulated cycles (0 = default)")
+	traceEvents := flag.Int("trace-events", 0, "in-memory trace event cap (0 = default/env)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -99,11 +120,67 @@ func main() {
 	// The observability layer is only attached when asked for, keeping
 	// plain runs on the untraced fast path.
 	var rec *obs.Recorder
-	if *traceOut != "" || *prof {
+	if *traceOut != "" || *prof || *serveAddr != "" || *seriesOut != "" {
 		rec = obs.NewRecorder(cfg)
-		if *traceOut != "" {
-			rec.EnableTrace(0)
+		if *traceOut != "" || *serveAddr != "" {
+			rec.EnableTrace(*traceEvents)
 		}
+	}
+
+	// Incremental trace export: events spool to disk as the run goes, so
+	// an interrupt still leaves a finalizable partial trace. -serve gets a
+	// spool too (backing /trace) even without -trace, parked in tmp.
+	var ts *obs.TraceStream
+	var spool *obs.SpoolSink
+	if *traceOut != "" {
+		var err error
+		ts, err = obs.StreamTraceToFile(rec, *traceOut)
+		die(err)
+		spool = ts.Spool
+	} else if *serveAddr != "" {
+		tmp := filepath.Join(os.TempDir(), fmt.Sprintf("dsmrun-%d.spool", os.Getpid()))
+		sink, err := obs.NewSpoolSink(tmp)
+		die(err)
+		rec.SetTraceSink(sink)
+		spool = sink
+	}
+
+	// Cycle-sampled snapshot series: always on under -serve (it feeds
+	// /snapshot and /series), optionally persisted with -series.
+	if *seriesOut != "" || *serveAddr != "" {
+		var w *os.File
+		if *seriesOut != "" {
+			var err error
+			w, err = os.Create(*seriesOut)
+			die(err)
+		}
+		if w != nil {
+			rec.EnableSeries(*sample, w)
+		} else {
+			rec.EnableSeries(*sample, nil)
+		}
+	}
+
+	// Serve the live views while the run executes.
+	if *serveAddr != "" {
+		ln, err := obs.NewLiveServer(rec, spool).Serve(*serveAddr)
+		die(err)
+		fmt.Fprintf(os.Stderr, "dsmrun: serving live run on http://%s/\n", ln.Addr())
+	}
+
+	// On interrupt, finalize the partial trace from the spool before
+	// exiting: the whole point of streaming is that Ctrl-C mid-run still
+	// leaves loadable output.
+	if *traceOut != "" {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			if err := ts.Finalize(); err == nil {
+				fmt.Fprintf(os.Stderr, "dsmrun: interrupted; partial trace finalized to %s\n", *traceOut)
+			}
+			os.Exit(130)
+		}()
 	}
 
 	var res *codegen.Result
@@ -131,8 +208,15 @@ func main() {
 		RedistSerial: redistSerial, Engine: engine, MaxQuanta: *maxQuanta})
 	die(err)
 
+	// Normal exit: Recorder.Finish drained the stream at the final clock;
+	// finalize the spool into the loadable trace.
+	if *traceOut != "" {
+		die(ts.Finalize())
+	}
+
 	if *jsonOut {
 		die(writeJSON(os.Stdout, cfg, policy, run))
+		serveWait(*serveAddr)
 		return
 	}
 
@@ -182,13 +266,26 @@ func main() {
 		die(rec.Summarize(10).WriteText(os.Stdout))
 	}
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		die(err)
-		die(rec.WriteTrace(f))
-		die(f.Close())
 		fmt.Printf("trace: wrote %d events to %s (open in chrome://tracing)\n",
-			len(rec.TraceEvents()), *traceOut)
+			rec.TraceCount(), *traceOut)
 	}
+	if *seriesOut != "" {
+		fmt.Printf("series: wrote %d snapshot rows to %s\n",
+			len(rec.SeriesRows()), *seriesOut)
+	}
+	serveWait(*serveAddr)
+}
+
+// serveWait keeps the live endpoints up after the run until interrupted,
+// so a dashboard or curl can still read the finished run's views.
+func serveWait(addr string) {
+	if addr == "" {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "dsmrun: run finished; still serving — interrupt to exit")
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
 }
 
 // writeJSON emits the run's simulated statistics. Every field is a

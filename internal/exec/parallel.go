@@ -152,6 +152,7 @@ func runRegionParallel(rt *rtl.Runtime, costs *bytecode.Costs, serial *bytecode.
 				rr.threads[c].Restore(snaps[c])
 			}
 			acc.EpochsFallback++
+			rr.rec.EpochOutcome(false)
 			if err := rr.serialWindow(epochEnd); err != nil {
 				return err
 			}
@@ -174,6 +175,9 @@ func runRegionParallel(rt *rtl.Runtime, costs *bytecode.Costs, serial *bytecode.
 		if rr.rec != nil {
 			rr.replayEpoch(cands, bufs)
 		}
+		// Everything replayed so far is in committed serial order: let the
+		// streaming layer flush it.
+		rr.rec.EpochOutcome(true)
 		for _, c := range cands {
 			if results[c].done {
 				rr.done[c] = true

@@ -56,6 +56,11 @@ type Sizes struct {
 	// Engine selects the host execution engine for every point (see
 	// exec.Engine); rows are bit-identical across engines.
 	Engine exec.Engine
+	// Progress, when non-nil, receives a live progress line per sweep
+	// (points done/total, compile-cache hits, ETA) and an early report of
+	// the lowest-index failing point. Host-side reporting only: it never
+	// changes the rows. dsmbench -progress points it at stderr.
+	Progress io.Writer
 }
 
 // Full is the scale used by cmd/dsmbench (paper sizes / ScaleFactor).
@@ -152,6 +157,19 @@ func runOne(cache *core.BuildCache, src string, opt xform.Options, cfg *machine.
 // failing job, which keeps error reporting deterministic too. The sweeps
 // here and the advisor's candidate verification both fan out through it.
 func ForEach(par, n int, job func(int) error) error {
+	return ForEachProgress(par, n, job, nil)
+}
+
+// ForEachProgress is ForEach with a completion callback and early stop.
+// onDone (nil to skip) is invoked after every job with its index and
+// error, from whichever worker ran it — callbacks synchronize internally
+// (Meter does). Once any job fails, workers stop claiming new indices and
+// only drain what is already in flight, so the returned error surfaces
+// without running the rest of the sweep. The lowest-index guarantee
+// survives the early stop: indices are claimed in increasing order, so by
+// the time any job fails, every lower-index job has been claimed and will
+// record its own outcome before the final scan.
+func ForEachProgress(par, n int, job func(int) error, onDone func(int, error)) error {
 	want := n - 1
 	if par > 0 && par-1 < want {
 		want = par - 1
@@ -163,7 +181,11 @@ func ForEach(par, n int, job func(int) error) error {
 	}
 	if extras == 0 {
 		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
+			err := job(i)
+			if onDone != nil {
+				onDone(i, err)
+			}
+			if err != nil {
 				return err
 			}
 		}
@@ -171,13 +193,21 @@ func ForEach(par, n int, job func(int) error) error {
 	}
 	errs := make([]error, n)
 	next := int64(-1)
+	var failed atomic.Bool
 	work := func() {
-		for {
+		for !failed.Load() {
 			i := int(atomic.AddInt64(&next, 1))
 			if i >= n {
 				return
 			}
-			errs[i] = job(i)
+			err := job(i)
+			errs[i] = err
+			if onDone != nil {
+				onDone(i, err)
+			}
+			if err != nil {
+				failed.Store(true)
+			}
 		}
 	}
 	var wg sync.WaitGroup
@@ -259,7 +289,8 @@ func Table2(s Sizes) ([]Row, error) {
 	}
 	cache := core.NewBuildCache()
 	rows := make([]Row, len(steps))
-	err := ForEach(s.Par, len(steps), func(i int) error {
+	meter, onDone := meterFor(s, "table2", len(steps), cache)
+	err := ForEachProgress(s.Par, len(steps), func(i int) error {
 		st := steps[i]
 		t0 := time.Now()
 		res, err := runOne(cache, src(st.v), st.opt, cfg(), ospage.FirstTouch, s.Engine)
@@ -269,7 +300,10 @@ func Table2(s Sizes) ([]Row, error) {
 		rows[i] = rowFrom("table2", st.label, 1, cfg(), res, 0)
 		rows[i].WallMS = float64(time.Since(t0)) / float64(time.Millisecond)
 		return nil
-	})
+	}, onDone)
+	if meter != nil {
+		meter.Finish()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -351,7 +385,8 @@ func sweep(exp string, gen func(workloads.Variant) string, s Sizes,
 		}
 	}
 	rows := make([]Row, len(points))
-	err = ForEach(s.Par, len(points), func(i int) error {
+	meter, onDone := meterFor(s, exp, len(points), cache)
+	err = ForEachProgress(s.Par, len(points), func(i int) error {
 		pt := points[i]
 		cfg := mkCfg(pt.p)
 		t0 := time.Now()
@@ -362,7 +397,10 @@ func sweep(exp string, gen func(workloads.Variant) string, s Sizes,
 		rows[i] = rowFrom(exp, pt.vr.label, pt.p, cfg, res, base)
 		rows[i].WallMS = float64(time.Since(t0)) / float64(time.Millisecond)
 		return nil
-	})
+	}, onDone)
+	if meter != nil {
+		meter.Finish()
+	}
 	if err != nil {
 		return nil, err
 	}

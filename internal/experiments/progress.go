@@ -1,0 +1,112 @@
+// Sweep progress reporting: a Meter renders a single live stderr line
+// (points done/total, compile-cache hits, ETA) as ForEachProgress
+// completes jobs, and announces the sweep's deterministic error — the
+// lowest-index failure — as soon as it is known, instead of after the
+// whole sweep drains.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"dsmdist/internal/core"
+)
+
+// Meter tracks sweep completion and renders a progress line to w.
+// Safe for concurrent Done calls from ForEachProgress workers.
+type Meter struct {
+	mu        sync.Mutex
+	w         io.Writer
+	label     string
+	total     int
+	cache     *core.BuildCache // optional, for hit counts
+	start     time.Time
+	done      int
+	completed []bool
+	errs      []error
+	announced bool
+	lineLen   int
+}
+
+// NewMeter creates a meter for a sweep of total jobs. cache may be nil.
+func NewMeter(w io.Writer, label string, total int, cache *core.BuildCache) *Meter {
+	return &Meter{
+		w: w, label: label, total: total, cache: cache,
+		start:     time.Now(),
+		completed: make([]bool, total),
+		errs:      make([]error, total),
+	}
+}
+
+// Done records job i's completion and redraws the progress line. When job
+// i failed, the failure is announced the moment it becomes the sweep's
+// definitive error — every lower-index job has completed without one — so
+// the report is both early and deterministic.
+func (m *Meter) Done(i int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed[i] = true
+	m.errs[i] = err
+	m.done++
+	m.render()
+	if m.announced {
+		return
+	}
+	for j := 0; j < m.total && m.completed[j]; j++ {
+		if m.errs[j] != nil {
+			m.clearLine()
+			fmt.Fprintf(m.w, "%s: point %d/%d failed: %v\n", m.label, j+1, m.total, m.errs[j])
+			m.announced = true
+			m.render()
+			break
+		}
+	}
+}
+
+// Finish terminates the progress line.
+func (m *Meter) Finish() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.render()
+	fmt.Fprintln(m.w)
+}
+
+func (m *Meter) render() {
+	elapsed := time.Since(m.start)
+	line := fmt.Sprintf("%s: %d/%d points", m.label, m.done, m.total)
+	if m.cache != nil {
+		hits, misses := m.cache.Stats()
+		line += fmt.Sprintf(" · cache %d hit / %d miss", hits, misses)
+	}
+	if m.done > 0 && m.done < m.total {
+		eta := time.Duration(float64(elapsed) / float64(m.done) * float64(m.total-m.done))
+		line += fmt.Sprintf(" · ETA %s", eta.Round(time.Second))
+	} else if m.done == m.total {
+		line += fmt.Sprintf(" · %s", elapsed.Round(time.Millisecond))
+	}
+	pad := m.lineLen - len(line)
+	if pad < 0 {
+		pad = 0
+	}
+	fmt.Fprintf(m.w, "\r%s%s", line, strings.Repeat(" ", pad))
+	m.lineLen = len(line)
+}
+
+func (m *Meter) clearLine() {
+	fmt.Fprintf(m.w, "\r%s\r", strings.Repeat(" ", m.lineLen))
+	m.lineLen = 0
+}
+
+// meterFor wraps a sweep's job completions when Sizes.Progress is set;
+// with no progress writer both returns are nil and ForEachProgress runs
+// without callbacks.
+func meterFor(s Sizes, label string, total int, cache *core.BuildCache) (*Meter, func(int, error)) {
+	if s.Progress == nil {
+		return nil, nil
+	}
+	m := NewMeter(s.Progress, label, total, cache)
+	return m, m.Done
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsmdist/internal/hostpool"
+)
+
+// TestForEachProgressLowestErrorEarly: once a point fails the sweep must
+// stop claiming new work, and the error that comes back must still be the
+// lowest-index one — the same answer a serial sweep would give — even when
+// a higher index failed too.
+func TestForEachProgressLowestErrorEarly(t *testing.T) {
+	defer hostpool.SetBudget(hostpool.SetBudget(4))
+
+	const n = 64
+	var ran atomic.Int64
+	err := ForEachProgress(4, n, func(i int) error {
+		ran.Add(1)
+		time.Sleep(time.Millisecond)
+		if i == 3 || i == 10 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "boom 3") {
+		t.Fatalf("error = %v, want the lowest-index failure (boom 3)", err)
+	}
+	if got := ran.Load(); got >= n {
+		t.Errorf("all %d jobs ran; the failure at index 3 should have stopped the sweep early", got)
+	}
+}
+
+// TestForEachProgressSerialPath: with no extra workers the callback still
+// fires per job and the first error stops the loop.
+func TestForEachProgressSerialPath(t *testing.T) {
+	defer hostpool.SetBudget(hostpool.SetBudget(1))
+
+	var seen []int
+	err := ForEachProgress(1, 8, func(i int) error {
+		if i == 2 {
+			return errors.New("stop here")
+		}
+		return nil
+	}, func(i int, err error) { seen = append(seen, i) })
+	if err == nil || err.Error() != "stop here" {
+		t.Fatalf("error = %v", err)
+	}
+	if len(seen) != 3 || seen[2] != 2 {
+		t.Errorf("callbacks for %v, want [0 1 2]", seen)
+	}
+}
+
+// TestForEachProgressCompletes: an error-free sweep reports every index
+// exactly once.
+func TestForEachProgressCompletes(t *testing.T) {
+	defer hostpool.SetBudget(hostpool.SetBudget(4))
+
+	const n = 32
+	var done [n]atomic.Int64
+	if err := ForEachProgress(4, n, func(i int) error { return nil },
+		func(i int, err error) {
+			done[i].Add(1)
+			if err != nil {
+				t.Errorf("job %d: unexpected error %v", i, err)
+			}
+		}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range done {
+		if done[i].Load() != 1 {
+			t.Errorf("job %d: %d callbacks, want 1", i, done[i].Load())
+		}
+	}
+}
+
+// TestMeterAnnouncesStableLowestError: the meter must hold an error until
+// every lower index has completed clean — then announce it exactly once,
+// so the line it prints is deterministic no matter the completion order.
+func TestMeterAnnouncesStableLowestError(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMeter(&buf, "sweep", 4, nil)
+
+	m.Done(1, errors.New("kaput"))
+	if strings.Contains(buf.String(), "failed") {
+		t.Fatalf("announced before index 0 completed:\n%s", buf.String())
+	}
+	m.Done(0, nil)
+	if !strings.Contains(buf.String(), "sweep: point 2/4 failed: kaput") {
+		t.Fatalf("stable-lowest error not announced:\n%s", buf.String())
+	}
+	m.Done(2, errors.New("later")) // higher index: must not re-announce
+	m.Done(3, nil)
+	m.Finish()
+	out := buf.String()
+	if strings.Count(out, "failed:") != 1 {
+		t.Errorf("want exactly one announcement, got:\n%s", out)
+	}
+	if !strings.Contains(out, "4/4 points") {
+		t.Errorf("progress line missing completion count:\n%s", out)
+	}
+}

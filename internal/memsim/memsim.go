@@ -631,7 +631,7 @@ func (s *System) Access(p int, addr int64, write bool) {
 		lat += int64(cfg.TLBMissCyc)
 		pr.stats.TLBCyc += int64(cfg.TLBMissCyc)
 		if s.rec != nil {
-			s.rec.TLBMiss(pr.node, addr, int64(cfg.TLBMissCyc), pr.clock)
+			s.rec.TLBMiss(p, pr.node, addr, int64(cfg.TLBMissCyc), pr.clock)
 		}
 	}
 
@@ -650,7 +650,7 @@ func (s *System) Access(p int, addr int64, write bool) {
 			pr.stats.Interventions++
 			if s.rec != nil {
 				s.rec.Intervention()
-				s.rec.L2Miss(pr.node, home, addr,
+				s.rec.L2Miss(p, pr.node, home, addr,
 					int64(cfg.RemoteLatency(pr.node, s.procs[d.owner].node)+cfg.CoherenceCyc), pr.clock)
 			}
 			lat += int64(cfg.RemoteLatency(pr.node, s.procs[d.owner].node) + cfg.CoherenceCyc)
@@ -668,12 +668,12 @@ func (s *System) Access(p int, addr int64, write bool) {
 				lat += wait
 				pr.stats.WaitCyc += wait
 				if s.rec != nil {
-					s.rec.BWWait(home, wait)
+					s.rec.BWWait(p, home, wait)
 				}
 			}
 			lat += base
 			if s.rec != nil {
-				s.rec.L2Miss(pr.node, home, addr, base, pr.clock)
+				s.rec.L2Miss(p, pr.node, home, addr, base, pr.clock)
 			}
 			if home == pr.node {
 				pr.stats.L2MissLocal++

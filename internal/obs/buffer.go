@@ -94,7 +94,7 @@ func (b *ProcBuffer) NumQuanta() int { return len(b.quanta) }
 func (b *ProcBuffer) QuantumStart(i int) int64 { return b.quanta[i].start }
 
 // ReplayQuantum replays quantum i's buffered events onto rec in their
-// original order, attributing L1 misses to proc.
+// original order, attributing every event to proc (the buffer's owner).
 func (b *ProcBuffer) ReplayQuantum(i, proc int, rec *Recorder) {
 	q := b.quanta[i]
 	for _, e := range b.events[q.lo:q.hi] {
@@ -102,11 +102,11 @@ func (b *ProcBuffer) ReplayQuantum(i, proc int, rec *Recorder) {
 		case bufL1Miss:
 			rec.L1Miss(proc)
 		case bufL2Miss:
-			rec.L2Miss(int(e.node), int(e.home), e.addr, e.cyc, e.clock)
+			rec.L2Miss(proc, int(e.node), int(e.home), e.addr, e.cyc, e.clock)
 		case bufTLBMiss:
-			rec.TLBMiss(int(e.node), e.addr, e.cyc, e.clock)
+			rec.TLBMiss(proc, int(e.node), e.addr, e.cyc, e.clock)
 		case bufBWWait:
-			rec.BWWait(int(e.node), e.cyc)
+			rec.BWWait(proc, int(e.node), e.cyc)
 		}
 	}
 }

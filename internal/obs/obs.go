@@ -141,6 +141,34 @@ type PageHeat struct {
 	RemoteByNode []int64 // remote misses by the accessing node
 }
 
+// ProcObs is the recorder's per-processor view: the subset of the memory
+// system's ProcStats that flows through observability events. Unlike
+// memsim.ProcStats — which can only be read coherently at points where the
+// two engines' host schedules agree — these counters are accumulated from
+// the recorder event stream itself, which is byte-identical across engines,
+// so per-proc snapshot deltas built from them are engine-independent.
+type ProcObs struct {
+	L1Miss     int64 `json:"l1_miss"`
+	LocalMiss  int64 `json:"l2_miss_local"`
+	RemoteMiss int64 `json:"l2_miss_remote"`
+	TLBMiss    int64 `json:"tlb_miss"`
+	MissCyc    int64 `json:"miss_cyc"`    // L2 fetch latency (local + remote)
+	TLBCyc     int64 `json:"tlb_cyc"`     // TLB refill cycles
+	BWWaitCyc  int64 `json:"bwq_cyc"`     // node-memory bandwidth queuing
+	BarrierCyc int64 `json:"barrier_cyc"` // barrier wait cycles
+}
+
+func (p ProcObs) isZero() bool { return p == ProcObs{} }
+
+func (p *ProcObs) sub(o ProcObs) ProcObs {
+	return ProcObs{
+		L1Miss: p.L1Miss - o.L1Miss, LocalMiss: p.LocalMiss - o.LocalMiss,
+		RemoteMiss: p.RemoteMiss - o.RemoteMiss, TLBMiss: p.TLBMiss - o.TLBMiss,
+		MissCyc: p.MissCyc - o.MissCyc, TLBCyc: p.TLBCyc - o.TLBCyc,
+		BWWaitCyc: p.BWWaitCyc - o.BWWaitCyc, BarrierCyc: p.BarrierCyc - o.BarrierCyc,
+	}
+}
+
 // RegionStats is the cycle breakdown for one parallel region (or the
 // serial phase, recorded under the name "(serial)"). Cycles are summed
 // over the participating processors, so fractions of Cycles are fractions
@@ -231,7 +259,18 @@ type Recorder struct {
 	meta      map[string]string
 	metaOrder []string
 
-	trace *Trace
+	trace  *Trace
+	series *Series
+
+	// procObs accumulates the per-processor event view (see ProcObs).
+	procObs []ProcObs
+
+	// Engine health, published by the parallel engine at each epoch
+	// boundary (EpochOutcome). Host-side diagnostics only: the counters
+	// never feed the snapshot time-series rows, which must stay
+	// engine-independent, but the live /snapshot view reports them.
+	epochsCommitted int64
+	epochsFallback  int64
 }
 
 // NewRecorder creates a recorder for one run on the given machine.
@@ -247,6 +286,7 @@ func NewRecorder(cfg *machine.Config) *Recorder {
 		byName:   map[string]*ArrayInfo{},
 		byRegion: map[string]*RegionStats{},
 		meta:     map[string]string{},
+		procObs:  make([]ProcObs, cfg.NProcs),
 	}
 	r.serial = &RegionStats{Name: SerialRegion, Invocations: 1, Procs: 1}
 	r.regions = append(r.regions, r.serial)
@@ -391,36 +431,51 @@ func (r *Recorder) NPages() int64 { return int64(len(r.pages)) }
 
 // --- memsim hooks ---
 
+// advanceNow moves the recorder's simulated-time watermark forward and
+// fires any due snapshot sample. Every hook that learns a clock funnels
+// through here, so the sampling decision is a pure function of the event
+// stream — which both engines reproduce byte for byte.
+func (r *Recorder) advanceNow(clock int64) {
+	if clock > r.now {
+		r.now = clock
+	}
+	if r.series != nil && r.now >= r.series.nextAt {
+		r.series.sample(r, false)
+	}
+}
+
 // L1Miss records a primary-cache miss by processor p.
 func (r *Recorder) L1Miss(p int) {
 	if r != nil {
 		r.counts[KL1Miss]++
 		r.cur.L1Miss++
+		r.procObs[p].L1Miss++
 	}
 }
 
-// L2Miss records a secondary-cache miss: accessor node, home (serving)
-// node, the missed address, and the fetch latency (excluding queuing,
-// reported separately through BWWait).
-func (r *Recorder) L2Miss(accNode, homeNode int, addr, missCyc, clock int64) {
+// L2Miss records a secondary-cache miss: the accessing processor, its
+// node, the home (serving) node, the missed address, and the fetch latency
+// (excluding queuing, reported separately through BWWait).
+func (r *Recorder) L2Miss(proc, accNode, homeNode int, addr, missCyc, clock int64) {
 	if r != nil {
-		r.l2Miss(accNode, homeNode, addr, missCyc, clock)
+		r.l2Miss(proc, accNode, homeNode, addr, missCyc, clock)
 	}
 }
 
-func (r *Recorder) l2Miss(accNode, homeNode int, addr, missCyc, clock int64) {
-	if clock > r.now {
-		r.now = clock
-	}
+func (r *Recorder) l2Miss(proc, accNode, homeNode int, addr, missCyc, clock int64) {
+	po := &r.procObs[proc]
+	po.MissCyc += missCyc
 	remote := accNode != homeNode
 	if remote {
 		r.counts[KL2MissRemote]++
 		r.cur.RemoteMiss++
 		r.cur.RemoteMissCyc += missCyc
+		po.RemoteMiss++
 	} else {
 		r.counts[KL2MissLocal]++
 		r.cur.LocalMiss++
 		r.cur.LocalMissCyc += missCyc
+		po.LocalMiss++
 	}
 	ph := r.pageAt(addr)
 	ph.Home = homeNode
@@ -438,25 +493,27 @@ func (r *Recorder) l2Miss(accNode, homeNode int, addr, missCyc, clock int64) {
 			ai.Nodes[accNode].LocalMiss++
 		}
 	}
+	r.advanceNow(clock)
 }
 
-// TLBMiss records a TLB refill by a processor on accNode at addr.
-func (r *Recorder) TLBMiss(accNode int, addr, cyc, clock int64) {
+// TLBMiss records a TLB refill by processor proc on accNode at addr.
+func (r *Recorder) TLBMiss(proc, accNode int, addr, cyc, clock int64) {
 	if r != nil {
-		r.tlbMiss(accNode, addr, cyc, clock)
+		r.tlbMiss(proc, accNode, addr, cyc, clock)
 	}
 }
 
-func (r *Recorder) tlbMiss(accNode int, addr, cyc, clock int64) {
-	if clock > r.now {
-		r.now = clock
-	}
+func (r *Recorder) tlbMiss(proc, accNode int, addr, cyc, clock int64) {
 	r.counts[KTLBMiss]++
 	r.cur.TLBMiss++
 	r.cur.TLBCyc += cyc
+	po := &r.procObs[proc]
+	po.TLBMiss++
+	po.TLBCyc += cyc
 	if ai := r.arrayAt(addr); ai != nil {
 		ai.Nodes[accNode].TLBMiss++
 	}
+	r.advanceNow(clock)
 }
 
 // Invalidations records n sharer invalidations sent by one upgrade.
@@ -475,11 +532,13 @@ func (r *Recorder) Intervention() {
 	}
 }
 
-// BWWait records cycles queued behind a node memory's bandwidth window.
-func (r *Recorder) BWWait(node int, wait int64) {
+// BWWait records cycles processor proc spent queued behind a node
+// memory's bandwidth window.
+func (r *Recorder) BWWait(proc, node int, wait int64) {
 	if r != nil {
 		r.counts[KBWWait]++
 		r.cur.BWWaitCyc += wait
+		r.procObs[proc].BWWaitCyc += wait
 		_ = node
 	}
 }
@@ -495,12 +554,11 @@ func (r *Recorder) BarrierWait(proc int, clockBefore, wait int64) {
 func (r *Recorder) barrierWait(proc int, clockBefore, wait int64) {
 	r.counts[KBarrierWait]++
 	r.cur.BarrierCyc += wait
-	if clockBefore+wait > r.now {
-		r.now = clockBefore + wait
-	}
+	r.procObs[proc].BarrierCyc += wait
 	if r.trace != nil && wait > 0 {
 		r.trace.span("barrier", "sync", proc, r.ts(clockBefore), r.dur(wait), nil)
 	}
+	r.advanceNow(clockBefore + wait)
 }
 
 // --- ospage hooks ---
@@ -566,13 +624,11 @@ func (r *Recorder) Redistribute(array string, pages int, proc int, start, end in
 		if end > start {
 			r.cur.RedistCyc += end - start
 		}
-		if end > r.now {
-			r.now = end
-		}
 		if r.trace != nil {
 			r.trace.span("redistribute "+array, "redist", proc, r.ts(start), r.dur(end-start),
 				map[string]any{"pages": pages})
 		}
+		r.advanceNow(end)
 	}
 }
 
@@ -583,13 +639,11 @@ func (r *Recorder) Redistribute(array string, pages int, proc int, start, end in
 func (r *Recorder) RedistRound(round, transfers int, start, end int64) {
 	if r != nil {
 		r.counts[KRedistRound]++
-		if end > r.now {
-			r.now = end
-		}
 		if r.trace != nil {
 			r.trace.span(fmt.Sprintf("redist round %d", round), "redist", 0,
 				r.ts(start), r.dur(end-start), map[string]any{"transfers": transfers})
 		}
+		r.advanceNow(end)
 	}
 }
 
@@ -658,11 +712,10 @@ func (r *Recorder) regionBegin(name, file string, line int, start int64, nprocs 
 	r.cur = rs
 	r.regionStart = start
 	r.regionProcs = nprocs
-	if start > r.now {
-		r.now = start
-	}
+	r.advanceNow(start)
 	if r.trace != nil {
 		r.trace.counters(r.ts(start), r.counts[KL2MissLocal], r.counts[KL2MissRemote], r.counts[KTLBMiss])
+		r.trace.flushSink()
 	}
 }
 
@@ -685,10 +738,11 @@ func (r *Recorder) regionEnd(ends []int64, barrierEnd int64) {
 		r.trace.counters(r.ts(barrierEnd), r.counts[KL2MissLocal], r.counts[KL2MissRemote], r.counts[KTLBMiss])
 	}
 	r.serialMark = barrierEnd
-	if barrierEnd > r.now {
-		r.now = barrierEnd
-	}
 	r.cur = r.serial
+	r.advanceNow(barrierEnd)
+	if r.trace != nil {
+		r.trace.flushSink()
+	}
 }
 
 // QuantumSwitch records the region scheduler switching to another
@@ -700,7 +754,8 @@ func (r *Recorder) QuantumSwitch(proc int) {
 	}
 }
 
-// Finish closes the trailing serial segment at the final clock.
+// Finish closes the trailing serial segment at the final clock, emits the
+// final snapshot row, and drains any attached stream sink.
 func (r *Recorder) Finish(finalClock int64) {
 	if r == nil {
 		return
@@ -715,7 +770,50 @@ func (r *Recorder) Finish(finalClock int64) {
 	if r.trace != nil {
 		r.trace.counters(r.ts(finalClock), r.counts[KL2MissLocal], r.counts[KL2MissRemote], r.counts[KTLBMiss])
 	}
+	if r.series != nil {
+		r.series.sample(r, true)
+	}
+	if r.trace != nil {
+		r.trace.flushSink()
+	}
 }
+
+// EpochOutcome records the disposition of one parallel-engine epoch:
+// committed (scout results replayed verbatim) or fallback (epoch re-run
+// serially after a divergence). Host-side diagnostics only — it must not
+// advance the simulated-time watermark or touch anything the snapshot
+// series reads, because the serial engine never calls it and series rows
+// are engine-independent. Epoch commit is also a flush point for the
+// stream sink: everything replayed so far is in serial event order.
+func (r *Recorder) EpochOutcome(committed bool) {
+	if r == nil {
+		return
+	}
+	if committed {
+		r.epochsCommitted++
+	} else {
+		r.epochsFallback++
+	}
+	if r.trace != nil {
+		r.trace.flushSink()
+	}
+}
+
+// EpochStats returns the parallel engine's epoch outcomes (both zero under
+// the serial engine).
+func (r *Recorder) EpochStats() (committed, fallback int64) {
+	return r.epochsCommitted, r.epochsFallback
+}
+
+// ProcObsAll returns a copy of the per-processor event-stream counters.
+func (r *Recorder) ProcObsAll() []ProcObs {
+	out := make([]ProcObs, len(r.procObs))
+	copy(out, r.procObs)
+	return out
+}
+
+// Now returns the latest simulated clock the recorder has observed.
+func (r *Recorder) Now() int64 { return r.now }
 
 // Regions returns the per-region breakdowns, serial phase first, then in
 // first-dispatch order.

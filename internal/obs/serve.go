@@ -1,0 +1,109 @@
+// Live serving surface: a small HTTP handler exposing the recorder's
+// streaming artifacts while the run is still going —
+//
+//	/snapshot  latest cached snapshot document (JSON)
+//	/series    all snapshot rows so far (JSON)
+//	/trace     the trace spool so far, as loadable Chrome trace JSON
+//	/          a self-contained HTML dashboard polling the above
+//
+// The handlers never touch the recorder's mutable aggregation state: the
+// snapshot and series rows are cached as marshaled bytes at sample time on
+// the simulation goroutine, and /trace reads the spool file after a
+// sink-side flush. Serving therefore cannot perturb the simulation, and
+// the simulation never blocks on a slow client.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+)
+
+// LiveServer serves a recorder's streaming views.
+type LiveServer struct {
+	rec   *Recorder
+	spool *SpoolSink // optional; backs /trace when set
+}
+
+// NewLiveServer wraps a recorder (and, when trace streaming is on, its
+// spool sink) for serving.
+func NewLiveServer(rec *Recorder, spool *SpoolSink) *LiveServer {
+	return &LiveServer{rec: rec, spool: spool}
+}
+
+// Handler returns the HTTP handler for the live endpoints.
+func (s *LiveServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/snapshot", s.snapshot)
+	mux.HandleFunc("/series", s.series)
+	mux.HandleFunc("/trace", s.trace)
+	mux.HandleFunc("/", s.index)
+	return mux
+}
+
+// Serve listens on addr and serves the live endpoints until the listener
+// is closed. It returns the listener (so the caller can close it) and the
+// resolved address.
+func (s *LiveServer) Serve(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	return ln, nil
+}
+
+func (s *LiveServer) snapshot(w http.ResponseWriter, _ *http.Request) {
+	buf := s.rec.SnapshotJSON()
+	if buf == nil {
+		http.Error(w, `{"error":"series sampling not enabled"}`, http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+}
+
+func (s *LiveServer) series(w http.ResponseWriter, _ *http.Request) {
+	rows := s.rec.SeriesRows()
+	doc := struct {
+		V            int               `json:"v"`
+		SampleCycles int64             `json:"sample_cycles"`
+		Rows         []json.RawMessage `json:"rows"`
+	}{SeriesVersion, s.rec.SampleCycles(), rows}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&doc)
+}
+
+func (s *LiveServer) trace(w http.ResponseWriter, _ *http.Request) {
+	if s.spool == nil {
+		http.Error(w, `{"error":"trace streaming not enabled"}`, http.StatusServiceUnavailable)
+		return
+	}
+	// Push sink-buffered bytes to disk, then read the file back: the
+	// spool holds everything up to the last commit-point flush, and the
+	// reader drops a torn final line.
+	if err := s.spool.Flush(); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err), http.StatusInternalServerError)
+		return
+	}
+	f, err := os.Open(s.spool.Path())
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err), http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/json")
+	FinalizeSpool(f, w)
+}
+
+func (s *LiveServer) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(dashboardHTML))
+}

@@ -1,0 +1,206 @@
+// Incremental trace export. A StreamSink receives trace events as the
+// recorder reaches flush points, so a long run never holds its full
+// timeline in memory and an interrupted run still leaves usable output.
+//
+// The on-disk spool is JSONL: one TraceEvent object per line, append-only.
+// That shape is deliberate — a crash or Ctrl-C can truncate at most the
+// final line, and FinalizeSpool tolerates exactly that, converting every
+// complete line into the chrome://tracing object format.
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// StreamSink consumes trace events in committed serial order. Emit is only
+// called from the simulation goroutine at flush points; Flush and Close
+// may be called from other goroutines (the sink synchronizes internally).
+type StreamSink interface {
+	Emit(ev *TraceEvent)
+	Flush() error
+	Close() error
+}
+
+// SpoolSink appends trace events to a JSONL spool file.
+type SpoolSink struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	enc   *json.Encoder
+	count int64
+	err   error
+}
+
+// NewSpoolSink creates (truncating) the spool file at path.
+func NewSpoolSink(path string) (*SpoolSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	return &SpoolSink{f: f, w: w, enc: json.NewEncoder(w)}, nil
+}
+
+// Path returns the spool file's path.
+func (s *SpoolSink) Path() string { return s.f.Name() }
+
+// Count returns how many events were emitted so far.
+func (s *SpoolSink) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Err returns the first write error, if any.
+func (s *SpoolSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Emit appends one event as a JSON line.
+func (s *SpoolSink) Emit(ev *TraceEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err := s.enc.Encode(ev); err != nil {
+		s.err = err
+		return
+	}
+	s.count++
+}
+
+// Flush pushes buffered bytes to the file so readers (the /trace endpoint,
+// a tail -f) see every event emitted so far.
+func (s *SpoolSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// Close flushes and closes the spool file.
+func (s *SpoolSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ferr := s.w.Flush()
+	cerr := s.f.Close()
+	if s.err != nil {
+		return s.err
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// ReadSpool parses a JSONL spool. A truncated final line — the signature
+// of an interrupted run — is silently dropped; any other malformed line is
+// an error.
+func ReadSpool(r io.Reader) ([]TraceEvent, error) {
+	var evs []TraceEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev TraceEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Only the last line may be torn; peek for more input.
+			if sc.Scan() {
+				return nil, fmt.Errorf("spool line %d: %w", len(evs)+1, err)
+			}
+			break
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return evs, nil
+}
+
+// FinalizeSpool converts a JSONL spool into the Chrome trace-event object
+// format WriteTrace produces, prepending the track metadata events.
+func FinalizeSpool(r io.Reader, w io.Writer) error {
+	evs, err := ReadSpool(r)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{
+		TraceEvents:     append(traceMeta(), evs...),
+		DisplayTimeUnit: "ms",
+	})
+}
+
+// FinalizeSpoolFile converts the spool at spoolPath into a loadable trace
+// at outPath.
+func FinalizeSpoolFile(spoolPath, outPath string) error {
+	in, err := os.Open(spoolPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := FinalizeSpool(in, out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// TraceStream ties a recorder's trace to a spool file plus its finalized
+// destination, with an idempotent Finalize so both the normal exit path
+// and a signal handler can call it.
+type TraceStream struct {
+	Spool *SpoolSink
+	out   string
+	once  sync.Once
+	err   error
+}
+
+// StreamTraceToFile enables streaming trace collection on rec: events
+// spool to outPath+".spool" as the run progresses, and Finalize converts
+// the spool into the loadable trace at outPath. EnableTrace must already
+// have been called.
+func StreamTraceToFile(rec *Recorder, outPath string) (*TraceStream, error) {
+	sink, err := NewSpoolSink(outPath + ".spool")
+	if err != nil {
+		return nil, err
+	}
+	rec.SetTraceSink(sink)
+	return &TraceStream{Spool: sink, out: outPath}, nil
+}
+
+// Finalize closes the spool and writes the finalized trace from whatever
+// reached it. Safe to call more than once and from a signal handler racing
+// the simulation goroutine: it only touches the sink (which synchronizes
+// internally), never the recorder's buffer, so an interrupt finalizes the
+// events flushed up to the last commit point. On the normal exit path
+// Recorder.Finish has already drained everything.
+func (t *TraceStream) Finalize() error {
+	t.once.Do(func() {
+		if err := t.Spool.Close(); err != nil {
+			t.err = err
+			return
+		}
+		t.err = FinalizeSpoolFile(t.Spool.Path(), t.out)
+	})
+	return t.err
+}

@@ -1,0 +1,229 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dsmdist/internal/machine"
+	"dsmdist/internal/obs"
+)
+
+// emitBarriers drives n trace events through the recorder's own hooks
+// (each positive-wait barrier emits one span).
+func emitBarriers(rec *obs.Recorder, n int) {
+	for i := 0; i < n; i++ {
+		rec.BarrierWait(0, int64(100*(i+1)), 10)
+	}
+}
+
+// TestSpoolRoundTrip spools events through a SpoolSink and reads them back
+// both raw and finalized into the Chrome trace-event object format.
+func TestSpoolRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spool := filepath.Join(dir, "run.spool")
+	sink, err := obs.NewSpoolSink(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := obs.NewRecorder(machine.Tiny(2))
+	rec.EnableTrace(0)
+	rec.SetTraceSink(sink)
+	emitBarriers(rec, 5)
+	if err := rec.FlushTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Count() != 5 {
+		t.Fatalf("sink saw %d events, want 5", sink.Count())
+	}
+
+	f, err := os.Open(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ReadSpool(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 5 {
+		t.Fatalf("spool holds %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Name != "barrier" || ev.Ph != "X" {
+			t.Errorf("event %d: %+v, want a barrier span", i, ev)
+		}
+	}
+
+	// Finalizing must produce the same document shape WriteTrace emits:
+	// track metadata first, then the spooled events, in order.
+	out := filepath.Join(dir, "run.json")
+	if err := obs.FinalizeSpoolFile(spool, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents     []obs.TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("finalized trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", tf.DisplayTimeUnit)
+	}
+	if len(tf.TraceEvents) != 7 {
+		t.Fatalf("finalized trace holds %d events, want 2 meta + 5 spans", len(tf.TraceEvents))
+	}
+	if tf.TraceEvents[0].Ph != "M" || tf.TraceEvents[1].Ph != "M" {
+		t.Errorf("metadata events missing from the front: %+v", tf.TraceEvents[:2])
+	}
+}
+
+// TestSpoolTornFinalLine is the interrupted-run contract: a spool whose
+// last line was cut mid-write still loads, yielding every complete event.
+func TestSpoolTornFinalLine(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 3; i++ {
+		ev, _ := json.Marshal(obs.TraceEvent{Name: "ok", Ph: "X", Ts: float64(i)})
+		b.Write(ev)
+		b.WriteByte('\n')
+	}
+	b.WriteString(`{"name":"torn","ph":"X","ts`) // interrupted mid-event, no newline
+
+	evs, err := obs.ReadSpool(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated: %v", err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want the 3 complete ones", len(evs))
+	}
+}
+
+// TestSpoolMidFileCorruption: damage anywhere but the tail is not an
+// interrupted run, it is a broken file, and must fail loudly.
+func TestSpoolMidFileCorruption(t *testing.T) {
+	var b strings.Builder
+	ev, _ := json.Marshal(obs.TraceEvent{Name: "ok", Ph: "X"})
+	b.Write(ev)
+	b.WriteString("\n{garbage\n")
+	b.Write(ev)
+	b.WriteByte('\n')
+
+	if _, err := obs.ReadSpool(strings.NewReader(b.String())); err == nil {
+		t.Fatal("mid-file corruption must be an error, not silently skipped")
+	}
+}
+
+// TestTraceCapDropsWithoutSink: buffered mode bounds memory by dropping
+// past the cap and counting what it dropped.
+func TestTraceCapDropsWithoutSink(t *testing.T) {
+	rec := obs.NewRecorder(machine.Tiny(2))
+	rec.EnableTrace(4)
+	emitBarriers(rec, 6)
+	if got := len(rec.TraceEvents()); got != 4 {
+		t.Errorf("buffer holds %d events, want cap 4", got)
+	}
+	if rec.TraceDropped() != 2 {
+		t.Errorf("dropped = %d, want 2", rec.TraceDropped())
+	}
+	if rec.TraceCount() != 6 {
+		t.Errorf("TraceCount = %d, want 6", rec.TraceCount())
+	}
+}
+
+// TestTraceSinkLiftsCap: attaching a sink spills the buffer and turns the
+// cap into a flush threshold — nothing is dropped anymore.
+func TestTraceSinkLiftsCap(t *testing.T) {
+	rec := obs.NewRecorder(machine.Tiny(2))
+	rec.EnableTrace(4)
+	sink, err := obs.NewSpoolSink(filepath.Join(t.TempDir(), "s.spool"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitBarriers(rec, 3)
+	rec.SetTraceSink(sink) // spills the 3 buffered events immediately
+	if sink.Count() != 3 {
+		t.Errorf("sink saw %d events after attach, want the 3 buffered", sink.Count())
+	}
+	emitBarriers(rec, 10)
+	if err := rec.FlushTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.TraceDropped() != 0 {
+		t.Errorf("dropped = %d with a sink attached, want 0", rec.TraceDropped())
+	}
+	if sink.Count() != 13 || rec.TraceCount() != 13 {
+		t.Errorf("sink %d / count %d, want 13 / 13", sink.Count(), rec.TraceCount())
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceCapEnvOverride: DSM_TRACE_EVENTS sets the cap when EnableTrace
+// is not given one, and an explicit argument still wins.
+func TestTraceCapEnvOverride(t *testing.T) {
+	t.Setenv(obs.EnvTraceEvents, "2")
+
+	rec := obs.NewRecorder(machine.Tiny(2))
+	rec.EnableTrace(0)
+	emitBarriers(rec, 5)
+	if len(rec.TraceEvents()) != 2 || rec.TraceDropped() != 3 {
+		t.Errorf("env cap: %d buffered / %d dropped, want 2 / 3",
+			len(rec.TraceEvents()), rec.TraceDropped())
+	}
+
+	rec = obs.NewRecorder(machine.Tiny(2))
+	rec.EnableTrace(8)
+	emitBarriers(rec, 5)
+	if len(rec.TraceEvents()) != 5 || rec.TraceDropped() != 0 {
+		t.Errorf("explicit cap must beat the env: %d buffered / %d dropped, want 5 / 0",
+			len(rec.TraceEvents()), rec.TraceDropped())
+	}
+}
+
+// TestTraceStreamFinalizeIdempotent: Finalize is safe to call twice (the
+// normal exit path and a signal handler can race to it) and produces a
+// loadable trace from whatever reached the spool.
+func TestTraceStreamFinalizeIdempotent(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	rec := obs.NewRecorder(machine.Tiny(2))
+	rec.EnableTrace(0)
+	ts, err := obs.StreamTraceToFile(rec, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitBarriers(rec, 4)
+	if err := rec.FlushTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Finalize(); err != nil {
+		t.Fatalf("second Finalize must be a no-op, got %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []obs.TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.TraceEvents) != 6 {
+		t.Errorf("finalized trace holds %d events, want 2 meta + 4 spans", len(tf.TraceEvents))
+	}
+}
