@@ -27,6 +27,7 @@ import (
 	"testing"
 	"time"
 
+	"dsmdist/internal/exec"
 	"dsmdist/internal/experiments"
 )
 
@@ -138,6 +139,7 @@ type benchSnapshot struct {
 	NumCPU     int           `json:"num_cpu"`
 	GoMaxProcs int           `json:"gomaxprocs"`
 	Scale      string        `json:"scale"`
+	Tier       string        `json:"tier"`
 	Sweeps     []sweepRecord `json:"sweeps"`
 }
 
@@ -184,6 +186,9 @@ func writeSnapshot(path string) error {
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Scale:      "quick",
+		// The sweeps run at the Sizes default (auto), so the resolved
+		// tier is what actually executed; cycles are tier-independent.
+		Tier: exec.TierAuto.Resolve().String(),
 	}
 	names := make([]string, 0, len(snapRecs))
 	for n := range snapRecs {

@@ -51,6 +51,7 @@ func main() {
 	procsFlag := flag.String("procs", "", "comma-separated processor counts")
 	par := flag.Int("par", 0, "host worker budget shared by sweeps and the parallel engine (0 = GOMAXPROCS, 1 = serial)")
 	engineName := flag.String("engine", "auto", "host engine: serial | parallel | auto")
+	tierName := flag.String("tier", "auto", "execution tier: classic | compiled | auto")
 	jsonOut := flag.String("json", "", "write all rows as JSON to file")
 	progress := flag.Bool("progress", false, "live progress line on stderr per sweep")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to file")
@@ -77,6 +78,9 @@ func main() {
 	eng, err := exec.ParseEngine(*engineName)
 	die(err)
 	sizes.Engine = eng
+	tier, err := exec.ParseTier(*tierName)
+	die(err)
+	sizes.Tier = tier
 	if *progress {
 		sizes.Progress = os.Stderr
 	}

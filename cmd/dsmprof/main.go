@@ -70,6 +70,7 @@ func main() {
 	heatOut := flag.String("heat-json", "", "write the per-array heat map (advisor schema) to file")
 	redist := flag.String("redist", "scheduled", "c$redistribute model: scheduled | serial")
 	engineName := flag.String("engine", "auto", "host engine: serial | parallel | auto")
+	tierName := flag.String("tier", "auto", "execution tier: classic | compiled | auto")
 	maxQuanta := flag.Int64("max-quanta", 0, "runaway-loop guard: max scheduling rounds (0 = default)")
 	serveAddr := flag.String("serve", "", "serve live run views on this address (e.g. :8080)")
 	seriesOut := flag.String("series", "", "append cycle-sampled snapshot rows to this JSONL file")
@@ -106,6 +107,8 @@ func main() {
 	policy, err := ospage.ParsePolicy(*policyName)
 	die(err)
 	engine, err := exec.ParseEngine(*engineName)
+	die(err)
+	tier, err := exec.ParseTier(*tierName)
 	die(err)
 	var redistSerial bool
 	switch *redist {
@@ -190,7 +193,7 @@ func main() {
 	}
 
 	run, err := exec.Run(res, cfg, exec.Options{Policy: policy, Rec: rec,
-		RedistSerial: redistSerial, Engine: engine, MaxQuanta: *maxQuanta})
+		RedistSerial: redistSerial, Engine: engine, Tier: tier, MaxQuanta: *maxQuanta})
 	die(err)
 
 	fmt.Printf("dsmprof: %d cycles (%.6f s at %d MHz), policy %s\n\n",

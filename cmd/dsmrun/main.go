@@ -30,9 +30,16 @@
 //	              engine. The parallel engine runs simulated processors on
 //	              real cores; results are bit-identical to serial (the
 //	              DSM_ENGINE environment variable overrides auto)
+//	-tier T       classic | compiled | auto (default auto): bytecode
+//	              execution tier. "compiled" pre-translates the program
+//	              into fused closures; results are bit-identical to the
+//	              classic interpreter (the DSM_TIER environment variable
+//	              overrides auto)
 //	-max-quanta N raise the runaway-loop guard (scheduling rounds before
 //	              the run is aborted as an infinite loop)
 //	-json         print the run's statistics as JSON instead of text
+//	-cpuprofile F write a host CPU profile to F (go tool pprof)
+//	-memprofile F write a host heap profile to F at exit
 //
 // Live observability (all host-side: none of these change a simulated
 // cycle — the run's -json output is byte-identical with or without them):
@@ -57,6 +64,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -80,8 +89,11 @@ func main() {
 	prof := flag.Bool("prof", false, "print a profile breakdown after the run")
 	redist := flag.String("redist", "scheduled", "c$redistribute model: scheduled | serial")
 	engineName := flag.String("engine", "auto", "host engine: serial | parallel | auto")
+	tierName := flag.String("tier", "auto", "execution tier: classic | compiled | auto")
 	maxQuanta := flag.Int64("max-quanta", 0, "runaway-loop guard: max scheduling rounds (0 = default)")
 	jsonOut := flag.Bool("json", false, "print statistics as JSON")
+	cpuProfile := flag.String("cpuprofile", "", "write host CPU profile to file")
+	memProfile := flag.String("memprofile", "", "write host heap profile to file at exit")
 	serveAddr := flag.String("serve", "", "serve live run views on this address (e.g. :8080)")
 	seriesOut := flag.String("series", "", "append cycle-sampled snapshot rows to this JSONL file")
 	sample := flag.Int64("sample", 0, "snapshot sampling interval in simulated cycles (0 = default)")
@@ -108,6 +120,24 @@ func main() {
 	die(err)
 	engine, err := exec.ParseEngine(*engineName)
 	die(err)
+	tier, err := exec.ParseTier(*tierName)
+	die(err)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		die(err)
+		die(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			die(err)
+			runtime.GC()
+			die(pprof.WriteHeapProfile(f))
+			f.Close()
+		}()
+	}
 	var redistSerial bool
 	switch *redist {
 	case "scheduled":
@@ -205,7 +235,7 @@ func main() {
 	}
 
 	run, err := exec.Run(res, cfg, exec.Options{Policy: policy, Rec: rec,
-		RedistSerial: redistSerial, Engine: engine, MaxQuanta: *maxQuanta})
+		RedistSerial: redistSerial, Engine: engine, Tier: tier, MaxQuanta: *maxQuanta})
 	die(err)
 
 	// Normal exit: Recorder.Finish drained the stream at the final clock;
@@ -225,6 +255,9 @@ func main() {
 	if run.EngineUsed == exec.EngineParallel {
 		fmt.Printf("engine:  parallel (%d epochs committed, %d serial fallbacks)\n",
 			run.EpochsCommitted, run.EpochsFallback)
+	}
+	if run.TierUsed == exec.TierClassic {
+		fmt.Printf("tier:    classic interpreter\n")
 	}
 	fmt.Printf("cycles:  %d (%.6f s at %d MHz)\n", run.Cycles, run.Seconds(), cfg.ClockMHz)
 	if run.TimerCycles > 0 {

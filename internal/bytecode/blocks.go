@@ -1,0 +1,53 @@
+package bytecode
+
+// blocks.go is the analysis half of the compiled execution tier: it
+// classifies opcodes by how the translator (compile.go) may treat them.
+// Straight-line spans of bare/trap/memory instructions — optionally
+// ending in a branch — become fused closures with compile-time cycle
+// prefixes; everything gated leaves the fast path and re-enters the
+// shared interpreter semantics.
+//
+// The classification looks only at opcodes, never at immediates, so it
+// is valid before and after relocation patching.
+
+// opClass classifies an opcode for the translator.
+type opClass uint8
+
+const (
+	// classBare: pure register arithmetic — no trap, no branch, no
+	// memory, no clock flush. Fusable into straight-line runs.
+	classBare opClass = iota
+	// classTrap: register arithmetic that can trap (divides, GetArg).
+	// Compiled as a dedicated closure; a trapping instruction accounts
+	// its exact position and cycle prefix within the span.
+	classTrap
+	// classBranch: control transfer within the function. May terminate
+	// a span but never appears mid-span.
+	classBranch
+	// classMem: Ld/St — flushes the pending cycles into the clock and
+	// runs through the memory system.
+	classMem
+	// classGated: leaves the compiled fast path and re-enters the shared
+	// interpreter semantics (Call/Ret/ParCall/RTC/Halt and unknown ops).
+	classGated
+)
+
+// classify returns the opClass of an opcode.
+func classify(op Op) opClass {
+	switch op {
+	case Nop, LdI, Mov, Add, Sub, Mul, Neg, NotL,
+		AddF, SubF, MulF, DivF, NegF, CvtIF, CvtFI,
+		MinI, MaxI, MinF, MaxF, AbsI, AbsF, SqrtF,
+		CmpLt, CmpLe, CmpEq, CmpNe, CmpLtF, CmpLeF, CmpEqF, CmpNeF,
+		MyidOp, NprocsOp, SetArg:
+		return classBare
+	case DivI, ModI, FpDivI, FpModI, GetArg:
+		return classTrap
+	case Jmp, Bz, Bnz, Blt, Ble, Bgt, Bge, Beq, Bne:
+		return classBranch
+	case Ld, St:
+		return classMem
+	default:
+		return classGated
+	}
+}

@@ -1,0 +1,152 @@
+package bytecode
+
+// compiled.go is the dispatch half of the compiled execution tier: a
+// trampoline that walks a compiledFn's closure table span to span. It
+// must reproduce the classic interpreter's observable behavior exactly —
+// see the StepCycles doc comment for the dispatch semantics contract.
+//
+// The classic loop consults the cycle bound every 16 instructions (the
+// n&15 checkpoint). The trampoline tracks the distance to the next
+// checkpoint in k.check. For a memory-free span the processor clock
+// cannot advance inside the span, so when a checkpoint falls inside one,
+// whether the classic loop would have broken there is decidable *before*
+// entering the span, from the span's compile-time cost prefix; if it
+// would have broken, the trampoline falls back to the per-instruction
+// closures and breaks at exactly the classic point, and otherwise the
+// whole span runs with no internal bookkeeping at all. A span containing
+// Ld/St advances the clock unpredictably mid-span, so it is entered only
+// when no checkpoint falls inside it and single-stepped otherwise.
+// Mid-span exits are then only traps, which carry their own exact
+// instruction and cycle accounting (k.done and the unflushed prefix).
+
+// stepCompiled is the compiled-tier implementation of StepCycles.
+func (t *Thread) stepCompiled(quantum int, maxCyc int64) Status {
+	sys := t.Sys
+	proc := t.Proc
+	climit := sys.Clock(proc) + maxCyc
+	k := &t.k
+	k.t = t
+	k.proc = proc
+	k.cyc = 0
+	k.done = 0
+	n := 0
+	status := Running
+	// extra is nonzero on any early break: the classic loop counts the
+	// broken iteration in Instrs even though the instruction did not
+	// complete, plus any instructions a span completed before a trap.
+	var extra int64
+
+	if quantum <= 0 {
+		sys.AddCycles(proc, 0)
+		return Running
+	}
+	// Classic iteration order at n == 0: count the instruction, check
+	// the clock bound (n&15 == 0 holds), then the frame stack.
+	if sys.Clock(proc) >= climit {
+		sys.AddCycles(proc, 0)
+		t.Instrs++
+		return Running
+	}
+	k.check = 16
+	if len(t.frames) == 0 {
+		sys.AddCycles(proc, 0)
+		t.Instrs++
+		return Done
+	}
+
+	f := &t.frames[len(t.frames)-1]
+	cfn := f.cfn
+	if cfn == nil {
+		cfn = t.cp.fns[f.fn]
+		f.cfn = cfn
+	}
+	k.f = f
+	k.r = f.regs
+	pc := f.pc
+	ops := cfn.ops
+
+	for n < quantum {
+		if k.check == 0 {
+			if sys.Clock(proc)+k.cyc >= climit {
+				f.pc = pc
+				extra = 1
+				goto done
+			}
+			k.check = 16
+		}
+		if pc >= len(ops) {
+			// Fell off the end: the classic loop traps with the pc still
+			// unincremented (trap reports f.pc-1); preserve that.
+			f.pc = pc
+			status = t.trap(f, "fell off end of function")
+			extra = 1
+			goto done
+		}
+		{
+			op := &ops[pc]
+			w := int(op.n)
+			if w > 1 && (w > quantum-n ||
+				(k.check < w && (k.check > int(op.pure) ||
+					sys.Clock(proc)+k.cyc+op.prefix[k.check] >= climit))) {
+				// The span does not fit the quantum, or a checkpoint falls
+				// inside it and either it lies past the span's first Ld/St
+				// (break undecidable up front) or the cost prefix says the
+				// classic loop would break there: single-step so the break
+				// lands exactly where the classic loop breaks.
+				op = &cfn.singles[pc]
+				w = 1
+			}
+			switch op.run(k) {
+			case exRun:
+				k.cyc += op.cost
+				n += w
+				pc += w
+				k.check -= w
+				if k.check < 0 {
+					k.check += 16
+				}
+			case exJump:
+				k.cyc += op.cost
+				n += w
+				pc = k.pc
+				k.check -= w
+				if k.check < 0 {
+					k.check += 16
+				}
+			case exFrame:
+				// Call or Ret switched frames (and may have grown the
+				// frames slice): reload every cached pointer.
+				n++
+				k.check--
+				f = &t.frames[len(t.frames)-1]
+				cfn = f.cfn
+				if cfn == nil {
+					cfn = t.cp.fns[f.fn]
+					f.cfn = cfn
+				}
+				ops = cfn.ops
+				k.f = f
+				k.r = f.regs
+				pc = f.pc
+			case exStop:
+				// The closure set f.pc itself; k.done holds how many span
+				// instructions completed before a mid-span trap (0 for
+				// single-instruction stops).
+				status = k.status
+				extra = int64(k.done) + 1
+				k.done = 0
+				goto done
+			}
+		}
+	}
+	// Quantum exhausted: the resume point is the next undispatched pc.
+	f.pc = pc
+
+done:
+	sys.AddCycles(proc, k.cyc)
+	k.cyc = 0
+	k.f = nil
+	k.r = nil
+	t.Instrs += int64(n) + extra
+	return status
+}

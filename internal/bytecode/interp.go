@@ -74,6 +74,14 @@ type frame struct {
 	args    []int64
 	outArgs []int64
 	savedSP int64
+	// cfn caches the compiled translation of fn; the compiled trampoline
+	// resolves it lazily on first dispatch of the frame. Always nil on the
+	// classic tier.
+	cfn *compiledFn
+	// ownArgs marks args slices allocated by the interpreter's Call path
+	// (recyclable at Ret); the bottom frame's args belong to the caller
+	// of NewThread and are never returned to the free list.
+	ownArgs bool
 }
 
 // Thread is one processor's execution state. Threads are created by the
@@ -92,6 +100,20 @@ type Thread struct {
 
 	costs  *Costs
 	frames []frame
+
+	// cp, when non-nil, selects the block-compiled execution tier: the
+	// program has been pre-translated into fused closures (compile.go)
+	// and StepCycles dispatches through the compiled trampoline instead
+	// of the classic switch loop. Results are bit-identical either way.
+	cp *Compiled
+	// k is the compiled trampoline's scratch state (embedded so a
+	// quantum allocates nothing).
+	k kern
+
+	// free is a LIFO free list of int64 slices recycled across Call/Ret
+	// (register files, out-arg buffers, argument vectors). Frames churn
+	// fast in call-heavy code; without the list every Call allocates.
+	free [][]int64
 
 	// At a ParCall these describe the pending region.
 	ParFn   int
@@ -125,8 +147,40 @@ func NewThread(proc int, sys *memsim.System, prog *Program, rt Runtime, costs *C
 	return t
 }
 
+// maxFree bounds the slice free list; beyond it, retired buffers go to
+// the garbage collector.
+const maxFree = 64
+
+// getSlice returns a zeroed slice of length n, recycling from the free
+// list when a retired buffer is large enough.
+func (t *Thread) getSlice(n int) []int64 {
+	for i := len(t.free) - 1; i >= 0; i-- {
+		if cap(t.free[i]) >= n {
+			s := t.free[i][:n]
+			t.free[i] = t.free[len(t.free)-1]
+			t.free = t.free[:len(t.free)-1]
+			for j := range s {
+				s[j] = 0
+			}
+			return s
+		}
+	}
+	return make([]int64, n)
+}
+
+// putSlice retires a buffer to the free list.
+func (t *Thread) putSlice(s []int64) {
+	if s == nil || len(t.free) >= maxFree {
+		return
+	}
+	t.free = append(t.free, s)
+}
+
 func (t *Thread) push(fn *Fn, args []int64) {
-	f := frame{fn: fn, regs: make([]int64, fn.NRegs), args: args, savedSP: t.SP}
+	f := frame{fn: fn, regs: t.getSlice(fn.NRegs), args: args, savedSP: t.SP}
+	if fn.MaxOutArgs > 0 {
+		f.outArgs = t.getSlice(fn.MaxOutArgs)
+	}
 	if fn.FrameBytes > 0 {
 		f.regs[FPReg] = t.SP
 		t.SP += fn.FrameBytes
@@ -159,12 +213,38 @@ func (t *Thread) Step(quantum int) Status {
 // bandwidth window of each other, so the shared memory-contention model
 // sees a faithful arrival order.
 //
+// Dispatch semantics contract (any execution tier must honor it exactly):
+// the cycle bound is only consulted at instruction counts n with n&15 == 0,
+// *before* executing instruction n, comparing Clock+cyc-start >= maxCyc;
+// the break charges the pending cycles but counts the unexecuted iteration
+// in Instrs. Quantum boundaries feed the serial scheduler's round-robin
+// and the parallel engine's epoch validation, so a tier that breaks at
+// different points changes simulated arrival order.
+//
 // Cycle and instruction counts accumulate in locals and are flushed at the
 // exits and before every memory or runtime call (the memory model's
 // bandwidth windows read the clock); that batching is a pure host-side
 // optimization — the charged cycles are identical to charging per
 // instruction.
 func (t *Thread) StepCycles(quantum int, maxCyc int64) Status {
+	if t.cp != nil {
+		return t.stepCompiled(quantum, maxCyc)
+	}
+	return t.stepClassic(quantum, maxCyc)
+}
+
+// UseCompiled switches the thread onto the block-compiled execution tier
+// (nil reverts to the classic interpreter). The executor sets this at
+// thread creation; both tiers are bit-identical in simulated behavior.
+func (t *Thread) UseCompiled(cp *Compiled) { t.cp = cp }
+
+// CompiledTier returns the thread's compiled translation (nil on the
+// classic tier); the executor propagates it from the serial thread to
+// region threads so every thread of a run executes on the same tier.
+func (t *Thread) CompiledTier() *Compiled { return t.cp }
+
+// stepClassic is the classic switch-dispatch interpreter loop.
+func (t *Thread) stepClassic(quantum int, maxCyc int64) Status {
 	sys := t.Sys
 	costs := t.costs
 	proc := t.Proc
@@ -346,19 +426,10 @@ loop:
 			}
 			f.outArgs[in.A] = r[in.B]
 		case Call:
-			callee := t.Prog.Fns[in.Imm]
-			nargs := int(in.C)
-			args := make([]int64, nargs)
-			copy(args, f.outArgs[:nargs])
-			if t.SP+callee.FrameBytes > t.StackEnd {
-				status = t.trap(f, "stack overflow calling %s", callee.Name)
+			if st := t.execCall(f, in); st != Running {
+				status = st
 				break loop
 			}
-			if len(t.frames) > 200 {
-				status = t.trap(f, "call depth exceeded (recursion is not supported)")
-				break loop
-			}
-			t.push(callee, args)
 		case GetArg:
 			if int(in.B) >= len(f.args) {
 				status = t.trap(f, "argument %d not supplied", in.B)
@@ -366,36 +437,18 @@ loop:
 			}
 			r[in.A] = f.args[in.B]
 		case Ret:
-			t.SP = f.savedSP
-			t.frames = t.frames[:len(t.frames)-1]
-			if len(t.frames) == 0 {
-				status = Done
+			if st := t.execRet(f); st != Running {
+				status = st
 				break loop
 			}
 		case ParCall:
-			t.ParFn = int(in.Imm)
-			t.ParArgs = make([]int64, in.C)
-			copy(t.ParArgs, r[in.A:int(in.A)+int(in.C)])
-			status = AtParCall
+			status = t.execParCall(f, in)
 			break loop
 		case RTC:
-			nargs := int(in.C)
-			args := make([]int64, nargs)
-			copy(args, r[in.B:int(in.B)+nargs])
-			sys.AddCycles(proc, cyc)
-			cyc = 0
-			res, err := t.RT.RTCall(t, int(in.A), args)
-			if err == ErrBarrier {
-				r[in.B] = 0
-				status = AtBarrier
+			if st := t.execRTC(f, in, &cyc); st != Running {
+				status = st
 				break loop
 			}
-			if err != nil {
-				t.Err = err
-				status = Done
-				break loop
-			}
-			r[in.B] = res
 		case Halt:
 			status = Done
 			break loop
@@ -407,6 +460,74 @@ loop:
 	sys.AddCycles(proc, cyc)
 	t.Instrs += instrs
 	return status
+}
+
+// The gated instructions — Call, Ret, ParCall, RTC — are factored into
+// helpers shared by the classic interpreter and the compiled tier, so
+// their semantics exist once. Each returns Running to continue or a final
+// status (traps set t.Err through trap()).
+
+// execCall performs a Call instruction: stage the out-args into a fresh
+// argument vector and push the callee's frame.
+func (t *Thread) execCall(f *frame, in Instr) Status {
+	callee := t.Prog.Fns[in.Imm]
+	nargs := int(in.C)
+	args := t.getSlice(nargs)
+	copy(args, f.outArgs[:nargs])
+	if t.SP+callee.FrameBytes > t.StackEnd {
+		return t.trap(f, "stack overflow calling %s", callee.Name)
+	}
+	if len(t.frames) > 200 {
+		return t.trap(f, "call depth exceeded (recursion is not supported)")
+	}
+	t.push(callee, args)
+	t.frames[len(t.frames)-1].ownArgs = true
+	return Running
+}
+
+// execRet pops the current frame, recycling its buffers.
+func (t *Thread) execRet(f *frame) Status {
+	t.SP = f.savedSP
+	t.putSlice(f.regs)
+	t.putSlice(f.outArgs)
+	if f.ownArgs {
+		t.putSlice(f.args)
+	}
+	t.frames = t.frames[:len(t.frames)-1]
+	if len(t.frames) == 0 {
+		return Done
+	}
+	return Running
+}
+
+// execParCall records the pending parallel region and suspends the thread.
+func (t *Thread) execParCall(f *frame, in Instr) Status {
+	t.ParFn = int(in.Imm)
+	t.ParArgs = make([]int64, in.C)
+	copy(t.ParArgs, f.regs[in.A:int(in.A)+int(in.C)])
+	return AtParCall
+}
+
+// execRTC flushes the pending cycles (the runtime reads the clock) and
+// dispatches a runtime call. The argument vector is freshly allocated, not
+// pooled: runtime implementations may retain it.
+func (t *Thread) execRTC(f *frame, in Instr, cyc *int64) Status {
+	nargs := int(in.C)
+	args := make([]int64, nargs)
+	copy(args, f.regs[in.B:int(in.B)+nargs])
+	t.Sys.AddCycles(t.Proc, *cyc)
+	*cyc = 0
+	res, err := t.RT.RTCall(t, int(in.A), args)
+	if err == ErrBarrier {
+		f.regs[in.B] = 0
+		return AtBarrier
+	}
+	if err != nil {
+		t.Err = err
+		return Done
+	}
+	f.regs[in.B] = res
+	return Running
 }
 
 func ffrom(bits int64) float64 { return math.Float64frombits(uint64(bits)) }

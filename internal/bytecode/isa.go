@@ -145,6 +145,13 @@ type Fn struct {
 	FrameBytes int64 // addressed-scalar storage reserved per activation
 	IsRegion   bool  // doacross region body
 
+	// MaxOutArgs is the out-arg buffer size this function needs (one past
+	// the highest SetArg slot); the interpreter preallocates frames' out
+	// buffers from it instead of growing on demand. Program.Finalize
+	// computes it; 0 (old images, hand-built programs) falls back to the
+	// grow-on-SetArg path.
+	MaxOutArgs int
+
 	// Source attribution (profiler): the file and line of the unit or,
 	// for region functions, of the doacross directive that was outlined.
 	File string
@@ -237,6 +244,22 @@ func (p *Program) Clone() *Program {
 		np.Syms[i] = &ns
 	}
 	return np
+}
+
+// Finalize computes derived per-function metadata (currently MaxOutArgs).
+// The executor calls it once per loaded program before creating threads;
+// it is idempotent and cheap (one scan of the code).
+func (p *Program) Finalize() {
+	for _, f := range p.Fns {
+		if f.MaxOutArgs > 0 {
+			continue
+		}
+		for _, in := range f.Code {
+			if in.Op == SetArg && int(in.A)+1 > f.MaxOutArgs {
+				f.MaxOutArgs = int(in.A) + 1
+			}
+		}
+	}
 }
 
 // FindFn returns the index of the named function, or -1.

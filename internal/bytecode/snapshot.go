@@ -20,10 +20,11 @@ type ThreadSnapshot struct {
 	frames  []frame
 }
 
-// Snapshot deep-copies the thread's private state. Register files and
-// out-arg buffers are copied; each frame's incoming `args` slice is shared
-// deliberately — the interpreter never writes through it after the frame
-// is pushed (SetArg goes to outArgs, GetArg only reads).
+// Snapshot deep-copies the thread's private state. Register files,
+// out-arg buffers, and incoming `args` vectors are all copied: args used
+// to be shared (the interpreter never writes through them), but the frame
+// free list recycles a popped frame's args buffer into later Calls, so a
+// snapshot that shared it could see the buffer rewritten before Restore.
 func (t *Thread) Snapshot() *ThreadSnapshot {
 	s := &ThreadSnapshot{
 		sp:      t.SP,
@@ -37,7 +38,13 @@ func (t *Thread) Snapshot() *ThreadSnapshot {
 	}
 	for i := range t.frames {
 		f := &t.frames[i]
-		nf := frame{fn: f.fn, pc: f.pc, args: f.args, savedSP: f.savedSP}
+		// The copied args buffer belongs to the snapshot, so a restored
+		// frame may always recycle it at Ret (ownArgs true when present).
+		nf := frame{fn: f.fn, pc: f.pc, savedSP: f.savedSP, cfn: f.cfn, ownArgs: f.args != nil}
+		if f.args != nil {
+			nf.args = make([]int64, len(f.args))
+			copy(nf.args, f.args)
+		}
 		if f.regs != nil {
 			nf.regs = make([]int64, len(f.regs))
 			copy(nf.regs, f.regs)

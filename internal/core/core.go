@@ -134,6 +134,9 @@ type RunOptions struct {
 	Workers int
 	// MaxQuanta raises the runaway-loop guard (0 keeps the default).
 	MaxQuanta int64
+	// Tier selects the bytecode execution tier (classic, compiled, auto);
+	// simulation results are bit-identical either way (see exec.Tier).
+	Tier exec.Tier
 }
 
 // Run executes an image on a machine configuration.
@@ -141,7 +144,8 @@ func Run(img *link.Image, cfg *machine.Config, opts RunOptions) (*exec.Result, e
 	return exec.Run(img.Res, cfg, exec.Options{
 		Policy: opts.Policy, Quantum: opts.Quantum, Rec: opts.Recorder,
 		RedistSerial: opts.RedistSerial,
-		Engine:       opts.Engine, Workers: opts.Workers, MaxQuanta: opts.MaxQuanta})
+		Engine:       opts.Engine, Workers: opts.Workers, MaxQuanta: opts.MaxQuanta,
+		Tier:         opts.Tier})
 }
 
 // Array extracts an array's logical contents from a finished run. Unit is

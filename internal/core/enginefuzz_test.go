@@ -108,6 +108,12 @@ func genProgram(rng *rand.Rand) string {
 // fuzzRun executes src under one engine and returns everything the
 // equivalence check compares.
 func fuzzRun(t *testing.T, src string, np int, eng exec.Engine) (*exec.Result, []byte, [][]float64) {
+	return fuzzRunTier(t, src, np, eng, exec.TierAuto)
+}
+
+// fuzzRunTier is fuzzRun with an explicit execution tier (the tier fuzz
+// harness pins both tiers; TierAuto defers to DSM_TIER/default).
+func fuzzRunTier(t *testing.T, src string, np int, eng exec.Engine, tier exec.Tier) (*exec.Result, []byte, [][]float64) {
 	t.Helper()
 	tc := New()
 	tc.RuntimeChecks = false
@@ -118,9 +124,9 @@ func fuzzRun(t *testing.T, src string, np int, eng exec.Engine) (*exec.Result, [
 	cfg := machine.Tiny(np)
 	rec := obs.NewRecorder(cfg)
 	res, err := Run(image, cfg, RunOptions{
-		Policy: ospage.FirstTouch, Recorder: rec, Engine: eng, Workers: 4})
+		Policy: ospage.FirstTouch, Recorder: rec, Engine: eng, Workers: 4, Tier: tier})
 	if err != nil {
-		t.Fatalf("%v engine P=%d: %v\n%s", eng, np, err, src)
+		t.Fatalf("%v engine %v tier P=%d: %v\n%s", eng, tier, np, err, src)
 	}
 	var sum bytes.Buffer
 	if err := rec.Summarize(10).WriteJSON(&sum); err != nil {

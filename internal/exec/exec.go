@@ -49,6 +49,9 @@ type Options struct {
 	// budget each region, cooperating with experiments.ForEach; the
 	// DSM_WORKERS environment variable fills an unset value.
 	Workers int
+	// Tier selects the bytecode execution tier (classic, compiled, auto).
+	// Results are bit-identical either way; see Tier.
+	Tier Tier
 }
 
 // Result is a completed run.
@@ -72,6 +75,9 @@ type Result struct {
 	// EngineUsed is the engine that actually ran (after auto/env
 	// resolution); diagnostics only.
 	EngineUsed Engine
+	// TierUsed is the execution tier that actually ran (after auto/env
+	// resolution); diagnostics only.
+	TierUsed Tier
 	// EpochsCommitted / EpochsFallback count the parallel engine's
 	// speculative epochs that published vs. re-ran serially (always 0
 	// under the serial engine); diagnostics only.
@@ -110,13 +116,23 @@ func RunLoaded(rt *rtl.Runtime, opts Options) (*Result, error) {
 		maxQuanta = 1 << 34
 	}
 	engine := resolveEngine(opts.Engine, cfg.NProcs)
+	tier := resolveTier(opts.Tier)
 	workers := resolveWorkers(opts.Workers)
 	costs := bytecode.NewCosts(cfg)
 
+	// Derived per-function metadata (out-arg buffer sizes); idempotent,
+	// and needed by both tiers' frame preallocation.
+	rt.Prog.Finalize()
+	var cp *bytecode.Compiled
+	if tier == TierCompiled {
+		cp = bytecode.CompileProgram(rt.Prog, costs)
+	}
+
 	serial := bytecode.NewThread(0, rt.Sys, rt.Prog, rt, costs, rt.Prog.Main, nil,
 		rt.StackBase[0], rt.StackEnd[0])
+	serial.UseCompiled(cp)
 
-	acc := &Result{RT: rt, EngineUsed: engine}
+	acc := &Result{RT: rt, EngineUsed: engine, TierUsed: tier}
 	var rounds int64
 	for {
 		rounds++

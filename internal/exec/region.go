@@ -76,6 +76,7 @@ func newRegionRun(rt *rtl.Runtime, costs *bytecode.Costs, serial *bytecode.Threa
 			sp = serial.SP // above the serial frames
 		}
 		threads[p] = bytecode.NewThread(p, sys, rt.Prog, rtif, costs, serial.ParFn, args, sp, end)
+		threads[p].UseCompiled(serial.CompiledTier())
 	}
 
 	return &regionRun{

@@ -56,6 +56,9 @@ type Sizes struct {
 	// Engine selects the host execution engine for every point (see
 	// exec.Engine); rows are bit-identical across engines.
 	Engine exec.Engine
+	// Tier selects the bytecode execution tier for every point (see
+	// exec.Tier); rows are bit-identical across tiers.
+	Tier exec.Tier
 	// Progress, when non-nil, receives a live progress line per sweep
 	// (points done/total, compile-cache hits, ETA) and an early report of
 	// the lowest-index failing point. Host-side reporting only: it never
@@ -99,6 +102,10 @@ type Row struct {
 	TLBPct  float64 `json:"tlb_pct"` // fraction of time in TLB refill
 	HwDiv   int64   `json:"hw_div"`
 	SoftDiv int64   `json:"soft_div"`
+	// Instrs counts bytecode instructions executed across all threads —
+	// a pure simulated quantity (identical across engines and tiers) that
+	// also anchors host-throughput numbers (instrs / wall_ms).
+	Instrs int64 `json:"instrs"`
 	// RedistCyc is the wall-clock cycles spent inside c$redistribute
 	// (only the redist experiment measures it; 0 elsewhere).
 	RedistCyc int64 `json:"redist_cyc,omitempty"`
@@ -134,7 +141,7 @@ func figureVariants() []variantRun {
 // sweep, may be nil) deduplicates compiles of identical (source, options)
 // variants; every call still loads and runs its own image.
 func runOne(cache *core.BuildCache, src string, opt xform.Options, cfg *machine.Config,
-	policy ospage.Policy, eng exec.Engine) (*exec.Result, error) {
+	policy ospage.Policy, eng exec.Engine, tier exec.Tier) (*exec.Result, error) {
 	tc := core.NewAt(opt)
 	tc.RuntimeChecks = false // measurement runs, as in the paper
 	tc.Cache = cache
@@ -142,7 +149,7 @@ func runOne(cache *core.BuildCache, src string, opt xform.Options, cfg *machine.
 	if err != nil {
 		return nil, err
 	}
-	return core.Run(img, cfg, core.RunOptions{Policy: policy, Engine: eng})
+	return core.Run(img, cfg, core.RunOptions{Policy: policy, Engine: eng, Tier: tier})
 }
 
 // ForEach runs jobs 0..n-1 over a bounded host worker set. The caller's
@@ -246,6 +253,7 @@ func rowFrom(exp, variant string, p int, cfg *machine.Config, res *exec.Result, 
 		Remote:  res.Total.L2MissRemote,
 		HwDiv:   res.HwDiv,
 		SoftDiv: res.SoftDiv,
+		Instrs:  res.Instrs,
 		Stats:   res.Total,
 	}
 	r.Seconds = cfg.Seconds(r.Cycles)
@@ -293,7 +301,7 @@ func Table2(s Sizes) ([]Row, error) {
 	err := ForEachProgress(s.Par, len(steps), func(i int) error {
 		st := steps[i]
 		t0 := time.Now()
-		res, err := runOne(cache, src(st.v), st.opt, cfg(), ospage.FirstTouch, s.Engine)
+		res, err := runOne(cache, src(st.v), st.opt, cfg(), ospage.FirstTouch, s.Engine, s.Tier)
 		if err != nil {
 			return fmt.Errorf("table2 %s: %w", st.label, err)
 		}
@@ -368,7 +376,7 @@ func sweep(exp string, gen func(workloads.Variant) string, s Sizes,
 
 	cache := core.NewBuildCache()
 	baseCfg := mkCfg(1)
-	baseRes, err := runOne(cache, gen(workloads.Serial), xform.O3(), baseCfg, ospage.FirstTouch, s.Engine)
+	baseRes, err := runOne(cache, gen(workloads.Serial), xform.O3(), baseCfg, ospage.FirstTouch, s.Engine, s.Tier)
 	if err != nil {
 		return nil, fmt.Errorf("%s serial baseline: %w", exp, err)
 	}
@@ -390,7 +398,7 @@ func sweep(exp string, gen func(workloads.Variant) string, s Sizes,
 		pt := points[i]
 		cfg := mkCfg(pt.p)
 		t0 := time.Now()
-		res, err := runOne(cache, gen(pt.vr.variant), pt.vr.opt, cfg, pt.vr.policy, s.Engine)
+		res, err := runOne(cache, gen(pt.vr.variant), pt.vr.opt, cfg, pt.vr.policy, s.Engine, s.Tier)
 		if err != nil {
 			return fmt.Errorf("%s %s P=%d: %w", exp, pt.vr.label, pt.p, err)
 		}

@@ -86,7 +86,7 @@ func Redist(s Sizes) ([]Row, error) {
 		}
 		res, err := core.Run(img, cfg, core.RunOptions{
 			Policy: ospage.FirstTouch, Recorder: rec,
-			RedistSerial: modes[pt.mode].serial, Engine: s.Engine})
+			RedistSerial: modes[pt.mode].serial, Engine: s.Engine, Tier: s.Tier})
 		if err != nil {
 			return fmt.Errorf("redist n=%d %s %s P=%d: %w",
 				pt.n, pt.pair.Label, modes[pt.mode].label, pt.p, err)

@@ -732,8 +732,13 @@ func (s *System) LoadWord(p int, addr int64) uint64 {
 		pr.clock += pr.l1Hit
 		return s.mem[addr>>3]
 	}
+	// Issue the host-side data load before the simulation walk: Access
+	// never reads or writes the backing store, and the walk's own work
+	// (tags, directory, TLB) then overlaps the host cache miss that a
+	// simulated miss almost always implies.
+	v := s.mem[addr>>3]
 	s.Access(p, addr, false)
-	return s.mem[addr>>3]
+	return v
 }
 
 // StoreWord simulates a store of the 8-byte word at addr. The L0 fast
@@ -754,8 +759,10 @@ func (s *System) StoreWord(p int, addr int64, v uint64) {
 		s.mem[addr>>3] = v
 		return
 	}
-	s.Access(p, addr, true)
+	// As in LoadWord, touch the backing store before the walk so the host
+	// write miss overlaps the simulation work (Access never touches mem).
 	s.mem[addr>>3] = v
+	s.Access(p, addr, true)
 }
 
 // LoadFloat and StoreFloat move float64 values through the simulated
