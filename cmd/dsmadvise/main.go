@@ -24,9 +24,17 @@
 //	-heat FILE    dsmprof -heat-json profile to seed the cost model
 //	-json FILE    also write the ranked report as JSON
 //	-rewrite FILE write the winning rewritten program to FILE
+//	-remote URL   route the verification runs through a dsmd simulation
+//	              service instead of simulating locally: the top-K × P
+//	              fan-out hits the service's shared content-addressed
+//	              result cache (repeat advice runs and other users' runs
+//	              of the same candidates cost no simulation). The report
+//	              is identical to local verification — simulation is
+//	              deterministic — and a cache-hit summary goes to stderr
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,8 +43,11 @@ import (
 	"strings"
 
 	"dsmdist/internal/advisor"
+	"dsmdist/internal/core"
 	"dsmdist/internal/machine"
 	"dsmdist/internal/obs"
+	"dsmdist/internal/ospage"
+	"dsmdist/internal/service"
 )
 
 func main() {
@@ -47,6 +58,7 @@ func main() {
 	heatFile := flag.String("heat", "", "dsmprof -heat-json profile to seed the cost model")
 	jsonOut := flag.String("json", "", "write the ranked report as JSON to file")
 	rewriteOut := flag.String("rewrite", "", "write the winning rewritten program to file")
+	remote := flag.String("remote", "", "verify candidates through a dsmd service at this URL")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -85,13 +97,22 @@ func main() {
 		srcs[a] = string(data)
 	}
 
-	rep, err := advisor.Advise(srcs, advisor.Options{
+	aopts := advisor.Options{
 		Procs:   procs,
 		Machine: mach,
 		TopK:    *topK,
 		Par:     *par,
 		Heat:    heat,
-	})
+	}
+	var cli *service.Client
+	if *remote != "" {
+		cli = service.NewClient(*remote)
+		cli.Tenant = "advisor"
+		die(cli.Health())
+		aopts.Verify = remoteVerify(cli, *machName)
+	}
+
+	rep, err := advisor.Advise(srcs, aopts)
 	die(err)
 
 	die(rep.WriteText(os.Stdout))
@@ -100,6 +121,34 @@ func main() {
 	}
 	if *rewriteOut != "" {
 		die(os.WriteFile(*rewriteOut, []byte(rep.WinnerSource), 0o644))
+	}
+	if cli != nil {
+		fmt.Fprintf(os.Stderr, "dsmadvise: remote: %d of %d verification points served from the dsmd cache\n",
+			cli.CacheHits(), cli.Requests())
+	}
+}
+
+// remoteVerify builds the advisor Verify hook that routes one verification
+// point through a dsmd service. Runtime checks are off, matching the
+// advisor's local verification path, so the job key lines up with sweeps.
+func remoteVerify(cli *service.Client, machName string) func(map[string]string, int, ospage.Policy) (int64, error) {
+	off := false
+	return func(srcs map[string]string, p int, policy ospage.Policy) (int64, error) {
+		view, err := cli.Run(&service.JobRequest{
+			Sources:       srcs,
+			Machine:       machName,
+			Procs:         p,
+			Policy:        policy.String(),
+			RuntimeChecks: &off,
+		})
+		if err != nil {
+			return 0, err
+		}
+		var doc core.ResultDoc
+		if err := json.Unmarshal(view.Result, &doc); err != nil {
+			return 0, fmt.Errorf("bad result document: %w", err)
+		}
+		return doc.Measured(), nil
 	}
 }
 

@@ -38,6 +38,14 @@
 //	-max-quanta N raise the runaway-loop guard (scheduling rounds before
 //	              the run is aborted as an infinite loop)
 //	-json         print the run's statistics as JSON instead of text
+//	              (a schema-versioned document, "v": 1)
+//	-remote URL   submit the job to a dsmd simulation service instead of
+//	              building and running locally. The service's result cache
+//	              is content-addressed (core.JobKey), so a repeated job is
+//	              served without simulating, byte-identical to the local
+//	              -json output. Sources only (no .img), and the host-side
+//	              observability flags (-trace/-serve/-series/-prof/
+//	              -cpuprofile/-memprofile) do not apply
 //	-cpuprofile F write a host CPU profile to F (go tool pprof)
 //	-memprofile F write a host heap profile to F at exit
 //
@@ -73,9 +81,9 @@ import (
 	"dsmdist/internal/core"
 	"dsmdist/internal/exec"
 	"dsmdist/internal/machine"
-	"dsmdist/internal/memsim"
 	"dsmdist/internal/obs"
 	"dsmdist/internal/ospage"
+	"dsmdist/internal/service"
 )
 
 func main() {
@@ -92,6 +100,7 @@ func main() {
 	tierName := flag.String("tier", "auto", "execution tier: classic | compiled | auto")
 	maxQuanta := flag.Int64("max-quanta", 0, "runaway-loop guard: max scheduling rounds (0 = default)")
 	jsonOut := flag.Bool("json", false, "print statistics as JSON")
+	remote := flag.String("remote", "", "submit to a dsmd service at this URL instead of running locally")
 	cpuProfile := flag.String("cpuprofile", "", "write host CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write host heap profile to file at exit")
 	serveAddr := flag.String("serve", "", "serve live run views on this address (e.g. :8080)")
@@ -122,6 +131,12 @@ func main() {
 	die(err)
 	tier, err := exec.ParseTier(*tierName)
 	die(err)
+
+	if *remote != "" {
+		runRemote(*remote, *machName, *procs, *policyName, *redist,
+			*engineName, *tierName, *jsonOut, flag.Args())
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -321,42 +336,67 @@ func serveWait(addr string) {
 	<-sigc
 }
 
-// writeJSON emits the run's simulated statistics. Every field is a
-// simulated quantity, so the output is byte-identical across host engines
-// (the CI smoke test diffs serial vs parallel output of this).
+// writeJSON emits the run's simulated statistics as the canonical
+// schema-versioned result document ("v": 1). Every field is a simulated
+// quantity, so the output is byte-identical across host engines and tiers
+// (the CI smoke tests diff it), and byte-identical to what a dsmd service
+// caches and serves for the same job.
 func writeJSON(w *os.File, cfg *machine.Config, policy ospage.Policy, run *exec.Result) error {
-	type arrayTraffic struct {
-		Name   string `json:"name"`
-		L2Miss int64  `json:"l2_miss"`
+	return core.NewResultDoc(cfg, policy, run).Encode(w)
+}
+
+// runRemote submits the job to a dsmd service and renders the returned
+// result document. The request mirrors the local defaults exactly
+// (O3, runtime checks on), so the service's document is byte-identical to
+// a local -json run of the same flags.
+func runRemote(base, machName string, procs int, policy, redist, engine, tier string, jsonOut bool, args []string) {
+	srcs := map[string]string{}
+	for _, a := range args {
+		if strings.HasSuffix(a, ".img") {
+			die(fmt.Errorf("-remote runs from sources, not compiled images (%s)", a))
+		}
+		data, err := os.ReadFile(a)
+		die(err)
+		srcs[a] = string(data)
 	}
-	var arrays []arrayTraffic
-	for _, st := range run.RT.Arrays {
-		arrays = append(arrays, arrayTraffic{
-			Name: st.Plan.Unit + "." + st.Plan.Name, L2Miss: run.RT.Traffic(st)})
+	client := service.NewClient(base)
+	view, err := client.Run(&service.JobRequest{
+		Sources: srcs,
+		Machine: machName,
+		Procs:   procs,
+		Policy:  policy,
+		Redist:  redist,
+		Engine:  engine,
+		Tier:    tier,
+	})
+	die(err)
+
+	if jsonOut {
+		os.Stdout.Write(view.Result)
+		return
 	}
-	out := struct {
-		Machine     string             `json:"machine"`
-		Procs       int                `json:"procs"`
-		Policy      string             `json:"policy"`
-		Cycles      int64              `json:"cycles"`
-		Seconds     float64            `json:"seconds"`
-		TimerCycles int64              `json:"timer_cycles"`
-		HwDiv       int64              `json:"hw_div"`
-		SoftDiv     int64              `json:"soft_div"`
-		Instrs      int64              `json:"instrs"`
-		Total       memsim.ProcStats   `json:"total"`
-		PerProc     []memsim.ProcStats `json:"per_proc"`
-		Pages       ospage.Stats       `json:"pages"`
-		Arrays      []arrayTraffic     `json:"arrays"`
-	}{
-		Machine: cfg.Name, Procs: cfg.NProcs, Policy: policy.String(),
-		Cycles: run.Cycles, Seconds: run.Seconds(), TimerCycles: run.TimerCycles,
-		HwDiv: run.HwDiv, SoftDiv: run.SoftDiv, Instrs: run.Instrs,
-		Total: run.Total, PerProc: run.Stats, Pages: run.Pages, Arrays: arrays,
+	var doc core.ResultDoc
+	die(json.Unmarshal(view.Result, &doc))
+	how := "simulated by the service"
+	if view.Cached {
+		how = "served from the result cache (no simulation)"
+	} else if view.Coalesced {
+		how = "coalesced onto an identical in-flight job"
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	fmt.Printf("remote:  %s job %s — %s\n", base, view.ID, how)
+	fmt.Printf("machine: %s, %d processors, policy %s\n", doc.Machine, doc.Procs, doc.Policy)
+	fmt.Printf("cycles:  %d (%.6f s)\n", doc.Cycles, doc.Seconds)
+	if doc.TimerCycles > 0 {
+		fmt.Printf("timed section: %d cycles\n", doc.TimerCycles)
+	}
+	t := doc.Total
+	fmt.Printf("loads %d  stores %d  L1miss %d  L2miss %d (local %d remote %d)  TLBmiss %d\n",
+		t.Loads, t.Stores, t.L1Miss, t.L2Miss, t.L2MissLocal, t.L2MissRemote, t.TLBMiss)
+	fmt.Printf("invalidations %d  interventions %d  mem-wait %d cyc  divides hw=%d soft=%d\n",
+		t.InvSent, t.Interventions, t.WaitCyc, doc.HwDiv, doc.SoftDiv)
+	fmt.Printf("pages: %d mapped (%d first-touch, %d round-robin, %d placed, %d migrated, %d spilled)\n",
+		doc.Pages.Mapped, doc.Pages.FirstTouch, doc.Pages.RoundRobin,
+		doc.Pages.Placed, doc.Pages.Migrated, doc.Pages.Spilled)
 }
 
 func die(err error) {

@@ -31,6 +31,7 @@ import (
 	"dsmdist/internal/fortran"
 	"dsmdist/internal/machine"
 	"dsmdist/internal/obs"
+	"dsmdist/internal/ospage"
 	"dsmdist/internal/sema"
 )
 
@@ -51,6 +52,14 @@ type Options struct {
 	// Heat, when non-nil, is a measured dsmprof heat map used to reweigh
 	// the cost model.
 	Heat *obs.HeatMap
+	// Verify, when non-nil, replaces the local build-and-run of one
+	// verification point: it receives a candidate's full rewritten source
+	// set, a processor count, and the candidate's page policy, and returns
+	// the measured region-of-interest cycles. dsmadvise -remote points
+	// this at a dsmd service so the top-K × P fan-out is served from the
+	// shared content-addressed result cache; simulation determinism makes
+	// the report identical to a local verification.
+	Verify func(sources map[string]string, p int, policy ospage.Policy) (int64, error)
 }
 
 // Report is the ranked outcome of an advice run.
@@ -174,6 +183,14 @@ func Advise(sources map[string]string, opts Options) (*Report, error) {
 			if name != mainFile {
 				srcs[name] = s
 			}
+		}
+		if opts.Verify != nil {
+			cyc, err := opts.Verify(srcs, p, pt.c.Policy)
+			if err != nil {
+				return fmt.Errorf("advisor: candidate %s P=%d: %w", pt.c.Label, p, err)
+			}
+			pt.c.Cycles[pt.pi] = cyc
+			return nil
 		}
 		tc := core.New()
 		tc.RuntimeChecks = false

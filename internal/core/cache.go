@@ -1,44 +1,102 @@
 package core
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
-	"sort"
+	"container/list"
 	"sync"
 
 	"dsmdist/internal/link"
 )
 
 // BuildCache memoizes compiled images across Toolchain.Build calls, keyed
-// by the exact source set and compilation options. Experiment sweeps
-// recompile the identical Fortran program for every policy × processor
-// point; with a shared cache each distinct (source, options) variant is
-// compiled once per sweep.
+// by the exact source set and compilation options (see CompileKey).
+// Experiment sweeps recompile the identical Fortran program for every
+// policy × processor point; with a shared cache each distinct
+// (source, options) variant is compiled once per sweep.
 //
 // The cache is safe for concurrent use and coalesces concurrent builds of
 // the same key into one compile. The canonical image stored in the cache is
 // never handed out: every Build returns a fresh link.Image.Clone, because
 // loading an image mutates it (symbol layout, relocation patching,
 // run-time redistribution). That also makes cached builds safe to run in
-// parallel.
+// parallel — and makes eviction safe: a clone handed out before its entry
+// was evicted shares nothing run-mutable with the cache.
+//
+// The cache may be bounded (SetLimit / NewBuildCacheLimited): beyond the
+// entry cap the least-recently-used entries are dropped, so a long-running
+// process (dsmd) can keep a hot compile cache without unbounded memory
+// growth. The default NewBuildCache is unbounded, preserving the sweep
+// semantics where every variant stays resident.
 type BuildCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
-	hits    int64
-	misses  int64
+	// order is the recency list, front = most recently used; each entry
+	// holds its own element so touch/evict are O(1).
+	order     *list.List
+	max       int // max entries; 0 = unbounded
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type cacheEntry struct {
+	key  string
+	elem *list.Element
 	once sync.Once
 	img  *link.Image
 	err  error
 }
 
-// NewBuildCache returns an empty cache; share one across the Toolchains of
-// a sweep via Toolchain.Cache.
+// NewBuildCache returns an empty, unbounded cache; share one across the
+// Toolchains of a sweep via Toolchain.Cache.
 func NewBuildCache() *BuildCache {
-	return &BuildCache{entries: map[string]*cacheEntry{}}
+	return &BuildCache{entries: map[string]*cacheEntry{}, order: list.New()}
+}
+
+// NewBuildCacheLimited returns a cache holding at most max entries,
+// evicting least-recently-used ones beyond that (max <= 0 = unbounded).
+func NewBuildCacheLimited(max int) *BuildCache {
+	c := NewBuildCache()
+	c.SetLimit(max)
+	return c
+}
+
+// SetLimit caps the entry count (0 = unbounded), evicting LRU entries
+// immediately if the cache is already over the new cap.
+func (c *BuildCache) SetLimit(max int) {
+	if max < 0 {
+		max = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.max = max
+	c.evictOver()
+}
+
+// evictOver drops LRU entries until the cap is respected. Callers hold mu.
+// Dropping an entry that other goroutines still reference (waiters inside
+// its once, or clones already handed out) is safe: the entry just becomes
+// unreachable from the map and is garbage once they finish.
+func (c *BuildCache) evictOver() {
+	if c.max <= 0 {
+		return
+	}
+	for len(c.entries) > c.max {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.entries, e.key)
+		c.evictions++
+	}
+}
+
+// Len reports the resident entry count.
+func (c *BuildCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
 }
 
 // Stats reports how many Builds reused a compiled image (hits) and how many
@@ -50,13 +108,29 @@ func (c *BuildCache) Stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
-// get returns a clone of the image for key, building it at most once.
-func (c *BuildCache) get(key string, build func() (*link.Image, error)) (*link.Image, error) {
+// Evictions reports how many entries the cap has dropped.
+func (c *BuildCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Get returns a clone of the image for key, building it at most once per
+// residency: concurrent Gets of one key coalesce onto a single build call,
+// and every caller receives its own clone. Toolchain.Build routes through
+// this with CompileKey; external callers (the dsmd service layers a disk
+// store behind the build function) must use CompileKey-derived keys so the
+// entries stay content-addressed.
+func (c *BuildCache) Get(key string, build func() (*link.Image, error)) (*link.Image, error) {
 	c.mu.Lock()
 	e := c.entries[key]
 	if e == nil {
-		e = &cacheEntry{}
+		e = &cacheEntry{key: key}
 		c.entries[key] = e
+		e.elem = c.order.PushFront(e)
+		c.evictOver()
+	} else {
+		c.order.MoveToFront(e.elem)
 	}
 	c.mu.Unlock()
 
@@ -81,20 +155,7 @@ func (c *BuildCache) get(key string, build func() (*link.Image, error)) (*link.I
 }
 
 // cacheKey digests the source set and every compile-relevant Toolchain
-// option. Any new option that changes generated code must be added here.
+// option (the stable CompileKey contract; see jobkey.go).
 func (tc *Toolchain) cacheKey(sources map[string]string) string {
-	names := make([]string, 0, len(sources))
-	for n := range sources {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	h := sha256.New()
-	fmt.Fprintf(h, "tile=%v hoist=%v cse=%v fpdiv=%v checks=%v",
-		tc.Opt.TilePeel, tc.Opt.Hoist, tc.Opt.CSE, tc.Opt.FPDiv, tc.RuntimeChecks)
-	for _, n := range names {
-		src := sources[n]
-		fmt.Fprintf(h, "|%d:%s|%d:", len(n), n, len(src))
-		h.Write([]byte(src))
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	return CompileKey(sources, tc.Opt, tc.RuntimeChecks)
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"dsmdist/internal/link"
 	"dsmdist/internal/machine"
 	"dsmdist/internal/workloads"
 	"dsmdist/internal/xform"
@@ -128,6 +129,81 @@ func TestBuildCacheConcurrent(t *testing.T) {
 		if cycles[i] != cycles[0] {
 			t.Fatalf("worker %d ran %d cycles, worker 0 ran %d", i, cycles[i], cycles[0])
 		}
+	}
+}
+
+// TestBuildCacheEviction: the entry cap evicts least-recently-used entries
+// — and eviction never breaks clone isolation: a clone handed out before
+// its entry was dropped still loads and runs, bit-identical to a fresh
+// rebuild of the same program.
+func TestBuildCacheEviction(t *testing.T) {
+	cache := NewBuildCacheLimited(2)
+	src := func(n int) map[string]string {
+		return map[string]string{"t.f": workloads.Transpose(8+8*n, 1, workloads.Reshaped)}
+	}
+	build := func(n int) *link.Image {
+		t.Helper()
+		tc := New()
+		tc.Cache = cache
+		img, err := tc.Build(src(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+
+	img0 := build(0) // clone taken before the entry is evicted below
+	build(1)
+	build(2) // cap 2: evicts program 0 (LRU)
+
+	if cache.Len() != 2 {
+		t.Fatalf("resident entries = %d, want 2", cache.Len())
+	}
+	if ev := cache.Evictions(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+
+	// Program 1 is resident (hit); program 0 was evicted (miss again).
+	build(1)
+	build(0)
+	if h, m := cache.Stats(); h != 1 || m != 4 {
+		t.Fatalf("hits=%d misses=%d, want 1/4 (evicted entry must rebuild)", h, m)
+	}
+
+	// The pre-eviction clone is still independently loadable and runs to
+	// the same result as a post-eviction rebuild.
+	img0b := build(0)
+	cfg := machine.Tiny(2)
+	r1, err := Run(img0, cfg, RunOptions{})
+	if err != nil {
+		t.Fatalf("pre-eviction clone: %v", err)
+	}
+	r2, err := Run(img0b, cfg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Total != r2.Total {
+		t.Fatalf("pre-eviction clone ran differently: %d vs %d cycles", r1.Cycles, r2.Cycles)
+	}
+}
+
+// TestBuildCacheLimitLowered: lowering the cap below the resident count
+// evicts immediately.
+func TestBuildCacheLimitLowered(t *testing.T) {
+	cache := NewBuildCache()
+	for n := 0; n < 3; n++ {
+		tc := New()
+		tc.Cache = cache
+		if _, err := tc.Build(map[string]string{"t.f": workloads.Transpose(8+8*n, 1, workloads.Serial)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache.SetLimit(1)
+	if cache.Len() != 1 {
+		t.Fatalf("resident entries = %d after SetLimit(1), want 1", cache.Len())
+	}
+	if ev := cache.Evictions(); ev != 2 {
+		t.Fatalf("evictions = %d, want 2", ev)
 	}
 }
 

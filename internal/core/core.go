@@ -78,7 +78,7 @@ func (tc *Toolchain) Build(sources map[string]string) (*link.Image, error) {
 	var img *link.Image
 	var err error
 	if tc.Cache != nil {
-		img, err = tc.Cache.get(tc.cacheKey(sources), func() (*link.Image, error) {
+		img, err = tc.Cache.Get(tc.cacheKey(sources), func() (*link.Image, error) {
 			return tc.build(sources)
 		})
 	} else {

@@ -89,8 +89,12 @@ func Quick() Sizes {
 }
 
 // Row is one measured point. The JSON field names are the machine-readable
-// interface of dsmbench -json; keep them stable.
+// interface of dsmbench -json; keep them stable, and bump V when the
+// schema changes incompatibly.
 type Row struct {
+	// V is the row schema version (currently 1), the same convention as
+	// dsmrun -json and the dsmd API documents.
+	V       int     `json:"v"`
 	Exp     string  `json:"exp"`
 	Variant string  `json:"variant"`
 	P       int     `json:"p"`
@@ -246,6 +250,7 @@ func measured(res *exec.Result) int64 {
 
 func rowFrom(exp, variant string, p int, cfg *machine.Config, res *exec.Result, base int64) Row {
 	r := Row{
+		V:   1,
 		Exp: exp, Variant: variant, P: p,
 		Cycles:  measured(res),
 		Seconds: cfg.Seconds(res.Cycles),

@@ -6,6 +6,9 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"dsmdist/internal/exec"
+	"dsmdist/internal/machine"
 )
 
 // The figure experiments themselves are exercised by bench_test.go at the
@@ -157,6 +160,15 @@ func TestForEach(t *testing.T) {
 	})
 	if err != errA {
 		t.Fatalf("forEach returned %v, want the lowest-index error %v", err, errA)
+	}
+}
+
+// TestRowSchemaVersion pins the machine-readable row version: every row
+// the harness emits carries v=1 until the schema changes incompatibly.
+func TestRowSchemaVersion(t *testing.T) {
+	r := rowFrom("x", "v", 1, machine.Tiny(1), &exec.Result{Cycles: 10}, 0)
+	if r.V != 1 {
+		t.Fatalf("rowFrom set v=%d, want 1", r.V)
 	}
 }
 

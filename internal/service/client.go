@@ -1,0 +1,130 @@
+// Client side of the simulation service: dsmrun -remote and
+// dsmadvise -remote submit jobs here instead of building and simulating
+// locally, turning repeated work — most prominently the advisor's
+// top-K × P verification fan-out — into shared cache hits.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Client talks to a dsmd server.
+type Client struct {
+	// Base is the server address, e.g. "http://127.0.0.1:8377".
+	Base string
+	// Tenant attributes this client's jobs (optional).
+	Tenant string
+	// HTTP is the transport (default: a client with no overall timeout —
+	// simulations legitimately run long; rely on context/server limits).
+	HTTP *http.Client
+
+	requests  atomic.Int64
+	cacheHits atomic.Int64
+}
+
+// NewClient builds a client for a base URL ("host:port" gets "http://"
+// prepended).
+func NewClient(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: &http.Client{}}
+}
+
+// Requests and CacheHits report this client's submission accounting: a hit
+// is a job served from the server's result cache or coalesced onto another
+// submission's in-flight run — either way, no new simulation was spent on
+// it.
+func (c *Client) Requests() int64  { return c.requests.Load() }
+func (c *Client) CacheHits() int64 { return c.cacheHits.Load() }
+
+// Health probes /healthz.
+func (c *Client) Health() error {
+	resp, err := c.HTTP.Get(c.Base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("service: %s unreachable: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("service: %s health check: %s", c.Base, resp.Status)
+	}
+	return nil
+}
+
+// Run submits a job and blocks until it finishes (req.NoWait is forced
+// off), returning the job view with its result document. A failed job is
+// returned as an error.
+func (c *Client) Run(req *JobRequest) (*JobView, error) {
+	req.NoWait = false
+	if req.Tenant == "" {
+		req.Tenant = c.Tenant
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	// A full queue is the one retryable admission failure; back off
+	// briefly instead of failing a whole sweep for a transient spike.
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		resp, err = c.HTTP.Post(c.Base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("service: submit to %s: %w", c.Base, err)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= 5 {
+			break
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		time.Sleep(time.Duration(100*(attempt+1)) * time.Millisecond)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("service: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("service: %s: %s", resp.Status, e.Error)
+		}
+		return nil, fmt.Errorf("service: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	var view JobView
+	if err := json.Unmarshal(data, &view); err != nil {
+		return nil, fmt.Errorf("service: bad job response: %w", err)
+	}
+	// The transport re-indents the nested result document to its depth in
+	// the JobView; re-derive the canonical encoding (2-space indent, final
+	// newline) so callers get the exact bytes the server stored. Indent
+	// copies tokens verbatim, so this is a pure reformat.
+	if len(view.Result) > 0 {
+		var doc bytes.Buffer
+		if err := json.Indent(&doc, view.Result, "", "  "); err != nil {
+			return nil, fmt.Errorf("service: bad result document: %w", err)
+		}
+		doc.WriteByte('\n')
+		view.Result = doc.Bytes()
+	}
+	c.requests.Add(1)
+	if view.Cached || view.Coalesced {
+		c.cacheHits.Add(1)
+	}
+	if view.State == StateFailed {
+		return nil, fmt.Errorf("service: job %s failed: %s", view.ID, view.Error)
+	}
+	if view.State != StateDone {
+		return nil, fmt.Errorf("service: job %s ended in state %q", view.ID, view.State)
+	}
+	return &view, nil
+}

@@ -1,0 +1,123 @@
+// HTTP surface of the simulation service:
+//
+//	POST /jobs            submit a JobRequest; blocks until done unless
+//	                      "nowait" — returns a JobView either way
+//	GET  /jobs/{id}       job status (+ result document when done)
+//	GET  /jobs/{id}/snapshot  live obs snapshot of a running job
+//	GET  /stats           server counters (queue, cache, store)
+//	GET  /healthz         liveness probe
+//
+// Handlers snapshot job state under the server mutex and never touch a
+// running simulation's mutable state (the snapshot endpoint serves the
+// recorder's cached marshaled bytes, the same immutable-state rule as the
+// PR 6 -serve handlers).
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, attached, err := s.Submit(&req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !req.NoWait {
+		select {
+		case <-s.Done(j):
+		case <-r.Context().Done():
+			// Client went away; the job keeps running (its result is
+			// cached for the retry).
+			writeError(w, http.StatusRequestTimeout, r.Context().Err())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.View(j, attached))
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	j, ok := s.Job(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	switch sub {
+	case "":
+		writeJSON(w, http.StatusOK, s.View(j, false))
+	case "snapshot":
+		s.mu.Lock()
+		rec := j.rec
+		s.mu.Unlock()
+		var buf []byte
+		if rec != nil {
+			buf = rec.SnapshotJSON()
+		}
+		if buf == nil {
+			writeError(w, http.StatusServiceUnavailable,
+				errors.New("service: no live snapshot (job not running, or no sample yet)"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ServerStats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("ok\n"))
+}

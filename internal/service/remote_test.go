@@ -1,0 +1,132 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dsmdist/internal/advisor"
+	"dsmdist/internal/core"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/ospage"
+	"dsmdist/internal/workloads"
+)
+
+// remoteVerify mirrors the dsmadvise -remote hook: one verification point
+// becomes one service job, measured cycles come out of the result document.
+func remoteVerify(cli *Client) func(map[string]string, int, ospage.Policy) (int64, error) {
+	off := false
+	return func(srcs map[string]string, p int, policy ospage.Policy) (int64, error) {
+		view, err := cli.Run(&JobRequest{
+			Sources:       srcs,
+			Machine:       "tiny",
+			Procs:         p,
+			Policy:        policy.String(),
+			RuntimeChecks: &off,
+		})
+		if err != nil {
+			return 0, err
+		}
+		var doc core.ResultDoc
+		if err := json.Unmarshal(view.Result, &doc); err != nil {
+			return 0, err
+		}
+		return doc.Measured(), nil
+	}
+}
+
+// TestClientCanonicalResultBytes: the bytes a Client hands back are exactly
+// the canonical document the server stored — the transport's re-indentation
+// of the nested result is undone — so dsmrun -remote -json output is
+// byte-identical to a local -json run.
+func TestClientCanonicalResultBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator run")
+	}
+	store, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Store: store})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	cli := NewClient(hs.URL)
+	view, err := cli.Run(transposeReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, ok := store.Get(KindResult, view.Key)
+	if !ok {
+		t.Fatalf("no stored result under the returned key %s", view.Key)
+	}
+	if !bytes.Equal(stored, view.Result) {
+		t.Fatalf("client result differs from stored canonical bytes:\n--- stored\n%s\n--- client\n%s",
+			stored, view.Result)
+	}
+}
+
+// TestAdvisorRemoteVerify runs the advisor's verification fan-out through a
+// live dsmd server twice: the second run must be served entirely from the
+// content-addressed result cache, and both reports — plus a purely local
+// advise — must be identical, because simulation is deterministic.
+func TestAdvisorRemoteVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator run")
+	}
+	store, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Store: store})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	src := map[string]string{"main.f": workloads.Transpose(32, 1, workloads.Plain)}
+	opts := advisor.Options{Procs: []int{1, 2}, Machine: machine.Tiny, TopK: 3}
+
+	render := func(rep *advisor.Report) string {
+		var b strings.Builder
+		if err := rep.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	cli1 := NewClient(hs.URL)
+	opts.Verify = remoteVerify(cli1)
+	rep1, err := advisor.Advise(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cli2 := NewClient(hs.URL)
+	opts.Verify = remoteVerify(cli2)
+	rep2, err := advisor.Advise(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cli2.Requests() == 0 || cli2.CacheHits() != cli2.Requests() {
+		t.Fatalf("repeat advise: %d of %d verification points cached, want all",
+			cli2.CacheHits(), cli2.Requests())
+	}
+	if render(rep1) != render(rep2) {
+		t.Fatal("remote reports differ between a cold and a warm cache")
+	}
+
+	// The remote report matches a purely local verification bit for bit.
+	opts.Verify = nil
+	local, err := advisor.Advise(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(local) != render(rep1) {
+		t.Fatalf("remote verification changed the report:\n--- local\n%s\n--- remote\n%s",
+			render(local), render(rep1))
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,591 @@
+// Package service is the long-running simulation service behind cmd/dsmd:
+// an HTTP/JSON server that accepts (sources, machine, policy, options)
+// jobs, keys them through the content-addressed core.JobKey contract, and
+// serves results from a two-level cache — an in-memory bounded
+// core.BuildCache for compiled images and a persistent disk Store
+// (store.go) holding both compile entries and run-result documents.
+//
+// The simulator is deterministic (bit-identical across engines and tiers),
+// so a run result is a pure function of its JobSpec: N users submitting
+// the same job cost one simulation, ever. Three mechanisms enforce that:
+//
+//   - the result store: a finished job's canonical ResultDoc bytes are
+//     persisted under its JobKey and replayed for every later submission
+//     (across daemon restarts);
+//   - in-flight coalescing: concurrent identical submissions attach to the
+//     one queued/running job for that key instead of enqueueing again;
+//   - the compile cache: distinct jobs sharing sources+options share one
+//     compile (memory first, disk behind it).
+//
+// Admission is a bounded FIFO queue with per-tenant concurrency limits;
+// running jobs draw host workers from the shared internal/hostpool budget,
+// so a dsmd colocated with local sweeps never oversubscribes the machine.
+package service
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"dsmdist/internal/codegen"
+	"dsmdist/internal/core"
+	"dsmdist/internal/exec"
+	"dsmdist/internal/hostpool"
+	"dsmdist/internal/link"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/obs"
+	"dsmdist/internal/ospage"
+	"dsmdist/internal/xform"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	ErrQueueFull = errors.New("service: job queue is full")
+	ErrDraining  = errors.New("service: server is draining")
+)
+
+// JobRequest is the POST /jobs body. Zero values select the documented
+// defaults, which match a plain local `dsmrun -json` invocation — so a
+// remote run's result document is byte-identical to the local one.
+type JobRequest struct {
+	// Sources is the named Fortran source set (required).
+	Sources map[string]string `json:"sources"`
+	// Machine is the machine preset: origin2000 | scaled | tiny
+	// (default scaled).
+	Machine string `json:"machine,omitempty"`
+	// Procs is the simulated processor count (default 1).
+	Procs int `json:"procs,omitempty"`
+	// Policy is the default page policy (default first-touch).
+	Policy string `json:"policy,omitempty"`
+	// Opt is the optimization level, O0..O3 (default O3).
+	Opt string `json:"opt,omitempty"`
+	// RuntimeChecks enables the §6 runtime argument checks (default true,
+	// matching dsmrun; sweeps submit false).
+	RuntimeChecks *bool `json:"runtime_checks,omitempty"`
+	// Quantum overrides the interleave granularity (0 = default).
+	Quantum int `json:"quantum,omitempty"`
+	// Redist is the c$redistribute model: scheduled | serial
+	// (default scheduled).
+	Redist string `json:"redist,omitempty"`
+	// Engine and Tier pick the host execution engine/tier (default auto).
+	// They are NOT part of the cache key: results are bit-identical
+	// across all of them.
+	Engine string `json:"engine,omitempty"`
+	Tier   string `json:"tier,omitempty"`
+	// Tenant attributes the job for per-tenant concurrency limiting
+	// (default "default").
+	Tenant string `json:"tenant,omitempty"`
+	// NoWait makes POST /jobs return immediately with the queued job
+	// instead of blocking until it finishes.
+	NoWait bool `json:"nowait,omitempty"`
+}
+
+// jobSpec is a validated request: the canonical cache-key spec plus the
+// host-side knobs that are deliberately outside it.
+type jobSpec struct {
+	core.JobSpec
+	engine exec.Engine
+	tier   exec.Tier
+	mach   func(int) *machine.Config
+}
+
+// Job is one admitted submission. Mutable fields are guarded by the
+// server mutex; done is closed exactly once when the job leaves
+// queued/running.
+type Job struct {
+	ID        string
+	Key       string
+	Tenant    string
+	State     State
+	Cached    bool // served straight from the result store
+	Coalesced int  // later submissions that attached to this in-flight job
+	Err       string
+	Result    []byte // canonical ResultDoc bytes (done jobs)
+
+	spec jobSpec
+	rec  *obs.Recorder // live while running; feeds /jobs/{id}/snapshot
+	done chan struct{}
+}
+
+// JobView is the JSON rendering of a Job (API responses). Cached and
+// Coalesced are per-submission: Cached means this submission was served
+// from the persistent result cache; Coalesced means it attached to an
+// identical job already in flight. Either way no new simulation was spent
+// on the submission.
+type JobView struct {
+	V         int             `json:"v"`
+	ID        string          `json:"id"`
+	Key       string          `json:"key"`
+	Tenant    string          `json:"tenant"`
+	State     State           `json:"state"`
+	Cached    bool            `json:"cached"`
+	Coalesced bool            `json:"coalesced,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+// Options configure a Server.
+type Options struct {
+	// Store persists compile and result entries (nil = memory only).
+	Store *Store
+	// MaxQueue bounds queued-but-not-running jobs (default 256).
+	MaxQueue int
+	// TenantLimit caps concurrently running jobs per tenant (default 2).
+	TenantLimit int
+	// MaxConcurrent caps concurrently running jobs across all tenants
+	// (0 = governed by the hostpool budget alone).
+	MaxConcurrent int
+	// CompileCacheEntries bounds the in-memory compile cache (default 64).
+	CompileCacheEntries int
+
+	// runJob replaces the build-and-simulate step (tests: concurrency
+	// and drain behavior without real simulations). It still counts as a
+	// simulation.
+	runJob func(j *Job) ([]byte, error)
+}
+
+// Server is the simulation service.
+type Server struct {
+	opts   Options
+	builds *core.BuildCache
+
+	mu            sync.Mutex
+	cond          *sync.Cond // signaled when a job finishes (drain waiters)
+	jobs          map[string]*Job
+	inflight      map[string]*Job // queued/running, by JobKey — the coalescing map
+	queue         []*Job          // FIFO of queued jobs
+	doneOrder     []string        // finished job IDs, oldest first (retention)
+	running       int
+	tenantRunning map[string]int
+	nextID        int64
+	draining      bool
+	simulations   int64 // actual simulations executed (cache-effectiveness counter)
+}
+
+// maxDoneJobs bounds retained finished job records; older ones are pruned
+// (their results live on in the store).
+const maxDoneJobs = 4096
+
+// New builds a Server.
+func New(opts Options) *Server {
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 256
+	}
+	if opts.TenantLimit <= 0 {
+		opts.TenantLimit = 2
+	}
+	if opts.CompileCacheEntries <= 0 {
+		opts.CompileCacheEntries = 64
+	}
+	s := &Server{
+		opts:          opts,
+		builds:        core.NewBuildCacheLimited(opts.CompileCacheEntries),
+		jobs:          map[string]*Job{},
+		inflight:      map[string]*Job{},
+		tenantRunning: map[string]int{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Simulations reports how many submissions actually ran a simulation (as
+// opposed to being served from the result cache or coalesced onto an
+// in-flight job).
+func (s *Server) Simulations() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.simulations
+}
+
+// validate turns a request into a jobSpec, rejecting bad fields early so
+// queued jobs cannot fail on spelling.
+func validate(req *JobRequest) (jobSpec, error) {
+	var spec jobSpec
+	if len(req.Sources) == 0 {
+		return spec, fmt.Errorf("service: job has no sources")
+	}
+	machName := req.Machine
+	if machName == "" {
+		machName = "scaled"
+	}
+	switch machName {
+	case "origin2000":
+		spec.mach = machine.Origin2000
+	case "scaled":
+		spec.mach = machine.Scaled
+	case "tiny":
+		spec.mach = machine.Tiny
+	default:
+		return spec, fmt.Errorf("service: unknown machine %q (accepted: origin2000, scaled, tiny)", machName)
+	}
+	procs := req.Procs
+	if procs == 0 {
+		procs = 1
+	}
+	if procs < 1 || procs > 1024 {
+		return spec, fmt.Errorf("service: bad processor count %d", procs)
+	}
+	policy, err := ospage.ParsePolicy(orDefault(req.Policy, "first-touch"))
+	if err != nil {
+		return spec, fmt.Errorf("service: %w", err)
+	}
+	var opt xform.Options
+	switch orDefault(req.Opt, "O3") {
+	case "O0":
+		opt = xform.O0()
+	case "O1":
+		opt = xform.O1()
+	case "O2":
+		opt = xform.O2()
+	case "O3":
+		opt = xform.O3()
+	default:
+		return spec, fmt.Errorf("service: unknown opt level %q (accepted: O0, O1, O2, O3)", req.Opt)
+	}
+	var redistSerial bool
+	switch orDefault(req.Redist, "scheduled") {
+	case "scheduled":
+	case "serial":
+		redistSerial = true
+	default:
+		return spec, fmt.Errorf("service: unknown redist model %q (accepted: scheduled, serial)", req.Redist)
+	}
+	engine, err := exec.ParseEngine(orDefault(req.Engine, "auto"))
+	if err != nil {
+		return spec, fmt.Errorf("service: %w", err)
+	}
+	tier, err := exec.ParseTier(orDefault(req.Tier, "auto"))
+	if err != nil {
+		return spec, fmt.Errorf("service: %w", err)
+	}
+	checks := true
+	if req.RuntimeChecks != nil {
+		checks = *req.RuntimeChecks
+	}
+	if req.Quantum < 0 {
+		return spec, fmt.Errorf("service: bad quantum %d", req.Quantum)
+	}
+
+	spec.JobSpec = core.JobSpec{
+		Sources:       req.Sources,
+		Opt:           opt,
+		RuntimeChecks: checks,
+		Machine:       machName,
+		Procs:         procs,
+		Policy:        policy,
+		Quantum:       req.Quantum,
+		RedistSerial:  redistSerial,
+	}
+	spec.engine, spec.tier = engine, tier
+	return spec, nil
+}
+
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+// Submit admits a job: result-cache hit, coalesce onto an in-flight
+// identical job, or enqueue. The returned Job may already be done (cache
+// hit); otherwise wait on Done(job). attached reports that this
+// submission coalesced onto a job another submission started.
+func (s *Server) Submit(req *JobRequest) (j *Job, attached bool, err error) {
+	spec, err := validate(req)
+	if err != nil {
+		return nil, false, err
+	}
+	key := core.JobKey(spec.JobSpec)
+	tenant := orDefault(req.Tenant, "default")
+
+	// Fast path: a persisted result document. Checked before the inflight
+	// map so restarts and cross-user sharing both hit; the race where an
+	// identical job finishes between this check and the lock below only
+	// costs a coalesced wait, never a duplicate simulation.
+	if s.opts.Store != nil {
+		if data, ok := s.opts.Store.Get(KindResult, key); ok {
+			s.mu.Lock()
+			if s.draining {
+				s.mu.Unlock()
+				return nil, false, ErrDraining
+			}
+			j := s.newJobLocked(key, tenant, spec)
+			j.State = StateDone
+			j.Cached = true
+			j.Result = data
+			close(j.done)
+			s.retireLocked(j)
+			s.mu.Unlock()
+			return j, false, nil
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, ErrDraining
+	}
+	if j := s.inflight[key]; j != nil {
+		j.Coalesced++
+		return j, true, nil
+	}
+	if len(s.queue) >= s.opts.MaxQueue {
+		return nil, false, ErrQueueFull
+	}
+	j = s.newJobLocked(key, tenant, spec)
+	j.State = StateQueued
+	s.inflight[key] = j
+	s.queue = append(s.queue, j)
+	s.scheduleLocked()
+	return j, false, nil
+}
+
+// newJobLocked allocates a job record. Callers hold mu.
+func (s *Server) newJobLocked(key, tenant string, spec jobSpec) *Job {
+	s.nextID++
+	j := &Job{
+		ID:     fmt.Sprintf("j%d", s.nextID),
+		Key:    key,
+		Tenant: tenant,
+		spec:   spec,
+		done:   make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	return j
+}
+
+// retireLocked records a finished job for retention pruning. Callers hold
+// mu.
+func (s *Server) retireLocked(j *Job) {
+	s.doneOrder = append(s.doneOrder, j.ID)
+	for len(s.doneOrder) > maxDoneJobs {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+}
+
+// Done returns the channel closed when j finishes.
+func (s *Server) Done(j *Job) <-chan struct{} { return j.done }
+
+// Job looks a job up by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// View snapshots a job for JSON rendering. attached marks the view of a
+// submission that coalesced onto this job.
+func (s *Server) View(j *Job, attached bool) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return JobView{
+		V: 1, ID: j.ID, Key: j.Key, Tenant: j.Tenant, State: j.State,
+		Cached: j.Cached, Coalesced: attached, Error: j.Err,
+		Result: json.RawMessage(j.Result),
+	}
+}
+
+// scheduleLocked starts every currently admissible queued job. Admission:
+// FIFO order, per-tenant running cap, optional global cap, and — beyond
+// the first concurrently running job, which rides on the server's own
+// implicit hostpool worker — one host-worker grant per job from the shared
+// hostpool budget, so service jobs and colocated local sweeps never
+// oversubscribe the machine. Jobs denied a grant stay queued; every job
+// completion re-runs the scheduler, so progress is guaranteed (the first
+// slot never needs a grant). Callers hold mu.
+func (s *Server) scheduleLocked() {
+	for {
+		started := false
+		for qi, j := range s.queue {
+			if s.tenantRunning[j.Tenant] >= s.opts.TenantLimit {
+				continue
+			}
+			if s.opts.MaxConcurrent > 0 && s.running >= s.opts.MaxConcurrent {
+				break
+			}
+			grant := 0
+			if s.running > 0 {
+				if grant = hostpool.Acquire(1); grant == 0 {
+					break // pool dry; retry when a running job finishes
+				}
+			}
+			s.queue = append(s.queue[:qi], s.queue[qi+1:]...)
+			s.running++
+			s.tenantRunning[j.Tenant]++
+			j.State = StateRunning
+			s.simulations++
+			go s.runJob(j, grant)
+			started = true
+			break // restart the scan: the slice changed
+		}
+		if !started {
+			return
+		}
+	}
+}
+
+// runJob executes one job and publishes its outcome.
+func (s *Server) runJob(j *Job, grant int) {
+	var data []byte
+	var err error
+	if s.opts.runJob != nil {
+		data, err = s.opts.runJob(j)
+	} else {
+		data, err = s.simulate(j)
+	}
+
+	s.mu.Lock()
+	if err != nil {
+		j.State = StateFailed
+		j.Err = err.Error()
+	} else {
+		j.State = StateDone
+		j.Result = data
+	}
+	j.rec = nil
+	delete(s.inflight, j.Key)
+	s.running--
+	s.tenantRunning[j.Tenant]--
+	if s.tenantRunning[j.Tenant] == 0 {
+		delete(s.tenantRunning, j.Tenant)
+	}
+	s.retireLocked(j)
+	close(j.done)
+	hostpool.Release(grant)
+	s.scheduleLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// simulate is the real build-and-run step: compile through the two-level
+// compile cache, execute with a live recorder (feeding /jobs/{id}/snapshot
+// — observability never changes simulated cycles), and persist the
+// canonical result document.
+func (s *Server) simulate(j *Job) ([]byte, error) {
+	img, err := s.buildImage(j.spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := j.spec.mach(j.spec.Procs)
+	rec := obs.NewRecorder(cfg)
+	rec.EnableSeries(0, nil)
+	s.mu.Lock()
+	j.rec = rec
+	s.mu.Unlock()
+
+	run, err := core.Run(img, cfg, core.RunOptions{
+		Policy:       j.spec.Policy,
+		Quantum:      j.spec.Quantum,
+		RedistSerial: j.spec.RedistSerial,
+		Engine:       j.spec.engine,
+		Tier:         j.spec.tier,
+		Recorder:     rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	data, err := core.NewResultDoc(cfg, j.spec.Policy, run).Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.Store != nil {
+		if err := s.opts.Store.Put(KindResult, j.Key, data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// buildImage compiles through the in-memory bounded BuildCache with the
+// disk store behind it: memory hit → clone; disk hit → gob decode; miss →
+// compile, persist, cache.
+func (s *Server) buildImage(spec jobSpec) (*link.Image, error) {
+	ck := core.CompileKey(spec.Sources, spec.Opt, spec.RuntimeChecks)
+	return s.builds.Get(ck, func() (*link.Image, error) {
+		if s.opts.Store != nil {
+			if data, ok := s.opts.Store.Get(KindCompile, ck); ok {
+				res := &codegen.Result{}
+				if err := gob.NewDecoder(bytes.NewReader(data)).Decode(res); err == nil {
+					return &link.Image{Res: res}, nil
+				}
+				// Corrupt payload: fall through and recompile over it.
+			}
+		}
+		tc := core.NewAt(spec.Opt)
+		tc.RuntimeChecks = spec.RuntimeChecks
+		img, err := tc.Build(spec.Sources)
+		if err != nil {
+			return nil, err
+		}
+		if s.opts.Store != nil {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(img.Res); err == nil {
+				if err := s.opts.Store.Put(KindCompile, ck, buf.Bytes()); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return img, nil
+	})
+}
+
+// Drain stops admission and blocks until every queued and running job has
+// finished, then flushes the store — the SIGTERM path: a mid-job kill
+// completes and persists the job instead of losing it.
+func (s *Server) Drain() error {
+	s.mu.Lock()
+	s.draining = true
+	for s.running > 0 || len(s.queue) > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+	if s.opts.Store != nil {
+		return s.opts.Store.Close()
+	}
+	return nil
+}
+
+// Stats is the GET /stats document.
+type Stats struct {
+	V           int         `json:"v"`
+	Jobs        int         `json:"jobs"`
+	Queued      int         `json:"queued"`
+	Running     int         `json:"running"`
+	Simulations int64       `json:"simulations"`
+	BuildHits   int64       `json:"build_hits"`
+	BuildMisses int64       `json:"build_misses"`
+	Draining    bool        `json:"draining"`
+	Store       *StoreStats `json:"store,omitempty"`
+}
+
+// ServerStats snapshots the server counters.
+func (s *Server) ServerStats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		V: 1, Jobs: len(s.jobs), Queued: len(s.queue), Running: s.running,
+		Simulations: s.simulations, Draining: s.draining,
+	}
+	s.mu.Unlock()
+	st.BuildHits, st.BuildMisses = s.builds.Stats()
+	if s.opts.Store != nil {
+		ss := s.opts.Store.Stats()
+		st.Store = &ss
+	}
+	return st
+}
