@@ -25,12 +25,14 @@
 //	-json FILE    also write the ranked report as JSON
 //	-rewrite FILE write the winning rewritten program to FILE
 //	-remote URL   route the verification runs through a dsmd simulation
-//	              service instead of simulating locally: the top-K × P
-//	              fan-out hits the service's shared content-addressed
-//	              result cache (repeat advice runs and other users' runs
-//	              of the same candidates cost no simulation). The report
-//	              is identical to local verification — simulation is
-//	              deterministic — and a cache-hit summary goes to stderr
+//	              service instead of simulating locally: the whole
+//	              top-K × P fan-out ships as ONE atomically admitted batch
+//	              submission and hits the service's shared
+//	              content-addressed result cache (repeat advice runs and
+//	              other users' runs of the same candidates cost no
+//	              simulation). The report is identical to local
+//	              verification — simulation is deterministic — and a
+//	              cache-hit summary goes to stderr
 package main
 
 import (
@@ -46,7 +48,6 @@ import (
 	"dsmdist/internal/core"
 	"dsmdist/internal/machine"
 	"dsmdist/internal/obs"
-	"dsmdist/internal/ospage"
 	"dsmdist/internal/service"
 )
 
@@ -109,7 +110,7 @@ func main() {
 		cli = service.NewClient(*remote)
 		cli.Tenant = "advisor"
 		die(cli.Health())
-		aopts.Verify = remoteVerify(cli, *machName)
+		aopts.VerifyBatch = remoteVerifyBatch(cli, *machName)
 	}
 
 	rep, err := advisor.Advise(srcs, aopts)
@@ -128,27 +129,44 @@ func main() {
 	}
 }
 
-// remoteVerify builds the advisor Verify hook that routes one verification
-// point through a dsmd service. Runtime checks are off, matching the
-// advisor's local verification path, so the job key lines up with sweeps.
-func remoteVerify(cli *service.Client, machName string) func(map[string]string, int, ospage.Policy) (int64, error) {
+// remoteVerifyBatch builds the advisor VerifyBatch hook: the whole
+// verification fan-out becomes one dsmd batch submission (atomic
+// admission, per-element cache hits, results in request order). Runtime
+// checks are off, matching the advisor's local verification path, so the
+// job keys line up with sweeps.
+func remoteVerifyBatch(cli *service.Client, machName string) func([]advisor.VerifyPoint) ([]int64, error) {
 	off := false
-	return func(srcs map[string]string, p int, policy ospage.Policy) (int64, error) {
-		view, err := cli.Run(&service.JobRequest{
-			Sources:       srcs,
-			Machine:       machName,
-			Procs:         p,
-			Policy:        policy.String(),
-			RuntimeChecks: &off,
-		})
+	return func(points []advisor.VerifyPoint) ([]int64, error) {
+		batch := &service.BatchRequest{
+			Defaults: service.JobRequest{
+				Machine:       machName,
+				RuntimeChecks: &off,
+			},
+		}
+		for _, pt := range points {
+			batch.Jobs = append(batch.Jobs, service.JobRequest{
+				Sources: pt.Sources,
+				Procs:   pt.Procs,
+				Policy:  pt.Policy.String(),
+			})
+		}
+		views, err := cli.RunBatch(batch)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
-		var doc core.ResultDoc
-		if err := json.Unmarshal(view.Result, &doc); err != nil {
-			return 0, fmt.Errorf("bad result document: %w", err)
+		out := make([]int64, len(views))
+		for i := range views {
+			v := &views[i]
+			if v.State != service.StateDone {
+				return nil, fmt.Errorf("job %s ended %s: %s", v.ID, v.State, v.Error)
+			}
+			var doc core.ResultDoc
+			if err := json.Unmarshal(v.Result, &doc); err != nil {
+				return nil, fmt.Errorf("bad result document: %w", err)
+			}
+			out[i] = doc.Measured()
 		}
-		return doc.Measured(), nil
+		return out, nil
 	}
 }
 

@@ -21,6 +21,15 @@
 //	                              (points done/total, compile-cache hits,
 //	                              ETA), with the lowest-index failure
 //	                              reported as soon as it is definitive
+//	dsmbench -remote host:port    ship each sweep to a dsmd service as ONE
+//	                              batch submission instead of simulating
+//	                              locally; repeat sweeps are served from
+//	                              the service's content-addressed result
+//	                              cache (0 new simulations) and rows are
+//	                              identical to local ones except wall_ms.
+//	                              fig5/fig6/fig7 only: table2/fig4
+//	                              customize node memory and redist needs a
+//	                              local recorder, so they stay local-only
 //	dsmbench -json rows.json      also write every row (including the full
 //	                              per-policy memory-system counters and the
 //	                              host wall_ms per point) as JSON
@@ -42,6 +51,7 @@ import (
 	"dsmdist/internal/exec"
 	"dsmdist/internal/experiments"
 	"dsmdist/internal/hostpool"
+	"dsmdist/internal/service"
 )
 
 func main() {
@@ -54,6 +64,7 @@ func main() {
 	tierName := flag.String("tier", "auto", "execution tier: classic | compiled | auto")
 	jsonOut := flag.String("json", "", "write all rows as JSON to file")
 	progress := flag.Bool("progress", false, "live progress line on stderr per sweep")
+	remote := flag.String("remote", "", "dsmd service URL: run sweep points there as one batch per sweep")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write a host heap profile to file")
 	flag.Parse()
@@ -83,6 +94,13 @@ func main() {
 	sizes.Tier = tier
 	if *progress {
 		sizes.Progress = os.Stderr
+	}
+	var cli *service.Client
+	if *remote != "" {
+		cli = service.NewClient(*remote)
+		cli.Tenant = "bench"
+		die(cli.Health())
+		sizes.Remote = cli
 	}
 	if *procsFlag != "" {
 		var ps []int
@@ -120,6 +138,10 @@ func main() {
 		fmt.Printf("host: %s wall, budget %d workers, engine %s\n\n",
 			time.Since(t0).Round(time.Millisecond), hostpool.Budget(), eng)
 		allRows = append(allRows, rows...)
+	}
+	if cli != nil {
+		fmt.Printf("remote: %d of %d points served from the dsmd cache\n",
+			cli.CacheHits(), cli.Requests())
 	}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)

@@ -27,8 +27,20 @@
 //
 //	POST /jobs               submit a job (blocks until done unless
 //	                         "nowait":true in the body)
+//	POST /batch              submit many jobs sharing defaults in one
+//	                         request; admission is atomic (all fit in the
+//	                         queue or the whole batch is a 429), each
+//	                         element coalesces/cache-hits independently,
+//	                         and the response lists per-element JobViews
+//	                         in request order
 //	GET  /jobs/{id}          job state: queued | running | done | failed
+//	                         (?wait=1 blocks until the job finishes)
+//	GET  /jobs/{id}/         live self-contained HTML dashboard for the job
 //	GET  /jobs/{id}/snapshot live obs snapshot of a running job
+//	GET  /jobs/{id}/series   cycle-sampled time series as JSONL, streamed
+//	                         row by row while the job runs; bytes are
+//	                         identical to a local dsmrun -series file
+//	                         (?nofollow=1 returns what exists and stops)
 //	GET  /stats              queue/cache/store counters
 //	GET  /healthz            liveness
 //

@@ -55,11 +55,27 @@ type Options struct {
 	// Verify, when non-nil, replaces the local build-and-run of one
 	// verification point: it receives a candidate's full rewritten source
 	// set, a processor count, and the candidate's page policy, and returns
-	// the measured region-of-interest cycles. dsmadvise -remote points
-	// this at a dsmd service so the top-K × P fan-out is served from the
-	// shared content-addressed result cache; simulation determinism makes
+	// the measured region-of-interest cycles. Simulation determinism makes
 	// the report identical to a local verification.
 	Verify func(sources map[string]string, p int, policy ospage.Policy) (int64, error)
+	// VerifyBatch, when non-nil, replaces the whole verification fan-out
+	// with one call receiving every point and returning the measured
+	// region-of-interest cycles per point, in order. dsmadvise -remote
+	// points this at a dsmd batch submission, so the top-K × P fan-out is
+	// admitted atomically and served from the shared content-addressed
+	// result cache in a single round trip. Takes precedence over Verify.
+	VerifyBatch func(points []VerifyPoint) ([]int64, error)
+}
+
+// VerifyPoint is one point of the verification fan-out handed to
+// Options.VerifyBatch.
+type VerifyPoint struct {
+	// Sources is the candidate's full rewritten source set.
+	Sources map[string]string
+	// Procs is the simulated processor count.
+	Procs int
+	// Policy is the candidate's page policy.
+	Policy ospage.Policy
 }
 
 // Report is the ranked outcome of an advice run.
@@ -175,39 +191,64 @@ func Advise(sources map[string]string, opts Options) (*Report, error) {
 			points = append(points, point{c, pi})
 		}
 	}
-	err = experiments.ForEach(opts.Par, len(points), func(i int) error {
-		pt := points[i]
-		p := opts.Procs[pt.pi]
-		srcs := map[string]string{mainFile: pt.c.Source}
+	srcsFor := func(c *Candidate) map[string]string {
+		srcs := map[string]string{mainFile: c.Source}
 		for name, s := range sources {
 			if name != mainFile {
 				srcs[name] = s
 			}
 		}
-		if opts.Verify != nil {
-			cyc, err := opts.Verify(srcs, p, pt.c.Policy)
+		return srcs
+	}
+	if opts.VerifyBatch != nil {
+		vps := make([]VerifyPoint, len(points))
+		for i, pt := range points {
+			vps[i] = VerifyPoint{
+				Sources: srcsFor(pt.c),
+				Procs:   opts.Procs[pt.pi],
+				Policy:  pt.c.Policy,
+			}
+		}
+		cycles, err := opts.VerifyBatch(vps)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: batch verification: %w", err)
+		}
+		if len(cycles) != len(points) {
+			return nil, fmt.Errorf("advisor: batch verification returned %d results for %d points", len(cycles), len(points))
+		}
+		for i, pt := range points {
+			pt.c.Cycles[pt.pi] = cycles[i]
+		}
+	} else {
+		err = experiments.ForEach(opts.Par, len(points), func(i int) error {
+			pt := points[i]
+			p := opts.Procs[pt.pi]
+			srcs := srcsFor(pt.c)
+			if opts.Verify != nil {
+				cyc, err := opts.Verify(srcs, p, pt.c.Policy)
+				if err != nil {
+					return fmt.Errorf("advisor: candidate %s P=%d: %w", pt.c.Label, p, err)
+				}
+				pt.c.Cycles[pt.pi] = cyc
+				return nil
+			}
+			tc := core.New()
+			tc.RuntimeChecks = false
+			tc.Cache = cache
+			img, err := tc.Build(srcs)
+			if err != nil {
+				return fmt.Errorf("advisor: candidate %s: %w", pt.c.Label, err)
+			}
+			res, err := core.Run(img, opts.Machine(p), core.RunOptions{Policy: pt.c.Policy})
 			if err != nil {
 				return fmt.Errorf("advisor: candidate %s P=%d: %w", pt.c.Label, p, err)
 			}
-			pt.c.Cycles[pt.pi] = cyc
+			pt.c.Cycles[pt.pi] = measured(res)
 			return nil
-		}
-		tc := core.New()
-		tc.RuntimeChecks = false
-		tc.Cache = cache
-		img, err := tc.Build(srcs)
+		})
 		if err != nil {
-			return fmt.Errorf("advisor: candidate %s: %w", pt.c.Label, err)
+			return nil, err
 		}
-		res, err := core.Run(img, opts.Machine(p), core.RunOptions{Policy: pt.c.Policy})
-		if err != nil {
-			return fmt.Errorf("advisor: candidate %s P=%d: %w", pt.c.Label, p, err)
-		}
-		pt.c.Cycles[pt.pi] = measured(res)
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	for _, c := range verify {
 		c.Verified = true

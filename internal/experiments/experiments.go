@@ -28,6 +28,7 @@ import (
 	"dsmdist/internal/machine"
 	"dsmdist/internal/memsim"
 	"dsmdist/internal/ospage"
+	"dsmdist/internal/service"
 	"dsmdist/internal/workloads"
 	"dsmdist/internal/xform"
 )
@@ -64,6 +65,14 @@ type Sizes struct {
 	// the lowest-index failing point. Host-side reporting only: it never
 	// changes the rows. dsmbench -progress points it at stderr.
 	Progress io.Writer
+	// Remote, when non-nil, ships each sweep to a dsmd service as one
+	// batch submission instead of simulating locally (dsmbench -remote).
+	// Determinism makes the rows identical to local ones except WallMS,
+	// and a warm service cache turns a repeat sweep into zero new
+	// simulations. Only sweeps over plain machine presets are remotable:
+	// table2/fig4 customize node memory (luMachine), and the redist
+	// experiment needs a local recorder, so they reject Remote.
+	Remote *service.Client
 }
 
 // Full is the scale used by cmd/dsmbench (paper sizes / ScaleFactor).
@@ -289,6 +298,9 @@ func luMachine(s Sizes, p int) *machine.Config {
 func Table2(s Sizes) ([]Row, error) {
 	src := func(v workloads.Variant) string { return workloads.LU(s.LUN, s.LUIters, v) }
 	cfg := func() *machine.Config { return luMachine(s, 1) }
+	if s.Remote != nil {
+		return nil, fmt.Errorf("table2: not runnable via -remote (luMachine customizes node memory, which a job spec cannot express)")
+	}
 	steps := []struct {
 		label string
 		v     workloads.Variant
@@ -325,27 +337,27 @@ func Table2(s Sizes) ([]Row, error) {
 
 // Fig4 reproduces the NAS-LU speedup curves.
 func Fig4(s Sizes) ([]Row, error) {
-	return sweep("fig4",
+	return sweep("fig4", "",
 		func(v workloads.Variant) string { return workloads.LU(s.LUN, s.LUIters, v) },
 		s, func(p int) *machine.Config { return luMachine(s, p) })
 }
 
 // Fig5 reproduces the matrix-transpose speedup curves.
 func Fig5(s Sizes) ([]Row, error) {
-	return sweep("fig5",
+	return sweep("fig5", "scaled",
 		func(v workloads.Variant) string { return workloads.Transpose(s.TransN, s.TransIters, v) },
 		s, func(p int) *machine.Config { return machine.Scaled(p) })
 }
 
 // Fig6 reproduces the small-input 2-D convolution, one- and two-level.
 func Fig6(s Sizes) ([]Row, error) {
-	r1, err := sweep("fig6-1level",
+	r1, err := sweep("fig6-1level", "scaled",
 		func(v workloads.Variant) string { return workloads.Convolution(s.ConvSmallN, s.ConvIters, 1, v) },
 		s, func(p int) *machine.Config { return machine.Scaled(p) })
 	if err != nil {
 		return nil, err
 	}
-	r2, err := sweep("fig6-2level",
+	r2, err := sweep("fig6-2level", "scaled",
 		func(v workloads.Variant) string { return workloads.Convolution(s.ConvSmallN, s.ConvIters, 2, v) },
 		s, func(p int) *machine.Config { return machine.Scaled(p) })
 	if err != nil {
@@ -356,13 +368,13 @@ func Fig6(s Sizes) ([]Row, error) {
 
 // Fig7 reproduces the large-input 2-D convolution, one- and two-level.
 func Fig7(s Sizes) ([]Row, error) {
-	r1, err := sweep("fig7-1level",
+	r1, err := sweep("fig7-1level", "scaled",
 		func(v workloads.Variant) string { return workloads.Convolution(s.ConvLargeN, s.ConvIters, 1, v) },
 		s, func(p int) *machine.Config { return machine.Scaled(p) })
 	if err != nil {
 		return nil, err
 	}
-	r2, err := sweep("fig7-2level",
+	r2, err := sweep("fig7-2level", "scaled",
 		func(v workloads.Variant) string { return workloads.Convolution(s.ConvLargeN, s.ConvIters, 2, v) },
 		s, func(p int) *machine.Config { return machine.Scaled(p) })
 	if err != nil {
@@ -375,10 +387,18 @@ func Fig7(s Sizes) ([]Row, error) {
 // the points out over a bounded worker pool (Sizes.Par). Every point builds
 // its own machine/runtime, so points are independent; a sweep-wide compile
 // cache deduplicates the per-variant compiles. Rows come back in the fixed
-// variant-major, processor-minor order regardless of parallelism.
-func sweep(exp string, gen func(workloads.Variant) string, s Sizes,
+// variant-major, processor-minor order regardless of parallelism. preset
+// names the machine preset when mkCfg is one ("" when it is not — such
+// sweeps cannot be expressed as remote job specs and reject Sizes.Remote).
+func sweep(exp, preset string, gen func(workloads.Variant) string, s Sizes,
 	mkCfg func(int) *machine.Config) ([]Row, error) {
 
+	if s.Remote != nil {
+		if preset == "" {
+			return nil, fmt.Errorf("%s: not runnable via -remote (its machine is customized beyond a preset, which a job spec cannot express)", exp)
+		}
+		return remoteSweep(exp, preset, gen, s, mkCfg)
+	}
 	cache := core.NewBuildCache()
 	baseCfg := mkCfg(1)
 	baseRes, err := runOne(cache, gen(workloads.Serial), xform.O3(), baseCfg, ospage.FirstTouch, s.Engine, s.Tier)

@@ -43,6 +43,9 @@ const redistIters = 2
 // RedistCyc attribution; Speedup is serial-model cycles over
 // scheduled-model cycles at the same point.
 func Redist(s Sizes) ([]Row, error) {
+	if s.Remote != nil {
+		return nil, fmt.Errorf("redist: not runnable via -remote (RedistCyc needs a local recorder attached to the run)")
+	}
 	sizes := []int{s.ConvSmallN, s.TransN}
 	modes := []struct {
 		label  string

@@ -1,0 +1,129 @@
+// Remote sweeps: when Sizes.Remote is set (dsmbench -remote), a figure
+// sweep becomes one batched dsmd submission instead of a local fan-out.
+// The whole sweep — serial baseline plus every variant × P point — goes up
+// as a single POST /batch (atomic all-or-429 admission, per-element
+// cache/coalesce), and completion is followed point by point through
+// ForEachProgress so the -progress meter renders the same live line
+// (done/total, ETA, deterministic lowest-index failure) a local sweep
+// gets. Determinism makes the returned rows identical to local ones in
+// every simulated field; only WallMS (here: the host time following the
+// point) differs, exactly as it does between two local runs.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"dsmdist/internal/core"
+	"dsmdist/internal/machine"
+	"dsmdist/internal/service"
+	"dsmdist/internal/workloads"
+	"dsmdist/internal/xform"
+)
+
+// remoteSweep ships one figure sweep to the dsmd service as a batch.
+// preset is the machine preset name shared by every point (sweeps with
+// customized machines are rejected before this is called).
+func remoteSweep(exp, preset string, gen func(workloads.Variant) string, s Sizes,
+	mkCfg func(int) *machine.Config) ([]Row, error) {
+
+	off := false
+	batch := &service.BatchRequest{
+		Defaults: service.JobRequest{
+			Machine:       preset,
+			Opt:           "O3",
+			RuntimeChecks: &off, // measurement runs, as in the paper
+		},
+		NoWait: true,
+	}
+	// Element 0: the serial baseline every speedup is computed against.
+	batch.Jobs = append(batch.Jobs, service.JobRequest{
+		Sources: map[string]string{"bench.f": gen(workloads.Serial)},
+		Procs:   1,
+	})
+	type point struct {
+		vr variantRun
+		p  int
+	}
+	var points []point
+	for _, vr := range figureVariants() {
+		if vr.opt != xform.O3() {
+			return nil, fmt.Errorf("%s: variant %s uses a non-O3 optimization set; teach remoteSweep to encode it before running remotely", exp, vr.label)
+		}
+		for _, p := range s.Procs {
+			points = append(points, point{vr, p})
+			batch.Jobs = append(batch.Jobs, service.JobRequest{
+				Sources: map[string]string{"bench.f": gen(vr.variant)},
+				Procs:   p,
+				Policy:  vr.policy.String(),
+			})
+		}
+	}
+
+	views, err := s.Remote.RunBatch(batch)
+	if err != nil {
+		return nil, fmt.Errorf("%s: batch submit: %w", exp, err)
+	}
+	docs := make([]*core.ResultDoc, len(views))
+	walls := make([]float64, len(views))
+	meter, onDone := meterFor(s, exp, len(views), nil)
+	err = ForEachProgress(s.Par, len(views), func(i int) error {
+		t0 := time.Now()
+		v := &views[i]
+		if v.State != service.StateDone {
+			fv, err := s.Remote.WaitJob(v.ID)
+			if err != nil {
+				return fmt.Errorf("%s point %d: %w", exp, i, err)
+			}
+			v = fv
+		}
+		var doc core.ResultDoc
+		if err := json.Unmarshal(v.Result, &doc); err != nil {
+			return fmt.Errorf("%s point %d: bad result document: %w", exp, i, err)
+		}
+		docs[i] = &doc
+		walls[i] = float64(time.Since(t0)) / float64(time.Millisecond)
+		return nil
+	}, onDone)
+	if meter != nil {
+		meter.Finish()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	base := docs[0].Measured()
+	rows := make([]Row, len(points))
+	for i, pt := range points {
+		rows[i] = rowFromDoc(exp, pt.vr.label, pt.p, mkCfg(pt.p), docs[i+1], base)
+		rows[i].WallMS = walls[i+1]
+	}
+	return rows, nil
+}
+
+// rowFromDoc converts a service result document into the Row a local run
+// of the same point produces: identical in every simulated field (the
+// document's counters are the run's counters, and Seconds/TLBPct/Speedup
+// are recomputed with the same formulas as rowFrom).
+func rowFromDoc(exp, variant string, p int, cfg *machine.Config, doc *core.ResultDoc, base int64) Row {
+	r := Row{
+		V:   1,
+		Exp: exp, Variant: variant, P: p,
+		Cycles:  doc.Measured(),
+		L2Miss:  doc.Total.L2Miss,
+		Remote:  doc.Total.L2MissRemote,
+		HwDiv:   doc.HwDiv,
+		SoftDiv: doc.SoftDiv,
+		Instrs:  doc.Instrs,
+		Stats:   doc.Total,
+	}
+	r.Seconds = cfg.Seconds(r.Cycles)
+	if r.Cycles > 0 {
+		r.TLBPct = float64(doc.Total.TLBCyc) / float64(r.Cycles*int64(p))
+	}
+	if base > 0 {
+		r.Speedup = float64(base) / float64(r.Cycles)
+	}
+	return r
+}

@@ -1,12 +1,18 @@
 package obs
 
+// DashboardHTML returns the self-contained live dashboard page, for hosts
+// that mount it somewhere other than the local -serve root (the service
+// serves it at /jobs/{id}/).
+func DashboardHTML() string { return dashboardHTML }
+
 // dashboardHTML is the self-contained live dashboard served at /. It polls
-// /snapshot and /series once a second and renders the per-region cycle
-// breakdown (stacked bars over a fixed category order, with a legend and a
-// table view) and the per-array×node remote-miss heat map (single-hue
-// sequential ramp). All styling is inline so the page works with no other
-// assets; colors follow the repo's chart palette with a dark variant keyed
-// to prefers-color-scheme.
+// snapshot and series (relative URLs, so the page works both at the local
+// -serve root and under the service's /jobs/{id}/ prefix) once a second
+// and renders the per-region cycle breakdown (stacked bars over a fixed
+// category order, with a legend and a table view) and the per-array×node
+// remote-miss heat map (single-hue sequential ramp). All styling is inline
+// so the page works with no other assets; colors follow the repo's chart
+// palette with a dark variant keyed to prefers-color-scheme.
 const dashboardHTML = `<!doctype html>
 <html lang="en">
 <head>
@@ -218,14 +224,28 @@ function renderSpark(series) {
     rows.length + " samples, peak " + fmt(max) + " remote misses/sample";
 }
 
+// The local -serve endpoint returns a {v, sample_cycles, rows} document;
+// the service's /jobs/{id}/series streams raw JSONL rows. Accept both.
+function parseSeries(text) {
+  text = text.trim();
+  if (!text) return {rows: []};
+  try {
+    var doc = JSON.parse(text);
+    return doc.rows ? doc : {rows: [doc]};
+  } catch (e) {
+    return {rows: text.split("\n").map(function (l) { return JSON.parse(l); })};
+  }
+}
+
 var stopped = false;
 function tick() {
-  fetch("/snapshot").then(function (r) { return r.json(); }).then(function (snap) {
+  fetch("snapshot").then(function (r) { return r.json(); }).then(function (snap) {
     renderMeta(snap);
     renderRegions(snap);
     renderHeat(snap);
     if (snap.done) stopped = true;
-    return fetch("/series").then(function (r) { return r.json(); }).then(renderSpark);
+    return fetch("series?nofollow=1").then(function (r) { return r.text(); })
+      .then(function (text) { renderSpark(parseSeries(text)); });
   }).catch(function (err) {
     document.getElementById("meta").textContent = "fetch failed: " + err;
   }).then(function () {

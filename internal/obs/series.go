@@ -174,6 +174,28 @@ func (r *Recorder) SeriesRows() []json.RawMessage {
 	return out
 }
 
+// SeriesRowsFrom returns the rows emitted at index n and beyond plus
+// whether the final row has been published — the incremental read behind
+// the service's /jobs/{id}/series streamer. Safe to call concurrently
+// with the run.
+func (r *Recorder) SeriesRowsFrom(n int) ([]json.RawMessage, bool) {
+	if r == nil || r.series == nil {
+		return nil, true
+	}
+	s := r.series
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n > len(s.rows) {
+		n = len(s.rows)
+	}
+	out := make([]json.RawMessage, len(s.rows)-n)
+	copy(out, s.rows[n:])
+	return out, s.done
+}
+
 // SeriesErr returns the first error writing rows to the series output.
 func (r *Recorder) SeriesErr() error {
 	if r == nil || r.series == nil {

@@ -25,6 +25,10 @@ type Client struct {
 	// simulations legitimately run long; rely on context/server limits).
 	HTTP *http.Client
 
+	// backoff is the base delay of the 429 retry loop (attempt i sleeps
+	// (i+1)×backoff; 0 = 100ms). Tests shorten it.
+	backoff time.Duration
+
 	requests  atomic.Int64
 	cacheHits atomic.Int64
 }
@@ -59,10 +63,87 @@ func (c *Client) Health() error {
 	return nil
 }
 
+// post sends a JSON body, retrying 429 (a full queue is the one retryable
+// admission failure; back off briefly instead of failing a whole sweep for
+// a transient spike), and returns the response body and status.
+func (c *Client) post(path string, body []byte) ([]byte, int, error) {
+	base := c.backoff
+	if base == 0 {
+		base = 100 * time.Millisecond
+	}
+	var resp *http.Response
+	var err error
+	for attempt := 0; ; attempt++ {
+		resp, err = c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, 0, fmt.Errorf("service: submit to %s: %w", c.Base, err)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= 5 {
+			break
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		time.Sleep(time.Duration(attempt+1) * base)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("service: read response: %w", err)
+	}
+	return data, resp.StatusCode, nil
+}
+
+// statusError renders a non-OK response as an error.
+func statusError(status int, data []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	text := http.StatusText(status)
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("service: %d %s: %s", status, text, e.Error)
+	}
+	return fmt.Errorf("service: %d %s: %s", status, text, strings.TrimSpace(string(data)))
+}
+
+// canonicalizeResult re-derives the canonical result encoding: the
+// transport re-indents the nested result document to its depth in the
+// JobView, so reformat back to 2-space indent + final newline — the exact
+// bytes the server stored. Indent copies tokens verbatim, so this is a
+// pure reformat.
+func canonicalizeResult(view *JobView) error {
+	if len(view.Result) == 0 {
+		return nil
+	}
+	var doc bytes.Buffer
+	if err := json.Indent(&doc, view.Result, "", "  "); err != nil {
+		return fmt.Errorf("service: bad result document: %w", err)
+	}
+	doc.WriteByte('\n')
+	view.Result = doc.Bytes()
+	return nil
+}
+
+// finished converts a terminal view into the caller's result: a failed
+// (or impossibly non-terminal) job becomes an error.
+func finished(view *JobView) (*JobView, error) {
+	if view.State == StateFailed {
+		return nil, fmt.Errorf("service: job %s failed: %s", view.ID, view.Error)
+	}
+	if view.State != StateDone {
+		return nil, fmt.Errorf("service: job %s ended in state %q", view.ID, view.State)
+	}
+	return view, nil
+}
+
 // Run submits a job and blocks until it finishes (req.NoWait is forced
 // off), returning the job view with its result document. A failed job is
 // returned as an error.
 func (c *Client) Run(req *JobRequest) (*JobView, error) {
+	// Count the submission attempt up front, whatever its fate: transport
+	// errors, non-OK statuses, exhausted 429 retries and failed jobs must
+	// all show up in Requests(), or the cache-hit ratio clients print
+	// overstates the hits.
+	c.requests.Add(1)
 	req.NoWait = false
 	if req.Tenant == "" {
 		req.Tenant = c.Tenant
@@ -71,20 +152,76 @@ func (c *Client) Run(req *JobRequest) (*JobView, error) {
 	if err != nil {
 		return nil, err
 	}
-	// A full queue is the one retryable admission failure; back off
-	// briefly instead of failing a whole sweep for a transient spike.
-	var resp *http.Response
-	for attempt := 0; ; attempt++ {
-		resp, err = c.HTTP.Post(c.Base+"/jobs", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return nil, fmt.Errorf("service: submit to %s: %w", c.Base, err)
+	data, status, err := c.post("/jobs", body)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, statusError(status, data)
+	}
+	var view JobView
+	if err := json.Unmarshal(data, &view); err != nil {
+		return nil, fmt.Errorf("service: bad job response: %w", err)
+	}
+	if err := canonicalizeResult(&view); err != nil {
+		return nil, err
+	}
+	if view.Cached || view.Coalesced {
+		c.cacheHits.Add(1)
+	}
+	return finished(&view)
+}
+
+// RunBatch submits a whole batch in one POST /batch round trip. Admission
+// is atomic (all-or-429 server side, with the same bounded retry as Run
+// in front); every element counts toward Requests(), and elements served
+// from the result cache or coalesced count toward CacheHits(). Views come
+// back in request order with canonical result bytes. With req.NoWait the
+// views may still be queued/running — WaitJob follows them to completion;
+// without it, callers should still check per-element State (a failed
+// element does not fail the batch call).
+func (c *Client) RunBatch(req *BatchRequest) ([]JobView, error) {
+	c.requests.Add(int64(len(req.Jobs)))
+	if req.Defaults.Tenant == "" {
+		req.Defaults.Tenant = c.Tenant
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	data, status, err := c.post("/batch", body)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, statusError(status, data)
+	}
+	var view BatchView
+	if err := json.Unmarshal(data, &view); err != nil {
+		return nil, fmt.Errorf("service: bad batch response: %w", err)
+	}
+	if len(view.Jobs) != len(req.Jobs) {
+		return nil, fmt.Errorf("service: batch returned %d views for %d jobs", len(view.Jobs), len(req.Jobs))
+	}
+	for i := range view.Jobs {
+		if err := canonicalizeResult(&view.Jobs[i]); err != nil {
+			return nil, err
 		}
-		if resp.StatusCode != http.StatusTooManyRequests || attempt >= 5 {
-			break
+		if view.Jobs[i].Cached || view.Jobs[i].Coalesced {
+			c.cacheHits.Add(1)
 		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		time.Sleep(time.Duration(100*(attempt+1)) * time.Millisecond)
+	}
+	return view.Jobs, nil
+}
+
+// WaitJob blocks until job id finishes (the GET /jobs/{id}?wait=1 long
+// poll) and returns the finished view with canonical result bytes. It is
+// a status follow for jobs already submitted — typically a nowait batch's
+// elements — not a submission: no Requests()/CacheHits() accounting.
+func (c *Client) WaitJob(id string) (*JobView, error) {
+	resp, err := c.HTTP.Get(c.Base + "/jobs/" + id + "?wait=1")
+	if err != nil {
+		return nil, fmt.Errorf("service: wait for job %s: %w", id, err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
@@ -92,39 +229,14 @@ func (c *Client) Run(req *JobRequest) (*JobView, error) {
 		return nil, fmt.Errorf("service: read response: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("service: %s: %s", resp.Status, e.Error)
-		}
-		return nil, fmt.Errorf("service: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+		return nil, statusError(resp.StatusCode, data)
 	}
 	var view JobView
 	if err := json.Unmarshal(data, &view); err != nil {
 		return nil, fmt.Errorf("service: bad job response: %w", err)
 	}
-	// The transport re-indents the nested result document to its depth in
-	// the JobView; re-derive the canonical encoding (2-space indent, final
-	// newline) so callers get the exact bytes the server stored. Indent
-	// copies tokens verbatim, so this is a pure reformat.
-	if len(view.Result) > 0 {
-		var doc bytes.Buffer
-		if err := json.Indent(&doc, view.Result, "", "  "); err != nil {
-			return nil, fmt.Errorf("service: bad result document: %w", err)
-		}
-		doc.WriteByte('\n')
-		view.Result = doc.Bytes()
+	if err := canonicalizeResult(&view); err != nil {
+		return nil, err
 	}
-	c.requests.Add(1)
-	if view.Cached || view.Coalesced {
-		c.cacheHits.Add(1)
-	}
-	if view.State == StateFailed {
-		return nil, fmt.Errorf("service: job %s failed: %s", view.ID, view.Error)
-	}
-	if view.State != StateDone {
-		return nil, fmt.Errorf("service: job %s ended in state %q", view.ID, view.State)
-	}
-	return &view, nil
+	return finished(&view)
 }

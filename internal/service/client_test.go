@@ -1,0 +1,87 @@
+// Client-side accounting contract: every submission attempt shows up in
+// Requests(), whatever its fate — transport refusals, exhausted 429
+// retries, validation rejections and failed jobs included. The cache-hit
+// summary dsmbench/dsmadvise print divides CacheHits by Requests, so an
+// uncounted failure silently inflates the ratio.
+package service
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClientCountsRejectedSubmissions: submissions that never produce a
+// result — a queue permanently full (429 through every retry) and a
+// request the server rejects outright (400) — still count.
+func TestClientCountsRejectedSubmissions(t *testing.T) {
+	full := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"service: job queue is full"}`))
+	}))
+	defer full.Close()
+
+	cli := NewClient(full.URL)
+	cli.backoff = time.Millisecond
+	if _, err := cli.Run(fakeReq("t", 1)); err == nil {
+		t.Fatal("Run against an always-full queue succeeded")
+	} else if !strings.Contains(err.Error(), "429") {
+		t.Fatalf("Run error = %v, want the 429 surfaced", err)
+	}
+	if got := cli.Requests(); got != 1 {
+		t.Fatalf("Requests() = %d after a rejected Run, want 1", got)
+	}
+
+	// A batch counts every element it tried to submit, admitted or not.
+	batch := &BatchRequest{Jobs: []JobRequest{*fakeReq("t", 1), *fakeReq("t", 2), *fakeReq("t", 3)}}
+	if _, err := cli.RunBatch(batch); err == nil {
+		t.Fatal("RunBatch against an always-full queue succeeded")
+	}
+	if got := cli.Requests(); got != 4 {
+		t.Fatalf("Requests() = %d after a rejected batch of 3, want 4", got)
+	}
+	if got := cli.CacheHits(); got != 0 {
+		t.Fatalf("CacheHits() = %d, want 0 (nothing succeeded)", got)
+	}
+
+	// Validation rejection (400): counted too.
+	srv := New(Options{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	cli2 := NewClient(hs.URL)
+	if _, err := cli2.Run(&JobRequest{}); err == nil {
+		t.Fatal("Run with no sources succeeded")
+	}
+	if got := cli2.Requests(); got != 1 {
+		t.Fatalf("Requests() = %d after a validation rejection, want 1", got)
+	}
+}
+
+// TestClientCountsFailedJobs: a job the server admits but that fails to
+// simulate comes back as an error from Run — and is still a counted
+// submission.
+func TestClientCountsFailedJobs(t *testing.T) {
+	srv := New(Options{
+		runJob: func(j *Job) ([]byte, error) {
+			return nil, errors.New("synthetic simulation failure")
+		},
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	cli := NewClient(hs.URL)
+	_, err := cli.Run(fakeReq("t", 1))
+	if err == nil || !strings.Contains(err.Error(), "synthetic simulation failure") {
+		t.Fatalf("Run of a failing job: err = %v, want the job failure surfaced", err)
+	}
+	if got := cli.Requests(); got != 1 {
+		t.Fatalf("Requests() = %d after a failed job, want 1", got)
+	}
+	if got := cli.CacheHits(); got != 0 {
+		t.Fatalf("CacheHits() = %d, want 0", got)
+	}
+}

@@ -1,8 +1,13 @@
-package service
+// Tests of the client-facing contracts that live above the HTTP surface:
+// canonical result bytes and the advisor's remote verification (per-point
+// and batched). External test package: the advisor transitively imports
+// experiments, which imports service for its own -remote mode.
+package service_test
 
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -11,15 +16,25 @@ import (
 	"dsmdist/internal/core"
 	"dsmdist/internal/machine"
 	"dsmdist/internal/ospage"
+	"dsmdist/internal/service"
 	"dsmdist/internal/workloads"
 )
 
-// remoteVerify mirrors the dsmadvise -remote hook: one verification point
-// becomes one service job, measured cycles come out of the result document.
-func remoteVerify(cli *Client) func(map[string]string, int, ospage.Policy) (int64, error) {
+func remoteTransposeReq() *service.JobRequest {
+	return &service.JobRequest{
+		Sources: map[string]string{"t.f": workloads.Transpose(16, 1, workloads.Reshaped)},
+		Machine: "tiny",
+		Procs:   2,
+	}
+}
+
+// remoteVerify mirrors the dsmadvise -remote per-point hook: one
+// verification point becomes one service job, measured cycles come out of
+// the result document.
+func remoteVerify(cli *service.Client) func(map[string]string, int, ospage.Policy) (int64, error) {
 	off := false
 	return func(srcs map[string]string, p int, policy ospage.Policy) (int64, error) {
-		view, err := cli.Run(&JobRequest{
+		view, err := cli.Run(&service.JobRequest{
 			Sources:       srcs,
 			Machine:       "tiny",
 			Procs:         p,
@@ -37,6 +52,40 @@ func remoteVerify(cli *Client) func(map[string]string, int, ospage.Policy) (int6
 	}
 }
 
+// remoteVerifyBatch mirrors the dsmadvise -remote batch hook: the whole
+// fan-out ships as one atomically admitted batch.
+func remoteVerifyBatch(cli *service.Client) func([]advisor.VerifyPoint) ([]int64, error) {
+	off := false
+	return func(points []advisor.VerifyPoint) ([]int64, error) {
+		batch := &service.BatchRequest{
+			Defaults: service.JobRequest{Machine: "tiny", RuntimeChecks: &off},
+		}
+		for _, pt := range points {
+			batch.Jobs = append(batch.Jobs, service.JobRequest{
+				Sources: pt.Sources,
+				Procs:   pt.Procs,
+				Policy:  pt.Policy.String(),
+			})
+		}
+		views, err := cli.RunBatch(batch)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, len(views))
+		for i := range views {
+			if views[i].State != service.StateDone {
+				return nil, fmt.Errorf("job %s ended %s: %s", views[i].ID, views[i].State, views[i].Error)
+			}
+			var doc core.ResultDoc
+			if err := json.Unmarshal(views[i].Result, &doc); err != nil {
+				return nil, err
+			}
+			out[i] = doc.Measured()
+		}
+		return out, nil
+	}
+}
+
 // TestClientCanonicalResultBytes: the bytes a Client hands back are exactly
 // the canonical document the server stored — the transport's re-indentation
 // of the nested result is undone — so dsmrun -remote -json output is
@@ -45,20 +94,20 @@ func TestClientCanonicalResultBytes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulator run")
 	}
-	store, err := OpenStore(t.TempDir(), 0)
+	store, err := service.OpenStore(t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(Options{Store: store})
+	srv := service.New(service.Options{Store: store})
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 
-	cli := NewClient(hs.URL)
-	view, err := cli.Run(transposeReq())
+	cli := service.NewClient(hs.URL)
+	view, err := cli.Run(remoteTransposeReq())
 	if err != nil {
 		t.Fatal(err)
 	}
-	stored, ok := store.Get(KindResult, view.Key)
+	stored, ok := store.Get(service.KindResult, view.Key)
 	if !ok {
 		t.Fatalf("no stored result under the returned key %s", view.Key)
 	}
@@ -69,18 +118,19 @@ func TestClientCanonicalResultBytes(t *testing.T) {
 }
 
 // TestAdvisorRemoteVerify runs the advisor's verification fan-out through a
-// live dsmd server twice: the second run must be served entirely from the
-// content-addressed result cache, and both reports — plus a purely local
-// advise — must be identical, because simulation is deterministic.
+// live dsmd server three ways — per-point on a cold cache, batched on the
+// warm cache, purely local — and all three reports must be identical,
+// because simulation is deterministic. The warm batched run must be served
+// entirely from the content-addressed result cache.
 func TestAdvisorRemoteVerify(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulator run")
 	}
-	store, err := OpenStore(t.TempDir(), 0)
+	store, err := service.OpenStore(t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(Options{Store: store})
+	srv := service.New(service.Options{Store: store})
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 
@@ -95,15 +145,17 @@ func TestAdvisorRemoteVerify(t *testing.T) {
 		return b.String()
 	}
 
-	cli1 := NewClient(hs.URL)
+	cli1 := service.NewClient(hs.URL)
 	opts.Verify = remoteVerify(cli1)
 	rep1, err := advisor.Advise(src, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	cli2 := NewClient(hs.URL)
-	opts.Verify = remoteVerify(cli2)
+	// Warm repeat through the batch hook: one POST, every element cached.
+	cli2 := service.NewClient(hs.URL)
+	opts.Verify = nil
+	opts.VerifyBatch = remoteVerifyBatch(cli2)
 	rep2, err := advisor.Advise(src, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -113,11 +165,11 @@ func TestAdvisorRemoteVerify(t *testing.T) {
 			cli2.CacheHits(), cli2.Requests())
 	}
 	if render(rep1) != render(rep2) {
-		t.Fatal("remote reports differ between a cold and a warm cache")
+		t.Fatal("batched remote report differs from the per-point one")
 	}
 
 	// The remote report matches a purely local verification bit for bit.
-	opts.Verify = nil
+	opts.VerifyBatch = nil
 	local, err := advisor.Advise(src, opts)
 	if err != nil {
 		t.Fatal(err)

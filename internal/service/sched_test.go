@@ -1,0 +1,116 @@
+// Scheduler × hostpool interaction. The pool is consulted outside the
+// server mutex (its own lock; coupling the two invites inversions), and a
+// dry pool must degrade to serial progress — the first running job rides
+// the server's implicit worker and needs no grant — never to a wedged
+// queue.
+package service
+
+import (
+	"sync"
+	"testing"
+
+	"dsmdist/internal/hostpool"
+)
+
+// runCounted returns a runJob hook tracking peak concurrency.
+func runCounted(mu *sync.Mutex, cur, peak *int, gate chan struct{}) func(*Job) ([]byte, error) {
+	return func(j *Job) ([]byte, error) {
+		mu.Lock()
+		*cur++
+		if *cur > *peak {
+			*peak = *cur
+		}
+		mu.Unlock()
+		if gate != nil {
+			<-gate
+		}
+		mu.Lock()
+		*cur--
+		mu.Unlock()
+		return []byte(`{"v":1}`), nil
+	}
+}
+
+// TestSchedulerDryHostpool: with a budget of 1 the pool never grants a
+// second worker (Acquire keeps one slot for the caller), so distinct jobs
+// must run strictly serially — and all of them must still complete.
+func TestSchedulerDryHostpool(t *testing.T) {
+	prev := hostpool.SetBudget(1)
+	defer hostpool.SetBudget(prev)
+
+	var mu sync.Mutex
+	var cur, peak int
+	srv := New(Options{TenantLimit: 8, runJob: runCounted(&mu, &cur, &peak, nil)})
+
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		j, _, err := srv.Submit(fakeReq("t", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		waitDone(t, srv, j)
+		if j.State != StateDone {
+			t.Fatalf("job %s: state=%s err=%q", j.ID, j.State, j.Err)
+		}
+	}
+	mu.Lock()
+	got := peak
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("peak concurrency = %d on a dry pool, want 1", got)
+	}
+	if hostpool.InUse() != 0 {
+		t.Fatalf("hostpool workers leaked: %d in use", hostpool.InUse())
+	}
+}
+
+// TestSchedulerPoolDrawnDownExternally: a colocated consumer (a local
+// sweep) holding the entire budget must not wedge the service — jobs keep
+// completing one at a time, and the pool is untouched when they finish.
+func TestSchedulerPoolDrawnDownExternally(t *testing.T) {
+	prev := hostpool.SetBudget(4)
+	defer hostpool.SetBudget(prev)
+	grant := hostpool.Acquire(3) // all that budget 4 offers (one slot stays with the caller)
+	if grant != 3 {
+		hostpool.Release(grant)
+		t.Fatalf("setup: acquired %d of 3", grant)
+	}
+	defer hostpool.Release(grant)
+
+	var mu sync.Mutex
+	var cur, peak int
+	gate := make(chan struct{})
+	srv := New(Options{TenantLimit: 8, runJob: runCounted(&mu, &cur, &peak, gate)})
+
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		j, _, err := srv.Submit(fakeReq("t", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	// Exactly one job can be running; release them through one by one.
+	waitStats(t, srv, func(st Stats) bool { return st.Running == 1 })
+	for range jobs {
+		gate <- struct{}{}
+	}
+	for _, j := range jobs {
+		waitDone(t, srv, j)
+		if j.State != StateDone {
+			t.Fatalf("job %s: state=%s err=%q", j.ID, j.State, j.Err)
+		}
+	}
+	mu.Lock()
+	got := peak
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("peak concurrency = %d with the pool drawn down, want 1", got)
+	}
+	if hostpool.InUse() != 3 {
+		t.Fatalf("hostpool in use = %d, want the external grant of 3 only", hostpool.InUse())
+	}
+}

@@ -88,6 +88,11 @@ type JobRequest struct {
 	// Tenant attributes the job for per-tenant concurrency limiting
 	// (default "default").
 	Tenant string `json:"tenant,omitempty"`
+	// Sample sets the live-series sampling interval in simulated cycles
+	// (0 = the obs default). Host-side observability only: like Engine and
+	// Tier it is NOT part of the cache key, and a submission served from
+	// the result cache has no series of its own.
+	Sample int64 `json:"sample,omitempty"`
 	// NoWait makes POST /jobs return immediately with the queued job
 	// instead of blocking until it finishes.
 	NoWait bool `json:"nowait,omitempty"`
@@ -99,6 +104,7 @@ type jobSpec struct {
 	core.JobSpec
 	engine exec.Engine
 	tier   exec.Tier
+	sample int64
 	mach   func(int) *machine.Config
 }
 
@@ -116,7 +122,15 @@ type Job struct {
 	Result    []byte // canonical ResultDoc bytes (done jobs)
 
 	spec jobSpec
-	rec  *obs.Recorder // live while running; feeds /jobs/{id}/snapshot
+	rec  *obs.Recorder // live while running; feeds /jobs/{id}/snapshot|series
+
+	// Retained observability artifacts of a finished simulation (bounded
+	// by maxSeriesJobs): the full series rows and the final snapshot
+	// document, so /jobs/{id}/series and the job dashboard keep working
+	// after the run — the same after-the-run behavior a local -serve has.
+	series []json.RawMessage
+	snap   []byte
+
 	done chan struct{}
 }
 
@@ -168,16 +182,27 @@ type Server struct {
 	inflight      map[string]*Job // queued/running, by JobKey — the coalescing map
 	queue         []*Job          // FIFO of queued jobs
 	doneOrder     []string        // finished job IDs, oldest first (retention)
+	seriesOrder   []string        // finished jobs with retained series, oldest first
 	running       int
 	tenantRunning map[string]int
 	nextID        int64
 	draining      bool
 	simulations   int64 // actual simulations executed (cache-effectiveness counter)
+
+	// Scheduler serialization: exactly one schedule() loop runs at a
+	// time; concurrent wakers set schedWake and the active loop re-scans.
+	scheduling bool
+	schedWake  bool
 }
 
 // maxDoneJobs bounds retained finished job records; older ones are pruned
 // (their results live on in the store).
 const maxDoneJobs = 4096
+
+// maxSeriesJobs bounds finished jobs whose series rows and final snapshot
+// stay resident (rows grow with run length; results are tiny by
+// comparison and get the larger maxDoneJobs bound).
+const maxSeriesJobs = 64
 
 // New builds a Server.
 func New(opts Options) *Server {
@@ -278,6 +303,9 @@ func validate(req *JobRequest) (jobSpec, error) {
 	if req.Quantum < 0 {
 		return spec, fmt.Errorf("service: bad quantum %d", req.Quantum)
 	}
+	if req.Sample < 0 {
+		return spec, fmt.Errorf("service: bad sample interval %d", req.Sample)
+	}
 
 	spec.JobSpec = core.JobSpec{
 		Sources:       req.Sources,
@@ -290,6 +318,7 @@ func validate(req *JobRequest) (jobSpec, error) {
 		RedistSerial:  redistSerial,
 	}
 	spec.engine, spec.tier = engine, tier
+	spec.sample = req.Sample
 	return spec, nil
 }
 
@@ -335,22 +364,25 @@ func (s *Server) Submit(req *JobRequest) (j *Job, attached bool, err error) {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		return nil, false, ErrDraining
 	}
 	if j := s.inflight[key]; j != nil {
 		j.Coalesced++
+		s.mu.Unlock()
 		return j, true, nil
 	}
 	if len(s.queue) >= s.opts.MaxQueue {
+		s.mu.Unlock()
 		return nil, false, ErrQueueFull
 	}
 	j = s.newJobLocked(key, tenant, spec)
 	j.State = StateQueued
 	s.inflight[key] = j
 	s.queue = append(s.queue, j)
-	s.scheduleLocked()
+	s.mu.Unlock()
+	s.schedule()
 	return j, false, nil
 }
 
@@ -401,42 +433,79 @@ func (s *Server) View(j *Job, attached bool) JobView {
 	}
 }
 
-// scheduleLocked starts every currently admissible queued job. Admission:
+// nextRunnableLocked returns the first queued job admissible under the
+// per-tenant and global caps, with its queue index. Callers hold mu.
+func (s *Server) nextRunnableLocked() (*Job, int) {
+	if s.opts.MaxConcurrent > 0 && s.running >= s.opts.MaxConcurrent {
+		return nil, 0
+	}
+	for qi, j := range s.queue {
+		if s.tenantRunning[j.Tenant] >= s.opts.TenantLimit {
+			continue
+		}
+		return j, qi
+	}
+	return nil, 0
+}
+
+// schedule starts every currently admissible queued job. Admission:
 // FIFO order, per-tenant running cap, optional global cap, and — beyond
 // the first concurrently running job, which rides on the server's own
 // implicit hostpool worker — one host-worker grant per job from the shared
 // hostpool budget, so service jobs and colocated local sweeps never
 // oversubscribe the machine. Jobs denied a grant stay queued; every job
 // completion re-runs the scheduler, so progress is guaranteed (the first
-// slot never needs a grant). Callers hold mu.
-func (s *Server) scheduleLocked() {
+// slot never needs a grant).
+//
+// hostpool calls happen OUTSIDE the server mutex: the pool has its own
+// lock, and coupling the two on every job boundary invites lock-order
+// inversions as either side grows. To keep admission race-free without
+// holding mu across Acquire, the candidate job is pulled off the queue
+// before unlocking (reserving it) and exactly one schedule loop runs at a
+// time — concurrent wakers set schedWake and the active loop re-scans.
+func (s *Server) schedule() {
+	s.mu.Lock()
+	if s.scheduling {
+		s.schedWake = true
+		s.mu.Unlock()
+		return
+	}
+	s.scheduling = true
 	for {
-		started := false
-		for qi, j := range s.queue {
-			if s.tenantRunning[j.Tenant] >= s.opts.TenantLimit {
-				continue
-			}
-			if s.opts.MaxConcurrent > 0 && s.running >= s.opts.MaxConcurrent {
+		s.schedWake = false
+		j, qi := s.nextRunnableLocked()
+		if j == nil {
+			break
+		}
+		// Reserve the job so no concurrent waker can consider it while
+		// the mutex is released for the pool call.
+		s.queue = append(s.queue[:qi], s.queue[qi+1:]...)
+		grant := 0
+		if s.running > 0 {
+			s.mu.Unlock()
+			grant = hostpool.Acquire(1)
+			s.mu.Lock()
+			if grant == 0 {
+				// Pool dry: put the job back where it was (only tail
+				// appends can have happened meanwhile) and stop; the next
+				// completion releases a grant and re-runs the scheduler.
+				s.queue = append(s.queue[:qi], append([]*Job{j}, s.queue[qi:]...)...)
 				break
 			}
-			grant := 0
-			if s.running > 0 {
-				if grant = hostpool.Acquire(1); grant == 0 {
-					break // pool dry; retry when a running job finishes
-				}
-			}
-			s.queue = append(s.queue[:qi], s.queue[qi+1:]...)
-			s.running++
-			s.tenantRunning[j.Tenant]++
-			j.State = StateRunning
-			s.simulations++
-			go s.runJob(j, grant)
-			started = true
-			break // restart the scan: the slice changed
 		}
-		if !started {
-			return
-		}
+		s.running++
+		s.tenantRunning[j.Tenant]++
+		j.State = StateRunning
+		s.simulations++
+		go s.runJob(j, grant)
+	}
+	s.scheduling = false
+	wake := s.schedWake
+	s.mu.Unlock()
+	if wake {
+		// A waker arrived in the window after the final scan; its queue
+		// state was never examined, so scan again.
+		s.schedule()
 	}
 }
 
@@ -458,7 +527,20 @@ func (s *Server) runJob(j *Job, grant int) {
 		j.State = StateDone
 		j.Result = data
 	}
-	j.rec = nil
+	if j.rec != nil {
+		// Retain the run's observability artifacts so the series and
+		// dashboard endpoints outlive the run (bounded below).
+		j.series = j.rec.SeriesRows()
+		j.snap = j.rec.SnapshotJSON()
+		j.rec = nil
+		s.seriesOrder = append(s.seriesOrder, j.ID)
+		for len(s.seriesOrder) > maxSeriesJobs {
+			if old := s.jobs[s.seriesOrder[0]]; old != nil {
+				old.series, old.snap = nil, nil
+			}
+			s.seriesOrder = s.seriesOrder[1:]
+		}
+	}
 	delete(s.inflight, j.Key)
 	s.running--
 	s.tenantRunning[j.Tenant]--
@@ -467,16 +549,16 @@ func (s *Server) runJob(j *Job, grant int) {
 	}
 	s.retireLocked(j)
 	close(j.done)
-	hostpool.Release(grant)
-	s.scheduleLocked()
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	hostpool.Release(grant)
+	s.schedule()
 }
 
 // simulate is the real build-and-run step: compile through the two-level
 // compile cache, execute with a live recorder (feeding /jobs/{id}/snapshot
-// — observability never changes simulated cycles), and persist the
-// canonical result document.
+// and /jobs/{id}/series — observability never changes simulated cycles),
+// and persist the canonical result document.
 func (s *Server) simulate(j *Job) ([]byte, error) {
 	img, err := s.buildImage(j.spec)
 	if err != nil {
@@ -484,7 +566,7 @@ func (s *Server) simulate(j *Job) ([]byte, error) {
 	}
 	cfg := j.spec.mach(j.spec.Procs)
 	rec := obs.NewRecorder(cfg)
-	rec.EnableSeries(0, nil)
+	rec.EnableSeries(j.spec.sample, nil)
 	s.mu.Lock()
 	j.rec = rec
 	s.mu.Unlock()

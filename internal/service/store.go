@@ -39,9 +39,16 @@ type storeEntry struct {
 	Size int64  `json:"size"`
 	// Seq is the LRU clock: higher = more recently used. Persisted with
 	// the index so recency survives restarts (Get bumps are flushed
-	// lazily, on the next Put or on Close).
+	// lazily — on the next Put, on Close, or after flushEveryGets
+	// unflushed bumps).
 	Seq int64 `json:"seq"`
 }
+
+// flushEveryGets bounds how many Get recency bumps may sit unflushed. A
+// read-heavy daemon killed uncleanly (kill -9, OOM) then loses at most
+// this much recency instead of all of it, so the next eviction pass runs
+// on near-current LRU order rather than the order as of the last Put.
+const flushEveryGets = 64
 
 // storeIndex is the on-disk index document.
 type storeIndex struct {
@@ -59,6 +66,7 @@ type Store struct {
 	bytes    int64
 	seq      int64
 	dirty    bool // index has unflushed recency/membership changes
+	getBumps int  // Get recency bumps since the last flush
 
 	hits, misses, evictions int64
 }
@@ -170,6 +178,11 @@ func (s *Store) Get(kind Kind, key string) ([]byte, bool) {
 	e.Seq = s.seq
 	s.dirty = true
 	s.hits++
+	if s.getBumps++; s.getBumps >= flushEveryGets {
+		// Best effort: a failed flush leaves the index dirty and the next
+		// Put/Close/threshold crossing retries; the Get itself succeeded.
+		_ = s.flushLocked()
+	}
 	return data, true
 }
 
@@ -265,6 +278,7 @@ func (s *Store) flushLocked() error {
 		return fmt.Errorf("service: store flush: %w", err)
 	}
 	s.dirty = false
+	s.getBumps = 0
 	return nil
 }
 

@@ -139,6 +139,45 @@ func TestStoreRestart(t *testing.T) {
 	}
 }
 
+// TestStoreGetRecencyFlushWithoutClose: a Get-heavy store abandoned
+// without Close (kill -9, OOM) keeps near-current LRU order — recency
+// bumps are flushed after every flushEveryGets unflushed Gets, not only
+// on the next Put/Close.
+func TestStoreGetRecencyFlushWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 30) // fits exactly three 10-byte payloads
+	if err != nil {
+		t.Fatal(err)
+	}
+	pay := bytes.Repeat([]byte("x"), 10)
+	for n := 1; n <= 3; n++ {
+		if err := s.Put(KindResult, hexKey(n), pay); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Get-only traffic on key 1, enough to cross the flush threshold.
+	for i := 0; i < flushEveryGets; i++ {
+		if _, ok := s.Get(KindResult, hexKey(1)); !ok {
+			t.Fatal("key 1 missing")
+		}
+	}
+
+	// Abandon s WITHOUT Close and reopen: the bumps must have hit disk.
+	s2, err := OpenStore(dir, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Put(KindResult, hexKey(4), pay); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Contains(KindResult, hexKey(2)) {
+		t.Fatal("key 2 survived eviction: Get recency on key 1 never reached disk")
+	}
+	if !s2.Contains(KindResult, hexKey(1)) {
+		t.Fatal("Get-bumped entry evicted after an unclean shutdown: recency lost")
+	}
+}
+
 // TestStoreRecoversFromCorruptIndex: a trashed index degrades to an object
 // rescan, never an open failure.
 func TestStoreRecoversFromCorruptIndex(t *testing.T) {
