@@ -53,6 +53,9 @@ type kern struct {
 	check  int   // instructions until the next n&15 checkpoint
 	done   int32 // instructions completed inside a span before an exStop
 	status Status
+	// runBuf stages the gathered/scattered words of a fused memory-run
+	// member (memrun.go); a span holds at most maxSpanLen memory ops.
+	runBuf [maxSpanLen]uint64
 }
 
 // member is one span member: a closure covering one or more instructions
@@ -174,9 +177,21 @@ func mkSpan(fn *Fn, pc, end int, singles []cop, costs *Costs) cop {
 	var ms []member
 	flushBase := 0 // span offset just past the last cycle-flushing member
 	memAt := w     // offset of the first memory member, w if none
+	runs := findMemRuns(fn, pc, end, costs.line)
 	for i := pc; i < end; {
 		in := fn.Code[i]
 		j := i - pc
+		if r := runStarting(runs, j); r != nil {
+			// A constant-stride memory run (memrun.go): one member, one
+			// batched memsim walk, flushing through its last Ld/St.
+			if memAt == w {
+				memAt = j
+			}
+			ms = append(ms, buildRunMember(fn, pc, r, prefix, flushBase, singles))
+			flushBase = r.last + 1
+			i = pc + r.last + 1
+			continue
+		}
 		switch classify(in.Op) {
 		case classBare:
 			if i+2 < end &&
@@ -195,6 +210,30 @@ func mkSpan(fn *Fn, pc, end int, singles []cop, costs *Costs) cop {
 					continue
 				}
 			}
+			// Fuse a lone bare into the following memory op (the
+			// generator's compute-address-then-access shape) or the
+			// terminal branch (loop tails). Runs claim their own heads.
+			if i+1 < end && classify(fn.Code[i+1].Op) == classMem &&
+				runStarting(runs, j+1) == nil {
+				j1 := j + 1
+				if memAt == w {
+					memAt = j1
+				}
+				m := fuseBareMem(in, i+1, fn.Code[i+1], prefix[j1+1]-prefix[flushBase], int32(j1))
+				if m == nil {
+					m = compose2x(singles[i].run,
+						memMember(i+1, fn.Code[i+1], prefix[j1+1]-prefix[flushBase], int32(j1)))
+				}
+				ms = append(ms, m)
+				flushBase = j1 + 1
+				i += 2
+				continue
+			}
+			if i+1 < end && classify(fn.Code[i+1].Op) == classBranch {
+				ms = append(ms, compose2x(singles[i].run, singles[i+1].run))
+				i += 2
+				continue
+			}
 			ms = append(ms, singles[i].run)
 			i++
 		case classTrap:
@@ -204,8 +243,16 @@ func mkSpan(fn *Fn, pc, end int, singles []cop, costs *Costs) cop {
 			if memAt == w {
 				memAt = j
 			}
-			ms = append(ms, memMember(i, in, prefix[j+1]-prefix[flushBase], int32(j)))
+			m := memMember(i, in, prefix[j+1]-prefix[flushBase], int32(j))
 			flushBase = j + 1
+			if i+1 < end && classify(fn.Code[i+1].Op) == classMem &&
+				runStarting(runs, j+1) == nil {
+				j1 := j + 1
+				m = compose2x(m, memMember(i+1, fn.Code[i+1], prefix[j1+1]-prefix[flushBase], int32(j1)))
+				flushBase = j1 + 1
+				i++
+			}
+			ms = append(ms, m)
 			i++
 		default: // terminal branch; its single closure exits with exJump
 			ms = append(ms, singles[i].run)

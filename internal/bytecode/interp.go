@@ -38,6 +38,10 @@ var ErrBarrier = errors.New("bytecode: barrier rendezvous")
 type Costs struct {
 	tab  [256]int64
 	ldst int64
+	// line is the simulated L1 line size in bytes; the compiler's run
+	// recognizer (memrun.go) only fuses memory runs whose stride keeps
+	// several words per line, where batching the walk actually pays.
+	line int64
 }
 
 // NewCosts builds the cycle table.
@@ -64,6 +68,7 @@ func NewCosts(cfg *machine.Config) *Costs {
 	set([]Op{Halt, RTC}, cfg.IntOpCyc)
 	set([]Op{Ld, St}, cfg.IntOpCyc)
 	c.ldst = int64(cfg.IntOpCyc)
+	c.line = int64(cfg.L1LineSize)
 	return c
 }
 

@@ -1,0 +1,420 @@
+package bytecode
+
+// memrun.go recognizes straight-line constant-stride Ld/St sequences
+// inside spans and compiles them into fused memory-run members that call
+// the memsim run APIs (LoadRun/StoreRun) with a compile-time stride and
+// count — one cost-model walk per cache line instead of one per word.
+//
+// The recognition is the same affine game the advisor plays on
+// subscripts: every register is tracked as an affine form c + Σ coᵢ·rᵢ
+// over the span-entry register values (exact in wrapping int64
+// arithmetic, since ℤ/2⁶⁴ is a commutative ring). Two memory operands
+// whose affine difference is a constant are provably a fixed stride
+// apart on every execution, no matter what values flow in.
+//
+// A run may absorb interleaved bare (non-trapping, non-memory) members.
+// The run member replays every covered instruction in original program
+// order — data moves for the memory members, the single closures for the
+// bare ones — so register dataflow is untouched; only the memsim walks
+// are batched up front. For stores, the scattered values are captured
+// when the run member starts, which is sound exactly when no interleaved
+// instruction writes a later store's value register (checked during
+// recognition). The per-word cycle charges the classic tier would flush
+// at each Ld/St travel into memsim as the run's pre[] vector, so every
+// charge lands on the clock at the identical point.
+//
+// Runs whose address range falls outside [8, Brk) fall back to the exact
+// classic member sequence, reproducing the mid-run trap word for word.
+
+// affTerms bounds the number of distinct registers an affine form may
+// reference; subscript chains in generated code stay well under it.
+const affTerms = 4
+
+// aff is a symbolic affine form c + Σ co[i]·R[reg[i]] over the register
+// values at span entry. ok=false marks a value the analysis cannot
+// express (loaded from memory, runtime-dependent product, …).
+type aff struct {
+	ok  bool
+	c   int64
+	nt  int
+	reg [affTerms]int32
+	co  [affTerms]int64
+}
+
+func affConst(c int64) aff { return aff{ok: true, c: c} }
+
+func affAdd(x, y aff) aff {
+	if !x.ok || !y.ok {
+		return aff{}
+	}
+	r := x
+	r.c += y.c
+	for i := 0; i < y.nt; i++ {
+		r = affAddTerm(r, y.reg[i], y.co[i])
+		if !r.ok {
+			return aff{}
+		}
+	}
+	return r
+}
+
+func affAddTerm(x aff, reg int32, co int64) aff {
+	for i := 0; i < x.nt; i++ {
+		if x.reg[i] == reg {
+			x.co[i] += co
+			if x.co[i] == 0 { // drop the cancelled term
+				x.nt--
+				x.reg[i], x.co[i] = x.reg[x.nt], x.co[x.nt]
+			}
+			return x
+		}
+	}
+	if co == 0 {
+		return x
+	}
+	if x.nt == affTerms {
+		return aff{}
+	}
+	x.reg[x.nt], x.co[x.nt] = reg, co
+	x.nt++
+	return x
+}
+
+func affScale(x aff, k int64) aff {
+	if !x.ok {
+		return aff{}
+	}
+	if k == 0 {
+		return affConst(0)
+	}
+	x.c *= k
+	for i := 0; i < x.nt; i++ {
+		x.co[i] *= k
+	}
+	return x
+}
+
+func affSub(x, y aff) aff { return affAdd(x, affScale(y, -1)) }
+
+// affEnv maps registers to their affine forms; an absent register still
+// holds its span-entry value (the identity form).
+type affEnv map[int32]aff
+
+func (e affEnv) val(r int32) aff {
+	if a, ok := e[r]; ok {
+		return a
+	}
+	a := aff{ok: true, nt: 1}
+	a.reg[0], a.co[0] = r, 1
+	return a
+}
+
+// affStep advances the environment over one span-legal instruction.
+func affStep(e affEnv, in Instr) {
+	switch in.Op {
+	case Nop, SetArg, St,
+		Jmp, Bz, Bnz, Blt, Ble, Bgt, Bge, Beq, Bne:
+		// no register writes
+	case LdI:
+		e[in.A] = affConst(in.Imm)
+	case Mov:
+		e[in.A] = e.val(in.B)
+	case Add:
+		e[in.A] = affAdd(e.val(in.B), e.val(in.C))
+	case Sub:
+		e[in.A] = affSub(e.val(in.B), e.val(in.C))
+	case Neg:
+		e[in.A] = affScale(e.val(in.B), -1)
+	case Mul:
+		b, c := e.val(in.B), e.val(in.C)
+		switch {
+		case b.ok && b.nt == 0:
+			e[in.A] = affScale(c, b.c)
+		case c.ok && c.nt == 0:
+			e[in.A] = affScale(b, c.c)
+		default:
+			e[in.A] = aff{}
+		}
+	default:
+		// Every other span-legal op writes R[A] with a value the
+		// analysis does not model (including Ld).
+		e[in.A] = aff{}
+	}
+}
+
+// bareDest returns the register a bare instruction writes, or -1.
+func bareDest(in Instr) int32 {
+	switch in.Op {
+	case Nop, SetArg:
+		return -1
+	}
+	return in.A
+}
+
+// memRun is one recognized run. Offsets are span-relative.
+type memRun struct {
+	first, last int
+	op          Op
+	stride      int64
+	mems        []int // offsets of the member Ld/St instructions, in order
+	steps       []int // offsets of every covered instruction, in order
+}
+
+// findMemRuns scans the span fn.Code[pc:end] for same-op constant-stride
+// memory runs (≥ 2 members), greedily and without overlap. Only runs
+// whose stride keeps consecutive words inside an L1 line — 0 <= stride <
+// maxStride — are committed: those are the shapes where the batched
+// memsim walk amortizes anything. A pair of stores to two distant arrays
+// is also a "constant-stride run", but fusing it would just route two
+// unrelated accesses through the run machinery for no gain.
+func findMemRuns(fn *Fn, pc, end int, maxStride int64) []memRun {
+	nmem := 0
+	for i := pc; i < end; i++ {
+		if classify(fn.Code[i].Op) == classMem {
+			nmem++
+		}
+	}
+	if nmem < 2 {
+		return nil
+	}
+	w := end - pc
+	env := make(affEnv, 8)
+	addrs := make([]aff, w)
+	for i := pc; i < end; i++ {
+		in := fn.Code[i]
+		if classify(in.Op) == classMem {
+			addrs[i-pc] = affAdd(env.val(in.B), affConst(in.Imm))
+		}
+		affStep(env, in)
+	}
+	var runs []memRun
+	for f := 0; f < w; {
+		in := fn.Code[pc+f]
+		if classify(in.Op) != classMem || !addrs[f].ok {
+			f++
+			continue
+		}
+		r := memRun{first: f, last: f, op: in.Op,
+			mems: []int{f}, steps: []int{f}}
+		lastAddr := addrs[f]
+		strideSet := false
+		var pending []int // bares since the last committed member
+		var written map[int32]bool
+		for q := f + 1; q < w; q++ {
+			inq := fn.Code[pc+q]
+			cl := classify(inq.Op)
+			if cl == classBare {
+				pending = append(pending, q)
+				if d := bareDest(inq); d >= 0 && r.op == St {
+					if written == nil {
+						written = make(map[int32]bool, 4)
+					}
+					written[d] = true
+				}
+				continue
+			}
+			if cl != classMem || inq.Op != r.op || !addrs[q].ok {
+				break
+			}
+			d := affSub(addrs[q], lastAddr)
+			if !d.ok || d.nt != 0 {
+				break
+			}
+			if strideSet && d.c != r.stride {
+				break
+			}
+			// A store's value is captured at run start; an interleaved
+			// write to it would change what the classic loop stores.
+			if r.op == St && written[inq.A] {
+				break
+			}
+			if !strideSet {
+				r.stride, strideSet = d.c, true
+			}
+			r.steps = append(r.steps, pending...)
+			pending = pending[:0]
+			r.steps = append(r.steps, q)
+			r.mems = append(r.mems, q)
+			r.last = q
+			lastAddr = addrs[q]
+		}
+		if len(r.mems) >= 2 && r.stride >= 0 && r.stride < maxStride {
+			runs = append(runs, r)
+			f = r.last + 1
+		} else {
+			f++
+		}
+	}
+	return runs
+}
+
+// runStarting returns the run whose first member sits at span offset j.
+func runStarting(runs []memRun, j int) *memRun {
+	for i := range runs {
+		if runs[i].first == j {
+			return &runs[i]
+		}
+	}
+	return nil
+}
+
+// runStep is one replayed instruction of a run member: a data move for a
+// memory member (bare == nil), or the bare single closure.
+type runStep struct {
+	bare member
+	reg  int // k.r index: Ld destination / St value source
+	idx  int // runBuf index
+}
+
+// buildRunMember compiles a recognized run into a span member. prefix and
+// flushBase follow mkSpan's accounting; the run flushes through its last
+// memory instruction, so the caller must advance flushBase to r.last+1.
+func buildRunMember(fn *Fn, pc int, r *memRun, prefix []int64, flushBase int, singles []cop) member {
+	count := len(r.mems)
+	// pres[i] is the classic flush at member i: the cost prefix from just
+	// past the previous flush through the member itself.
+	pres := make([]int64, count)
+	fb := flushBase
+	for i, j := range r.mems {
+		pres[i] = prefix[j+1] - prefix[fb]
+		fb = j + 1
+	}
+	// Replay plan (original order) and the exact classic fallback.
+	steps := make([]runStep, 0, len(r.steps))
+	fall := make([]member, 0, len(r.steps))
+	fb = flushBase
+	idx := 0
+	for _, j := range r.steps {
+		in := fn.Code[pc+j]
+		if classify(in.Op) == classMem {
+			steps = append(steps, runStep{reg: int(in.A), idx: idx})
+			idx++
+			fall = append(fall, memMember(pc+j, in, prefix[j+1]-prefix[fb], int32(j)))
+			fb = j + 1
+		} else {
+			s := singles[pc+j].run
+			steps = append(steps, runStep{bare: s})
+			fall = append(fall, s)
+		}
+	}
+	first := fn.Code[pc+r.first]
+	b0, imm0 := int(first.B), first.Imm
+	stride := r.stride
+	extent := int64(count-1) * stride
+	isLoad := r.op == Ld
+	valRegs := make([]int, count)
+	for i, j := range r.mems {
+		valRegs[i] = int(fn.Code[pc+j].A)
+	}
+	return func(k *kern) copExit {
+		sys := k.t.Sys
+		base := k.r[b0] + imm0
+		lo, hi := base, base+extent
+		if stride < 0 {
+			lo, hi = hi, lo
+		}
+		if lo < 8 || hi >= sys.Brk() {
+			// Some word of the run is out of bounds: replay the exact
+			// classic member sequence, which executes the words before
+			// it and traps at the first bad one.
+			for _, m := range fall {
+				if ex := m(k); ex != exRun {
+					return ex
+				}
+			}
+			return exRun
+		}
+		sys.AddCycles(k.proc, k.cyc)
+		k.cyc = 0
+		buf := k.runBuf[:count]
+		if isLoad {
+			sys.LoadRun(k.proc, base, stride, count, pres, buf)
+			for i := range steps {
+				if st := &steps[i]; st.bare != nil {
+					st.bare(k)
+				} else {
+					k.r[st.reg] = int64(buf[st.idx])
+				}
+			}
+		} else {
+			for i, vr := range valRegs {
+				buf[i] = uint64(k.r[vr])
+			}
+			sys.StoreRun(k.proc, base, stride, count, pres, buf)
+			for i := range steps {
+				if st := &steps[i]; st.bare != nil {
+					st.bare(k)
+				}
+			}
+		}
+		return exRun
+	}
+}
+
+// compose2x chains two members, stopping on any non-exRun exit. Used for
+// tail fusion of (bare, branch) and (mem, mem) neighbors, where a
+// hand-written closure would buy nothing beyond skipping one member-loop
+// iteration.
+func compose2x(m1, m2 member) member {
+	return func(k *kern) copExit {
+		if ex := m1(k); ex != exRun {
+			return ex
+		}
+		return m2(k)
+	}
+}
+
+// fuseBareMem fuses a bare instruction with the following Ld/St into one
+// member. The generator's dominant subscript shape — compute an element
+// address, then load or store through it — makes (Add, Ld) and (Add, St)
+// the two hottest member pairs in array kernels, so those are fully
+// hand-inlined; every other bare partner goes through the generic
+// composition. flushAdd/done follow memMember's contract for the memory
+// instruction.
+func fuseBareMem(bare Instr, pcM int, mem Instr, flushAdd int64, done int32) member {
+	a2, b2 := int(mem.A), int(mem.B)
+	imm := mem.Imm
+	next := pcM + 1
+	if bare.Op == Add {
+		a1, b1, c1 := int(bare.A), int(bare.B), int(bare.C)
+		if mem.Op == Ld {
+			return func(k *kern) copExit {
+				r := k.r
+				r[a1] = r[b1] + r[c1]
+				t := k.t
+				sys := t.Sys
+				addr := r[b2] + imm
+				if addr < 8 || addr >= sys.Brk() {
+					k.cyc += flushAdd
+					k.done = done
+					k.f.pc = next
+					k.status = t.trap(k.f, "load from invalid address %d", addr)
+					return exStop
+				}
+				sys.AddCycles(k.proc, k.cyc+flushAdd)
+				k.cyc = 0
+				r[a2] = int64(sys.LoadWord(k.proc, addr))
+				return exRun
+			}
+		}
+		return func(k *kern) copExit {
+			r := k.r
+			r[a1] = r[b1] + r[c1]
+			t := k.t
+			sys := t.Sys
+			addr := r[b2] + imm
+			if addr < 8 || addr >= sys.Brk() {
+				k.cyc += flushAdd
+				k.done = done
+				k.f.pc = next
+				k.status = t.trap(k.f, "store to invalid address %d", addr)
+				return exStop
+			}
+			sys.AddCycles(k.proc, k.cyc+flushAdd)
+			k.cyc = 0
+			sys.StoreWord(k.proc, addr, uint64(r[a2]))
+			return exRun
+		}
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package bytecode
+
+import (
+	"testing"
+
+	"dsmdist/internal/machine"
+	"dsmdist/internal/memsim"
+	"dsmdist/internal/ospage"
+)
+
+// TestFindMemRuns pins the recognizer: affine address tracking through
+// the bare prefix, same-op grouping with interleaved bares, the store
+// value-hazard cut, and the profitability gate on stride.
+func TestFindMemRuns(t *testing.T) {
+	fn := &Fn{Code: []Instr{
+		{Op: LdI, A: 1, Imm: 100},
+		{Op: Ld, A: 2, B: 1, Imm: 0},  // 1
+		{Op: Add, A: 3, B: 2, C: 2},   // 2: interleaved bare
+		{Op: Ld, A: 4, B: 1, Imm: 8},  // 3
+		{Op: Ld, A: 2, B: 1, Imm: 16}, // 4: dest reuse is fine for loads
+		{Op: St, A: 3, B: 1, Imm: 0},  // 5
+		{Op: St, A: 4, B: 1, Imm: 8},  // 6
+	}}
+	runs := findMemRuns(fn, 0, len(fn.Code), 32)
+	if len(runs) != 2 {
+		t.Fatalf("want 2 runs, got %+v", runs)
+	}
+	ld, st := runs[0], runs[1]
+	if ld.op != Ld || ld.stride != 8 || len(ld.mems) != 3 || ld.mems[0] != 1 || ld.mems[2] != 4 {
+		t.Errorf("load run wrong: %+v", ld)
+	}
+	if st.op != St || st.stride != 8 || len(st.mems) != 2 || st.first != 5 {
+		t.Errorf("store run wrong: %+v", st)
+	}
+
+	// An interleaved bare writing a later store's value register must cut
+	// the run: values are captured at run start.
+	hazard := &Fn{Code: []Instr{
+		{Op: LdI, A: 1, Imm: 100},
+		{Op: St, A: 2, B: 1, Imm: 0},
+		{Op: Add, A: 3, B: 3, C: 3},
+		{Op: St, A: 3, B: 1, Imm: 8},
+	}}
+	if runs := findMemRuns(hazard, 0, len(hazard.Code), 32); len(runs) != 0 {
+		t.Errorf("store hazard not cut: %+v", runs)
+	}
+
+	// Writing the address register with an untracked op kills the affine
+	// chain; the second load has no known delta.
+	killed := &Fn{Code: []Instr{
+		{Op: LdI, A: 1, Imm: 100},
+		{Op: Ld, A: 2, B: 1, Imm: 0},
+		{Op: Ld, A: 1, B: 2, Imm: 0}, // address reg now data-dependent
+		{Op: Ld, A: 3, B: 1, Imm: 8},
+	}}
+	if runs := findMemRuns(killed, 0, len(killed.Code), 32); len(runs) != 0 {
+		t.Errorf("address kill missed: %+v", runs)
+	}
+
+	// The profitability gate: a "run" striding a whole L1 line (or two
+	// distant arrays) per word gains nothing from batching.
+	wide := &Fn{Code: []Instr{
+		{Op: LdI, A: 1, Imm: 100},
+		{Op: Ld, A: 2, B: 1, Imm: 0},
+		{Op: Ld, A: 3, B: 1, Imm: 4096},
+		{Op: Ld, A: 4, B: 1, Imm: 8192},
+	}}
+	if runs := findMemRuns(wide, 0, len(wide.Code), 32); len(runs) != 0 {
+		t.Errorf("wide stride not gated: %+v", runs)
+	}
+	if runs := findMemRuns(wide, 0, len(wide.Code), 8192); len(runs) != 1 {
+		t.Errorf("raised gate should admit the run: %+v", runs)
+	}
+}
+
+// runProg builds a loop whose body holds a unit-stride load run with
+// interleaved bares and a unit-stride store run, marching both through
+// memory — the shape the run members batch.
+func runProg(base int64, iters int64) *Program {
+	code := []Instr{
+		{Op: LdI, A: 1, Imm: 0},     // sum
+		{Op: LdI, A: 2, Imm: 0},     // i
+		{Op: LdI, A: 3, Imm: iters}, // n
+		{Op: LdI, A: 4, Imm: 1},
+		{Op: LdI, A: 5, Imm: base}, // ptr
+		{Op: LdI, A: 8, Imm: 64},   // ptr advance
+		// loop:
+		{Op: Bge, A: 2, B: 3, C: 20}, // pc6
+		{Op: Ld, A: 6, B: 5, Imm: 0},
+		{Op: Add, A: 1, B: 1, C: 6}, // interleaved bare
+		{Op: Ld, A: 7, B: 5, Imm: 8},
+		{Op: Ld, A: 6, B: 5, Imm: 16},
+		{Op: Add, A: 1, B: 1, C: 7},
+		{Op: Ld, A: 7, B: 5, Imm: 24}, // load run of 4, stride 8
+		{Op: Add, A: 1, B: 1, C: 6},
+		{Op: Add, A: 1, B: 1, C: 7},
+		{Op: St, A: 1, B: 5, Imm: 32},
+		{Op: St, A: 2, B: 5, Imm: 40}, // store run of 2, stride 8
+		{Op: Add, A: 5, B: 5, C: 8},   // ptr += 64
+		{Op: Add, A: 2, B: 2, C: 4},   // i++
+		{Op: Jmp, A: 6},               // pc19
+		{Op: Halt},                    // pc20
+	}
+	return prog1(10, code)
+}
+
+// newRunThread builds an isolated machine running runProg; memrun
+// selects SetMemRun on the system (the compiled tier always emits run
+// members — the toggle switches memsim's walk under them).
+func newRunThread(t *testing.T, compiled, memrun bool, iters int64) *Thread {
+	t.Helper()
+	cfg := machine.Tiny(2)
+	sys, err := memsim.New(cfg, ospage.New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetMemRun(memrun)
+	costs := NewCosts(cfg)
+	base := sys.Alloc(iters*64+64, 8)
+	for a := base; a < base+iters*64; a += 8 {
+		sys.Poke(a, uint64(a))
+	}
+	prog := runProg(base, iters)
+	stack := sys.Alloc(4096, 8)
+	th := NewThread(0, sys, prog, &nopRT{}, costs, prog.Main, nil, stack, stack+4096)
+	if compiled {
+		th.UseCompiled(CompileProgram(prog, costs))
+	}
+	return th
+}
+
+// TestRunTierIdentity locksteps the classic interpreter against the
+// compiled tier with run members enabled and disabled (SetMemRun), over
+// awkward quantum/cycle-bound schedules, demanding identical break
+// points, instruction counts and clocks throughout — the run member's
+// whole contract.
+func TestRunTierIdentity(t *testing.T) {
+	classic := newRunThread(t, false, true, 800)
+	compiled := newRunThread(t, true, true, 800)
+	wordwise := newRunThread(t, true, false, 800)
+
+	quanta := []int{7, 16, 17, 3, 100, 1000}
+	bounds := []int64{33, 48, 64, 100, 250, 1 << 62}
+	for step := 0; ; step++ {
+		q := quanta[step%len(quanta)]
+		m := bounds[step%len(bounds)]
+		sc := classic.StepCycles(q, m)
+		sk := compiled.StepCycles(q, m)
+		sw := wordwise.StepCycles(q, m)
+		if sc != sk || sc != sw {
+			t.Fatalf("step %d (q=%d maxCyc=%d): status %v vs %v vs %v", step, q, m, sc, sk, sw)
+		}
+		if classic.Instrs != compiled.Instrs || classic.Instrs != wordwise.Instrs {
+			t.Fatalf("step %d: instrs %d vs %d vs %d",
+				step, classic.Instrs, compiled.Instrs, wordwise.Instrs)
+		}
+		cc := classic.Sys.Clock(0)
+		if kc, wc := compiled.Sys.Clock(0), wordwise.Sys.Clock(0); cc != kc || cc != wc {
+			t.Fatalf("step %d: clock %d vs %d vs %d", step, cc, kc, wc)
+		}
+		if sc == Done {
+			if classic.Err != nil || compiled.Err != nil || wordwise.Err != nil {
+				t.Fatalf("errors: %v / %v / %v", classic.Err, compiled.Err, wordwise.Err)
+			}
+			break
+		}
+		if step > 500000 {
+			t.Fatal("did not terminate")
+		}
+	}
+	// The machines ended in identical states; spot-check the stats too.
+	for q := 0; q < 2; q++ {
+		if a, b := classic.Sys.Stats(q), compiled.Sys.Stats(q); a != b {
+			t.Errorf("proc %d stats classic vs compiled:\n %+v\n %+v", q, a, b)
+		}
+		if a, b := classic.Sys.Stats(q), wordwise.Sys.Stats(q); a != b {
+			t.Errorf("proc %d stats classic vs memrun-off:\n %+v\n %+v", q, a, b)
+		}
+	}
+}
+
+// TestRunTrapIdentity drives a run whose later member crosses below the
+// valid address floor: the compiled run member must detect the
+// out-of-bounds word up front, fall back to the exact member list, and
+// trap at the same instruction, cycle and message as the classic loop.
+func TestRunTrapIdentity(t *testing.T) {
+	mk := func(compiled bool) *Thread {
+		cfg := machine.Tiny(2)
+		sys, err := memsim.New(cfg, ospage.New(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := NewCosts(cfg)
+		sys.Alloc(4096, 8) // make [8, Brk) non-trivial
+		code := []Instr{
+			{Op: LdI, A: 5, Imm: 32},
+			{Op: Ld, A: 1, B: 5, Imm: 0},   // addr 32
+			{Op: Ld, A: 2, B: 5, Imm: 8},   // addr 40
+			{Op: Ld, A: 3, B: 5, Imm: 16},  // addr 48: run of 3, stride 8
+			{Op: Mov, A: 6, B: 1},          //
+			{Op: Ld, A: 4, B: 5, Imm: -32}, // addr 0: separate, traps
+			{Op: Halt},
+		}
+		prog := prog1(8, code)
+		stack := sys.Alloc(4096, 8)
+		th := NewThread(0, sys, prog, &nopRT{}, costs, prog.Main, nil, stack, stack+4096)
+		if compiled {
+			th.UseCompiled(CompileProgram(prog, costs))
+		}
+		return th
+	}
+	classic, compiled := mk(false), mk(true)
+	sc, sk := classic.Step(100), compiled.Step(100)
+	if sc != Done || sk != Done {
+		t.Fatalf("status %v vs %v", sc, sk)
+	}
+	if classic.Err == nil || compiled.Err == nil {
+		t.Fatalf("expected traps, got %v vs %v", classic.Err, compiled.Err)
+	}
+	if classic.Err.Error() != compiled.Err.Error() {
+		t.Fatalf("trap messages differ:\n  classic:  %v\n  compiled: %v", classic.Err, compiled.Err)
+	}
+	if classic.Instrs != compiled.Instrs {
+		t.Fatalf("instrs %d vs %d", classic.Instrs, compiled.Instrs)
+	}
+	if cc, kc := classic.Sys.Clock(0), compiled.Sys.Clock(0); cc != kc {
+		t.Fatalf("clock %d vs %d", cc, kc)
+	}
+}
+
+// TestRunTrapMidRun puts the out-of-bounds word inside the run itself
+// (a descending-address member list cannot occur under the gate, so the
+// variant here runs ascending into Brk).
+func TestRunTrapMidRun(t *testing.T) {
+	mk := func(compiled bool) *Thread {
+		cfg := machine.Tiny(2)
+		sys, err := memsim.New(cfg, ospage.New(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := NewCosts(cfg)
+		base := sys.Alloc(64, 8)
+		stack := sys.Alloc(4096, 8)
+		top := sys.Brk()
+		code := []Instr{
+			{Op: LdI, A: 5, Imm: top - 16},
+			{Op: St, A: 5, B: 5, Imm: 0},  // top-16: fine
+			{Op: St, A: 5, B: 5, Imm: 8},  // top-8: fine
+			{Op: St, A: 5, B: 5, Imm: 16}, // top+8: traps mid-run
+			{Op: St, A: 5, B: 5, Imm: 24},
+			{Op: Halt},
+		}
+		_ = base
+		prog := prog1(8, code)
+		th := NewThread(0, sys, prog, &nopRT{}, costs, prog.Main, nil, stack, stack+4096)
+		if compiled {
+			th.UseCompiled(CompileProgram(prog, costs))
+		}
+		return th
+	}
+	classic, compiled := mk(false), mk(true)
+	sc, sk := classic.Step(100), compiled.Step(100)
+	if sc != Done || sk != Done {
+		t.Fatalf("status %v vs %v", sc, sk)
+	}
+	if classic.Err == nil || compiled.Err == nil {
+		t.Fatalf("expected traps, got %v vs %v", classic.Err, compiled.Err)
+	}
+	if classic.Err.Error() != compiled.Err.Error() {
+		t.Fatalf("trap messages differ:\n  classic:  %v\n  compiled: %v", classic.Err, compiled.Err)
+	}
+	if classic.Instrs != compiled.Instrs {
+		t.Fatalf("instrs %d vs %d", classic.Instrs, compiled.Instrs)
+	}
+	if cc, kc := classic.Sys.Clock(0), compiled.Sys.Clock(0); cc != kc {
+		t.Fatalf("clock %d vs %d", cc, kc)
+	}
+}

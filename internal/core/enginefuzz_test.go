@@ -111,6 +111,13 @@ func fuzzRun(t *testing.T, src string, np int, eng exec.Engine) (*exec.Result, [
 	return fuzzRunTier(t, src, np, eng, exec.TierAuto)
 }
 
+// fuzzRunMem is fuzzRun with the memory-run batching switch pinned
+// ("on" or "off"); memsim reads DSM_MEMRUN at System construction.
+func fuzzRunMem(t *testing.T, src string, np int, eng exec.Engine, memrun string) (*exec.Result, []byte, [][]float64) {
+	t.Setenv("DSM_MEMRUN", memrun)
+	return fuzzRunTier(t, src, np, eng, exec.TierAuto)
+}
+
 // fuzzRunTier is fuzzRun with an explicit execution tier (the tier fuzz
 // harness pins both tiers; TierAuto defers to DSM_TIER/default).
 func fuzzRunTier(t *testing.T, src string, np int, eng exec.Engine, tier exec.Tier) (*exec.Result, []byte, [][]float64) {
@@ -154,24 +161,43 @@ func TestEngineFuzzSerialVsParallel(t *testing.T) {
 	for _, seed := range seeds {
 		src := genProgram(rand.New(rand.NewSource(seed)))
 		for _, np := range procs {
-			s, ssum, sarr := fuzzRun(t, src, np, exec.EngineSerial)
-			p, psum, parr := fuzzRun(t, src, np, exec.EngineParallel)
-			label := fmt.Sprintf("seed=%d P=%d", seed, np)
-			if s.Cycles != p.Cycles {
-				t.Errorf("%s: cycles %d vs %d\n%s", label, s.Cycles, p.Cycles, src)
-				continue
-			}
-			if !reflect.DeepEqual(s.Stats, p.Stats) || s.Total != p.Total {
-				t.Errorf("%s: proc stats diverge\n%s", label, src)
-			}
-			if s.HwDiv != p.HwDiv || s.SoftDiv != p.SoftDiv || s.Instrs != p.Instrs {
-				t.Errorf("%s: op counters diverge\n%s", label, src)
-			}
-			if !bytes.Equal(ssum, psum) {
-				t.Errorf("%s: region breakdowns diverge\n%s", label, src)
-			}
-			if !reflect.DeepEqual(sarr, parr) {
-				t.Errorf("%s: final array contents diverge\n%s", label, src)
+			// The memory-run batch is a host optimization with the same
+			// contract as the engines: toggling it may not move a simulated
+			// cycle. Fuzz both settings, and pin serial/memrun-on as the
+			// single reference every other combination must match.
+			var ref *exec.Result
+			var refSum []byte
+			var refArr [][]float64
+			for _, memrun := range []string{"on", "off"} {
+				s, ssum, sarr := fuzzRunMem(t, src, np, exec.EngineSerial, memrun)
+				p, psum, parr := fuzzRunMem(t, src, np, exec.EngineParallel, memrun)
+				if ref == nil {
+					ref, refSum, refArr = s, ssum, sarr
+				}
+				for _, run := range []struct {
+					eng string
+					r   *exec.Result
+					sum []byte
+					arr [][]float64
+				}{{"serial", s, ssum, sarr}, {"parallel", p, psum, parr}} {
+					label := fmt.Sprintf("seed=%d P=%d engine=%s memrun=%s", seed, np, run.eng, memrun)
+					if ref.Cycles != run.r.Cycles {
+						t.Errorf("%s: cycles %d vs %d\n%s", label, ref.Cycles, run.r.Cycles, src)
+						continue
+					}
+					if !reflect.DeepEqual(ref.Stats, run.r.Stats) || ref.Total != run.r.Total {
+						t.Errorf("%s: proc stats diverge\n%s", label, src)
+					}
+					if ref.HwDiv != run.r.HwDiv || ref.SoftDiv != run.r.SoftDiv || ref.Instrs != run.r.Instrs {
+						t.Errorf("%s: op counters diverge\n%s", label, src)
+					}
+					if !bytes.Equal(refSum, run.sum) {
+						t.Errorf("%s: region breakdowns diverge\n%s", label, src)
+					}
+					if !reflect.DeepEqual(refArr, run.arr) {
+						t.Errorf("%s: final array contents diverge\n%s", label, src)
+					}
+				}
 			}
 		}
 	}

@@ -33,9 +33,16 @@ func TestTierFuzzClassicVsCompiled(t *testing.T) {
 		src := genProgram(rand.New(rand.NewSource(seed)))
 		for _, np := range procs {
 			for _, eng := range engines {
+				// Alternate the memory-run batch by seed so the classic
+				// word loop stays the reference against the compiled tier's
+				// fused run members with batching both enabled and disabled
+				// (TestEngineFuzzSerialVsParallel covers the full on/off
+				// cross-product at fixed tier).
+				memrun := []string{"on", "off"}[seed%2]
+				t.Setenv("DSM_MEMRUN", memrun)
 				c, csum, carr := fuzzRunTier(t, src, np, eng, exec.TierClassic)
 				k, ksum, karr := fuzzRunTier(t, src, np, eng, exec.TierCompiled)
-				label := fmt.Sprintf("seed=%d P=%d engine=%v", seed, np, eng)
+				label := fmt.Sprintf("seed=%d P=%d engine=%v memrun=%s", seed, np, eng, memrun)
 				if c.Cycles != k.Cycles {
 					t.Errorf("%s: cycles %d vs %d\n%s", label, c.Cycles, k.Cycles, src)
 					continue

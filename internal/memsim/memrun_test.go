@@ -1,0 +1,247 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsmdist/internal/machine"
+	"dsmdist/internal/ospage"
+)
+
+// TestMemRunBitIdentical drives three identical systems with the same
+// access stream: one through the run APIs with the fast path enabled, one
+// through the equivalent word-at-a-time loops (the reference semantics
+// the run contract promises), and one through the run APIs with
+// SetMemRun(false). Every loaded value, final memory word, cycle clock
+// and statistics counter must match across all three. Strides are drawn
+// to straddle L1 lines, L2 lines, TLB pages and node boundaries, and
+// include zero and negative strides (which take the word-loop fallback
+// inside runWalk).
+func TestMemRunBitIdentical(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		cfg := machine.Tiny(4)
+		run, err := New(cfg, ospage.New(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		word, err := New(cfg, ospage.New(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := New(cfg, ospage.New(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		off.SetMemRun(false)
+		if !run.MemRunEnabled() || off.MemRunEnabled() {
+			t.Fatal("MemRunEnabled does not reflect SetMemRun")
+		}
+
+		// Footprint well beyond L2 and the TLB reach so runs march across
+		// cache evictions, TLB FIFO evictions and page (hence node-home)
+		// boundaries. Tiny: 32 B L1 lines, 64 B L2 lines, 256 B pages.
+		words := int64(cfg.L2Bytes) // 4096 words = 32 KB = 128 pages
+		limit := words * 8
+		rb := run.Alloc(limit, int64(cfg.PageBytes))
+		wb := word.Alloc(limit, int64(cfg.PageBytes))
+		ob := off.Alloc(limit, int64(cfg.PageBytes))
+
+		strides := []int64{0, 8, 8, 16, 24, 32, 40, 64, 72, 128,
+			int64(cfg.PageBytes), int64(cfg.PageBytes) + 8, -8, -64}
+		rng := rand.New(rand.NewSource(seed))
+		ro := make([]uint64, 64)
+		oo := make([]uint64, 64)
+		vals := make([]uint64, 64)
+
+		for i := 0; i < 2500; i++ {
+			p := rng.Intn(4)
+			count := 1 + rng.Intn(24)
+			stride := strides[rng.Intn(len(strides))]
+			base := int64(rng.Intn(int(words))) * 8
+			// Clamp the whole run into the allocation.
+			ext := int64(count-1) * stride
+			lo, hi := base, base+ext
+			if stride < 0 {
+				lo, hi = hi, lo
+			}
+			if lo < 0 {
+				base -= lo
+				hi -= lo
+			}
+			if hi >= limit {
+				base -= hi - (limit - 8)
+			}
+
+			var pre []int64
+			if rng.Intn(2) == 0 {
+				pre = make([]int64, count)
+				for j := range pre {
+					pre[j] = int64(rng.Intn(5))
+				}
+			}
+
+			wordLoop := func(write bool, wv []uint64) {
+				a := wb + base
+				for j := 0; j < count; j++ {
+					if pre != nil {
+						word.AddCycles(p, pre[j])
+					}
+					if wv == nil {
+						word.Access(p, a, write)
+					} else if write {
+						word.StoreWord(p, a, wv[j])
+					} else {
+						wv[j] = word.LoadWord(p, a)
+					}
+					a += stride
+				}
+			}
+
+			switch rng.Intn(4) {
+			case 0: // store run
+				for j := 0; j < count; j++ {
+					vals[j] = rng.Uint64()
+				}
+				run.StoreRun(p, rb+base, stride, count, pre, vals)
+				off.StoreRun(p, ob+base, stride, count, pre, vals)
+				wordLoop(true, vals)
+			case 1: // plain access run (no data movement)
+				write := rng.Intn(2) == 0
+				run.AccessRun(p, rb+base, stride, count, write, pre)
+				off.AccessRun(p, ob+base, stride, count, write, pre)
+				wordLoop(write, nil)
+			default: // load run
+				wo := make([]uint64, count)
+				run.LoadRun(p, rb+base, stride, count, pre, ro)
+				off.LoadRun(p, ob+base, stride, count, pre, oo)
+				wordLoop(false, wo)
+				for j := 0; j < count; j++ {
+					if ro[j] != wo[j] || oo[j] != wo[j] {
+						t.Fatalf("seed %d op %d word %d (stride %d): run=%#x off=%#x word=%#x",
+							seed, i, j, stride, ro[j], oo[j], wo[j])
+					}
+				}
+			}
+		}
+
+		for q := 0; q < 4; q++ {
+			rc, oc, wc := run.Clock(q), off.Clock(q), word.Clock(q)
+			if rc != wc || oc != wc {
+				t.Errorf("seed %d proc %d: clock run=%d off=%d word=%d", seed, q, rc, oc, wc)
+			}
+			rs, os, ws := run.Stats(q), off.Stats(q), word.Stats(q)
+			if rs != ws {
+				t.Errorf("seed %d proc %d: stats diverge\n run  %+v\n word %+v", seed, q, rs, ws)
+			}
+			if os != ws {
+				t.Errorf("seed %d proc %d: stats diverge\n off  %+v\n word %+v", seed, q, os, ws)
+			}
+		}
+		for w := int64(0); w < words; w++ {
+			rv, ov, wv := run.mem[(rb>>3)+w], off.mem[(ob>>3)+w], word.mem[(wb>>3)+w]
+			if rv != wv || ov != wv {
+				t.Fatalf("seed %d: final mem word %d: run=%#x off=%#x word=%#x", seed, w, rv, ov, wv)
+			}
+		}
+	}
+}
+
+// BenchmarkLoadWord measures the word-at-a-time path: the L0-memo hit
+// (every access to the same resident line) and the L2-miss fill (striding
+// by L2 lines through a footprint several times the L2).
+func BenchmarkLoadWord(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		cfg := machine.Tiny(1)
+		s, err := New(cfg, ospage.New(cfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := s.Alloc(int64(cfg.PageBytes), int64(cfg.PageBytes))
+		s.LoadWord(0, base)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.LoadWord(0, base)
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		cfg := machine.Tiny(1)
+		s, err := New(cfg, ospage.New(cfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		span := int64(cfg.L2Bytes) * 8
+		base := s.Alloc(span, int64(cfg.PageBytes))
+		step := int64(cfg.L2LineSize)
+		off := int64(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.LoadWord(0, base+off)
+			off += step
+			if off >= span {
+				off = 0
+			}
+		}
+	})
+}
+
+// BenchmarkAccessRun measures the run-batched path on two shapes — a
+// fully resident run (heads hit the L0 memo, tails take the bulk
+// charge) and a marching run whose group heads L2-miss — each against
+// its exact word-at-a-time equivalent (the loop SetMemRun(false) would
+// run), so the pair is the batching win at fixed simulated work.
+func BenchmarkAccessRun(b *testing.B) {
+	const count = 64
+	hit := func(run bool) func(*testing.B) {
+		return func(b *testing.B) {
+			cfg := machine.Tiny(1)
+			s, err := New(cfg, ospage.New(cfg))
+			if err != nil {
+				b.Fatal(err)
+			}
+			base := s.Alloc(count*8, int64(cfg.PageBytes))
+			s.AccessRun(0, base, 8, count, false, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if run {
+					s.AccessRun(0, base, 8, count, false, nil)
+				} else {
+					for w := int64(0); w < count; w++ {
+						s.LoadWord(0, base+w*8)
+					}
+				}
+			}
+			b.SetBytes(count * 8)
+		}
+	}
+	miss := func(run bool) func(*testing.B) {
+		return func(b *testing.B) {
+			cfg := machine.Tiny(1)
+			s, err := New(cfg, ospage.New(cfg))
+			if err != nil {
+				b.Fatal(err)
+			}
+			span := int64(cfg.L2Bytes) * 8
+			base := s.Alloc(span, int64(cfg.PageBytes))
+			off := int64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if run {
+					s.AccessRun(0, base+off, 8, count, false, nil)
+				} else {
+					for w := int64(0); w < count; w++ {
+						s.LoadWord(0, base+off+w*8)
+					}
+				}
+				off += count * 8
+				if off+count*8 > span {
+					off = 0
+				}
+			}
+			b.SetBytes(count * 8)
+		}
+	}
+	b.Run("hit", hit(true))
+	b.Run("hit-wordloop", hit(false))
+	b.Run("miss", miss(true))
+	b.Run("miss-wordloop", miss(false))
+}

@@ -114,11 +114,16 @@ func (d *dirEntry) othersThan(p int) bool {
 }
 
 type cache struct {
-	tags  []int64 // sets*assoc line tags (full line address), -1 invalid
-	excl  []bool  // line held exclusively (L2) / writable (L1)
-	lru   []int8  // way last used, per set (assoc<=2 friendly round-robin)
+	// tags holds sets*assoc line tags (full line address, -1 invalid)
+	// plus one trailing sentinel entry that stays -1 forever. The L0 memo
+	// points empty entries at the sentinel so its guard is a single
+	// always-in-bounds load-and-compare with no separate validity test.
+	tags  []int64
+	excl  []bool // line held exclusively (L2) / writable (L1)
+	lru   []int8 // way last used, per set (assoc<=2 friendly round-robin)
 	sets  int
 	assoc int
+	sent  int32 // index of the sentinel tags entry (== sets*assoc)
 	shift uint
 	mask  int64
 }
@@ -129,11 +134,12 @@ func newCache(bytes, lineSize, assoc int) *cache {
 		sets = 1
 	}
 	c := &cache{
-		tags:  make([]int64, sets*assoc),
-		excl:  make([]bool, sets*assoc),
+		tags:  make([]int64, sets*assoc+1),
+		excl:  make([]bool, sets*assoc+1),
 		lru:   make([]int8, sets),
 		sets:  sets,
 		assoc: assoc,
+		sent:  int32(sets * assoc),
 		shift: uint(bits.TrailingZeros(uint(lineSize))),
 		mask:  int64(sets - 1),
 	}
@@ -270,22 +276,35 @@ type proc struct {
 	node  int
 	stats ProcStats
 
-	// The "L0" memo: the slot of this processor's most recent L1 hit or
-	// fill. A repeat access to the same line revalidates the memo with a
-	// single tag compare (invalidations and evictions overwrite the tag,
-	// so a stale memo self-detects) and skips the full Access walk. It is
-	// purely a host-side shortcut — see the bit-identical contract on
-	// LoadWord and TestL0FastPathBitIdentical.
-	l0Line int64 // -1 = empty
-	l0Slot int32
-	l0Way  int8
+	// The "L0" memo: a small direct-mapped table of recently hit or
+	// filled L1 slots, indexed by the low bits of the line number. A
+	// repeat access to a memoized line revalidates the entry with a
+	// single tag compare — l1.tags[l0Slot[m]] == line — and skips the
+	// full Access walk. The compare alone proves the hit: a slot only
+	// ever holds lines of its own set, so a matching tag means the line
+	// is resident at that slot, and since sets partition slots, the line
+	// the entry was written for shares the set, making the cached way
+	// valid too. Empty entries point at the cache's sentinel tag (-1),
+	// which no real line address equals. Invalidations and evictions
+	// overwrite tags, so stale entries self-detect. The memo is purely a
+	// host-side shortcut — see the bit-identical contract on LoadWord
+	// and TestL0FastPathBitIdentical. Multiple entries matter because
+	// hot loop bodies interleave accesses to several unrelated lines
+	// (descriptor, source, destination); a single entry ping-pongs and
+	// never hits.
+	l0Slot [l0Ways]int32
+	l0Way  [l0Ways]int8
 	// l1Hit is the per-proc copy of Config.L1HitCyc, and noMemo the
 	// per-proc SetL0 state; both keep the inlined LoadWord/StoreWord
 	// fast path free of System-level indirections. With noMemo set the
-	// memo is never written, so l0Line stays -1 and the fast path never
-	// matches.
+	// memo is never written, so every entry stays on the sentinel and
+	// the fast path never matches.
 	l1Hit  int64
 	noMemo bool
+	// leanRun gates the run-batched fast path in AccessRun et al.
+	// (System.SetMemRun / DSM_MEMRUN); cleared per-proc for the same
+	// reason noMemo is.
+	leanRun bool
 
 	// sc, when non-nil, routes this processor's accesses through scout
 	// mode (speculative epoch of the parallel engine; see scout.go).
@@ -340,7 +359,9 @@ type System struct {
 func (s *System) SetL0(enabled bool) {
 	for _, pr := range s.procs {
 		pr.noMemo = !enabled
-		pr.l0Line = -1
+		for i := range pr.l0Slot {
+			pr.l0Slot[i] = pr.l1.sent
+		}
 		pr.tlb.noMemo = !enabled
 	}
 }
@@ -410,15 +431,22 @@ func New(cfg *machine.Config, pm *ospage.Manager) (*System, error) {
 	if s.l1Per2 < 1 {
 		s.l1Per2 = 1
 	}
+	// The lean run path assumes an L2 line never crosses a page (true of
+	// every real Origin-like config); fall back to word walks otherwise.
+	// DSM_MEMRUN=off|0|false disables it from the environment.
+	leanRun := cfg.L2LineSize <= cfg.PageBytes && memRunEnv()
 	s.procs = make([]*proc, cfg.NProcs)
 	for p := range s.procs {
 		s.procs[p] = &proc{
-			l1:     newCache(cfg.L1Bytes, cfg.L1LineSize, cfg.L1Assoc),
-			l2:     newCache(cfg.L2Bytes, cfg.L2LineSize, cfg.L2Assoc),
-			tlb:    newTLB(cfg.TLBEntries),
-			node:   cfg.NodeOf(p),
-			l0Line: -1,
-			l1Hit:  int64(cfg.L1HitCyc),
+			l1:      newCache(cfg.L1Bytes, cfg.L1LineSize, cfg.L1Assoc),
+			l2:      newCache(cfg.L2Bytes, cfg.L2LineSize, cfg.L2Assoc),
+			tlb:     newTLB(cfg.TLBEntries),
+			node:    cfg.NodeOf(p),
+			l1Hit:   int64(cfg.L1HitCyc),
+			leanRun: leanRun,
+		}
+		for i := range s.procs[p].l0Slot {
+			s.procs[p].l0Slot[i] = s.procs[p].l1.sent
 		}
 	}
 	return s, nil
@@ -590,9 +618,9 @@ func (s *System) Access(p int, addr int64, write bool) {
 	}
 	if slot := pr.l1.lookup(l1line); slot >= 0 {
 		if !pr.noMemo {
-			pr.l0Line = l1line
-			pr.l0Slot = int32(slot)
-			pr.l0Way = int8(slot - int(l1line&pr.l1.mask)*pr.l1.assoc)
+			i := l1line & l0Mask
+			pr.l0Slot[i] = int32(slot)
+			pr.l0Way[i] = int8(slot - int(l1line&pr.l1.mask)*pr.l1.assoc)
 		}
 		pr.clock += int64(cfg.L1HitCyc)
 		if !write {
@@ -620,7 +648,7 @@ func (s *System) Access(p int, addr int64, write bool) {
 
 	pr.stats.L1Miss++
 	if s.rec != nil {
-		s.rec.L1Miss(p)
+		s.rec.L1Miss(p, 1)
 	}
 	lat := int64(cfg.L2HitCyc)
 
@@ -631,7 +659,7 @@ func (s *System) Access(p int, addr int64, write bool) {
 		lat += int64(cfg.TLBMissCyc)
 		pr.stats.TLBCyc += int64(cfg.TLBMissCyc)
 		if s.rec != nil {
-			s.rec.TLBMiss(p, pr.node, addr, int64(cfg.TLBMissCyc), pr.clock)
+			s.rec.TLBMiss(p, pr.node, addr, int64(cfg.TLBMissCyc), pr.clock, 1)
 		}
 	}
 
@@ -651,7 +679,7 @@ func (s *System) Access(p int, addr int64, write bool) {
 			if s.rec != nil {
 				s.rec.Intervention()
 				s.rec.L2Miss(p, pr.node, home, addr,
-					int64(cfg.RemoteLatency(pr.node, s.procs[d.owner].node)+cfg.CoherenceCyc), pr.clock)
+					int64(cfg.RemoteLatency(pr.node, s.procs[d.owner].node)+cfg.CoherenceCyc), pr.clock, 1)
 			}
 			lat += int64(cfg.RemoteLatency(pr.node, s.procs[d.owner].node) + cfg.CoherenceCyc)
 			d.owner = -1
@@ -668,12 +696,12 @@ func (s *System) Access(p int, addr int64, write bool) {
 				lat += wait
 				pr.stats.WaitCyc += wait
 				if s.rec != nil {
-					s.rec.BWWait(p, home, wait)
+					s.rec.BWWait(p, home, wait, 1)
 				}
 			}
 			lat += base
 			if s.rec != nil {
-				s.rec.L2Miss(p, pr.node, home, addr, base, pr.clock)
+				s.rec.L2Miss(p, pr.node, home, addr, base, pr.clock, 1)
 			}
 			if home == pr.node {
 				pr.stats.L2MissLocal++
@@ -702,9 +730,9 @@ func (s *System) Access(p int, addr int64, write bool) {
 	_, s1, _ := pr.l1.insert(l1line)
 	pr.l1.excl[s1] = pr.l2.excl[slot]
 	if !pr.noMemo {
-		pr.l0Line = l1line
-		pr.l0Slot = int32(s1)
-		pr.l0Way = int8(s1 - int(l1line&pr.l1.mask)*pr.l1.assoc)
+		i := l1line & l0Mask
+		pr.l0Slot[i] = int32(s1)
+		pr.l0Way[i] = int8(s1 - int(l1line&pr.l1.mask)*pr.l1.assoc)
 	}
 
 	pr.clock += lat
@@ -722,15 +750,20 @@ func (s *System) Access(p int, addr int64, write bool) {
 // TestL0FastPathBitIdentical.
 func (s *System) LoadWord(p int, addr int64) uint64 {
 	pr := s.procs[p]
-	if pr.sc != nil {
-		return s.scoutLoadWord(p, pr, addr)
-	}
 	l1line := addr >> pr.l1.shift
-	if l1line == pr.l0Line && pr.l1.tags[pr.l0Slot] == l1line {
+	m := l1line & l0Mask
+	if pr.l1.tags[pr.l0Slot[m]] == l1line && pr.sc == nil {
 		pr.stats.Loads++
-		pr.l1.lru[l1line&pr.l1.mask] = pr.l0Way
+		pr.l1.lru[l1line&pr.l1.mask] = pr.l0Way[m]
 		pr.clock += pr.l1Hit
 		return s.mem[addr>>3]
+	}
+	return s.loadWordSlow(p, pr, addr)
+}
+
+func (s *System) loadWordSlow(p int, pr *proc, addr int64) uint64 {
+	if pr.sc != nil {
+		return s.scoutLoadWord(p, pr, addr)
 	}
 	// Issue the host-side data load before the simulation walk: Access
 	// never reads or writes the backing store, and the walk's own work
@@ -746,17 +779,21 @@ func (s *System) LoadWord(p int, addr int64) uint64 {
 // shared-line write needs the directory and takes the full Access walk.
 func (s *System) StoreWord(p int, addr int64, v uint64) {
 	pr := s.procs[p]
-	if pr.sc != nil {
-		s.scoutStoreWord(p, pr, addr, v)
-		return
-	}
 	l1line := addr >> pr.l1.shift
-	if l1line == pr.l0Line && pr.l1.tags[pr.l0Slot] == l1line &&
-		pr.l1.excl[pr.l0Slot] {
+	m := l1line & l0Mask
+	if slot := pr.l0Slot[m]; pr.l1.tags[slot] == l1line && pr.l1.excl[slot] && pr.sc == nil {
 		pr.stats.Stores++
-		pr.l1.lru[l1line&pr.l1.mask] = pr.l0Way
+		pr.l1.lru[l1line&pr.l1.mask] = pr.l0Way[m]
 		pr.clock += pr.l1Hit
 		s.mem[addr>>3] = v
+		return
+	}
+	s.storeWordSlow(p, pr, addr, v)
+}
+
+func (s *System) storeWordSlow(p int, pr *proc, addr int64, v uint64) {
+	if pr.sc != nil {
+		s.scoutStoreWord(p, pr, addr, v)
 		return
 	}
 	// As in LoadWord, touch the backing store before the walk so the host

@@ -153,9 +153,8 @@ type scoutCtx struct {
 	// Undo state for the processor's own private structures.
 	statsSnap ProcStats
 	clockSnap int64
-	l0Line    int64
-	l0Slot    int32
-	l0Way     int8
+	l0Slot    [l0Ways]int32
+	l0Way     [l0Ways]int8
 	l1LRU     []int8
 	l2LRU     []int8
 	tlbPos    int
@@ -311,7 +310,7 @@ func (s *System) ArmScout(p int, buf *obs.ProcBuffer) {
 	}
 	sc.statsSnap = pr.stats
 	sc.clockSnap = pr.clock
-	sc.l0Line, sc.l0Slot, sc.l0Way = pr.l0Line, pr.l0Slot, pr.l0Way
+	sc.l0Slot, sc.l0Way = pr.l0Slot, pr.l0Way
 	copy(sc.l1LRU, pr.l1.lru)
 	copy(sc.l2LRU, pr.l2.lru)
 	sc.tlbPos, sc.tlbLast = pr.tlb.pos, pr.tlb.last
@@ -356,7 +355,7 @@ func (s *System) AbortScout(p int) {
 	}
 	pr.stats = sc.statsSnap
 	pr.clock = sc.clockSnap
-	pr.l0Line, pr.l0Slot, pr.l0Way = sc.l0Line, sc.l0Slot, sc.l0Way
+	pr.l0Slot, pr.l0Way = sc.l0Slot, sc.l0Way
 	copy(pr.l1.lru, sc.l1LRU)
 	copy(pr.l2.lru, sc.l2LRU)
 	for i := len(sc.cacheJ) - 1; i >= 0; i-- {
@@ -499,9 +498,9 @@ func (s *System) scoutAccess(p int, pr *proc, addr int64, write bool) {
 	}
 	if slot := pr.l1.lookup(l1line); slot >= 0 {
 		if !pr.noMemo {
-			pr.l0Line = l1line
-			pr.l0Slot = int32(slot)
-			pr.l0Way = int8(slot - int(l1line&pr.l1.mask)*pr.l1.assoc)
+			i := l1line & l0Mask
+			pr.l0Slot[i] = int32(slot)
+			pr.l0Way[i] = int8(slot - int(l1line&pr.l1.mask)*pr.l1.assoc)
 		}
 		pr.clock += int64(cfg.L1HitCyc)
 		if !write {
@@ -531,7 +530,7 @@ func (s *System) scoutAccess(p int, pr *proc, addr int64, write bool) {
 
 	pr.stats.L1Miss++
 	if sc.buf != nil {
-		sc.buf.L1Miss()
+		sc.buf.L1Miss(1)
 	}
 	lat := int64(cfg.L2HitCyc)
 
@@ -541,7 +540,7 @@ func (s *System) scoutAccess(p int, pr *proc, addr int64, write bool) {
 		lat += int64(cfg.TLBMissCyc)
 		pr.stats.TLBCyc += int64(cfg.TLBMissCyc)
 		if sc.buf != nil {
-			sc.buf.TLBMiss(pr.node, addr, int64(cfg.TLBMissCyc), pr.clock)
+			sc.buf.TLBMiss(pr.node, addr, int64(cfg.TLBMissCyc), pr.clock, 1)
 		}
 	}
 
@@ -569,12 +568,12 @@ func (s *System) scoutAccess(p int, pr *proc, addr int64, write bool) {
 			lat += wait
 			pr.stats.WaitCyc += wait
 			if sc.buf != nil {
-				sc.buf.BWWait(home, wait)
+				sc.buf.BWWait(home, wait, 1)
 			}
 		}
 		lat += base
 		if sc.buf != nil {
-			sc.buf.L2Miss(pr.node, home, addr, base, pr.clock)
+			sc.buf.L2Miss(pr.node, home, addr, base, pr.clock, 1)
 		}
 		if home == pr.node {
 			pr.stats.L2MissLocal++
@@ -606,9 +605,9 @@ func (s *System) scoutAccess(p int, pr *proc, addr int64, write bool) {
 	sc.jCachePost(pr.l1, s1, v1, v1e)
 	pr.l1.excl[s1] = pr.l2.excl[slot]
 	if !pr.noMemo {
-		pr.l0Line = l1line
-		pr.l0Slot = int32(s1)
-		pr.l0Way = int8(s1 - int(l1line&pr.l1.mask)*pr.l1.assoc)
+		i := l1line & l0Mask
+		pr.l0Slot[i] = int32(s1)
+		pr.l0Way[i] = int8(s1 - int(l1line&pr.l1.mask)*pr.l1.assoc)
 	}
 
 	pr.clock += lat
@@ -644,9 +643,9 @@ func (s *System) scoutLoadWord(p int, pr *proc, addr int64) uint64 {
 		return 0
 	}
 	l1line := addr >> pr.l1.shift
-	if l1line == pr.l0Line && pr.l1.tags[pr.l0Slot] == l1line {
+	if m := l1line & l0Mask; pr.l1.tags[pr.l0Slot[m]] == l1line {
 		pr.stats.Loads++
-		pr.l1.lru[l1line&pr.l1.mask] = pr.l0Way
+		pr.l1.lru[l1line&pr.l1.mask] = pr.l0Way[m]
 		pr.clock += pr.l1Hit
 	} else {
 		s.scoutAccess(p, pr, addr, false)
@@ -669,10 +668,10 @@ func (s *System) scoutStoreWord(p int, pr *proc, addr int64, v uint64) {
 		return
 	}
 	l1line := addr >> pr.l1.shift
-	if l1line == pr.l0Line && pr.l1.tags[pr.l0Slot] == l1line &&
-		pr.l1.excl[pr.l0Slot] {
+	if m := l1line & l0Mask; pr.l1.tags[pr.l0Slot[m]] == l1line &&
+		pr.l1.excl[pr.l0Slot[m]] {
 		pr.stats.Stores++
-		pr.l1.lru[l1line&pr.l1.mask] = pr.l0Way
+		pr.l1.lru[l1line&pr.l1.mask] = pr.l0Way[m]
 		pr.clock += pr.l1Hit
 	} else {
 		s.scoutAccess(p, pr, addr, true)
@@ -681,4 +680,104 @@ func (s *System) scoutStoreWord(p int, pr *proc, addr int64, v uint64) {
 		}
 	}
 	sc.mem.store(addr>>3, v)
+}
+
+// scoutRunWalk mirrors runWalk under speculation. Group heads go through
+// the scout memo guard or the full scoutAccess (which journals cache and
+// directory effects and can abort); bulk L1 hits are charged in batch —
+// their only effects are stats, clock and LRU touches, all of which the
+// epoch snapshot already undoes, so no extra journal entries are needed.
+// Returns the number of words completed: an abort stops the walk at the
+// same word the word-at-a-time loop would have aborted on (the walk's
+// remaining words would all be no-ops there, so stopping is identical).
+func (s *System) scoutRunWalk(p int, pr *proc, addr, stride int64, count int, write bool, pre []int64) int {
+	sc := pr.sc
+	if sc.aborted {
+		return 0
+	}
+	lean := pr.leanRun && stride >= 0 && count >= 2
+	i := 0
+	for i < count {
+		a := addr + int64(i)*stride
+		if pre != nil {
+			pr.clock += pre[i]
+		}
+		l1line := a >> pr.l1.shift
+		if m := l1line & l0Mask; pr.l1.tags[pr.l0Slot[m]] == l1line &&
+			(!write || pr.l1.excl[pr.l0Slot[m]]) {
+			if write {
+				pr.stats.Stores++
+			} else {
+				pr.stats.Loads++
+			}
+			pr.l1.lru[l1line&pr.l1.mask] = pr.l0Way[m]
+			pr.clock += pr.l1Hit
+		} else {
+			s.scoutAccess(p, pr, a, write)
+			if sc.aborted {
+				return i
+			}
+		}
+		if !lean {
+			i++
+			continue
+		}
+		last := groupEnd(pr, a, stride, i, count, l1line)
+		if last > i {
+			slot := pr.l1.lookup(l1line)
+			if slot < 0 || (write && !pr.l1.excl[slot]) {
+				i++ // unreachable after a successful head; word-walk
+				continue
+			}
+			k := int64(last - i)
+			bulk := k * pr.l1Hit
+			if pre != nil {
+				for j := i + 1; j <= last; j++ {
+					bulk += pre[j]
+				}
+			}
+			if write {
+				pr.stats.Stores += k
+			} else {
+				pr.stats.Loads += k
+			}
+			pr.clock += bulk
+		}
+		i = last + 1
+	}
+	return count
+}
+
+// scoutLoadRun mirrors LoadRun with reads probing the epoch's store
+// overlay. Words at and after an abort read as zero, exactly as the
+// aborted word loop would return.
+func (s *System) scoutLoadRun(p int, pr *proc, addr, stride int64, count int, pre []int64, out []uint64) {
+	n := s.scoutRunWalk(p, pr, addr, stride, count, false, pre)
+	sc := pr.sc
+	a := addr
+	for i := 0; i < n; i++ {
+		v := s.mem[a>>3]
+		if sc.mem.n > 0 {
+			if ov, ok := sc.mem.load(a >> 3); ok {
+				v = ov
+			}
+		}
+		out[i] = v
+		a += stride
+	}
+	for i := n; i < count; i++ {
+		out[i] = 0
+	}
+}
+
+// scoutStoreRun mirrors StoreRun with writes landing in the overlay; the
+// aborting word and everything after it store nothing, as in the loop.
+func (s *System) scoutStoreRun(p int, pr *proc, addr, stride int64, count int, pre []int64, vals []uint64) {
+	n := s.scoutRunWalk(p, pr, addr, stride, count, true, pre)
+	sc := pr.sc
+	a := addr
+	for i := 0; i < n; i++ {
+		sc.mem.store(a>>3, vals[i])
+		a += stride
+	}
 }

@@ -27,8 +27,9 @@ type bufEvent struct {
 	kind  uint8
 	node  int32 // accessing node (or waiting node for bwWait)
 	home  int32 // home node (l2Miss only)
+	n     int32 // event count (batched runs emit n identical events)
 	addr  int64
-	cyc   int64 // miss/wait cycles
+	cyc   int64 // miss/wait cycles (per event)
 	clock int64
 }
 
@@ -64,27 +65,27 @@ func (b *ProcBuffer) EndEpoch() {
 	}
 }
 
-// L1Miss buffers a Recorder.L1Miss event. The proc is implied by buffer
+// L1Miss buffers n Recorder.L1Miss events. The proc is implied by buffer
 // ownership and supplied again at replay.
-func (b *ProcBuffer) L1Miss() {
-	b.events = append(b.events, bufEvent{kind: bufL1Miss})
+func (b *ProcBuffer) L1Miss(n int) {
+	b.events = append(b.events, bufEvent{kind: bufL1Miss, n: int32(n)})
 }
 
-// L2Miss buffers a Recorder.L2Miss event.
-func (b *ProcBuffer) L2Miss(accNode, homeNode int, addr, missCyc, clock int64) {
-	b.events = append(b.events, bufEvent{kind: bufL2Miss,
+// L2Miss buffers n identical Recorder.L2Miss events.
+func (b *ProcBuffer) L2Miss(accNode, homeNode int, addr, missCyc, clock int64, n int64) {
+	b.events = append(b.events, bufEvent{kind: bufL2Miss, n: int32(n),
 		node: int32(accNode), home: int32(homeNode), addr: addr, cyc: missCyc, clock: clock})
 }
 
-// TLBMiss buffers a Recorder.TLBMiss event.
-func (b *ProcBuffer) TLBMiss(accNode int, addr, cyc, clock int64) {
-	b.events = append(b.events, bufEvent{kind: bufTLBMiss,
+// TLBMiss buffers n identical Recorder.TLBMiss events.
+func (b *ProcBuffer) TLBMiss(accNode int, addr, cyc, clock int64, n int64) {
+	b.events = append(b.events, bufEvent{kind: bufTLBMiss, n: int32(n),
 		node: int32(accNode), addr: addr, cyc: cyc, clock: clock})
 }
 
-// BWWait buffers a Recorder.BWWait event.
-func (b *ProcBuffer) BWWait(node int, wait int64) {
-	b.events = append(b.events, bufEvent{kind: bufBWWait, node: int32(node), cyc: wait})
+// BWWait buffers n identical Recorder.BWWait events.
+func (b *ProcBuffer) BWWait(node int, wait int64, n int64) {
+	b.events = append(b.events, bufEvent{kind: bufBWWait, n: int32(n), node: int32(node), cyc: wait})
 }
 
 // NumQuanta returns how many quanta were recorded this epoch.
@@ -100,13 +101,13 @@ func (b *ProcBuffer) ReplayQuantum(i, proc int, rec *Recorder) {
 	for _, e := range b.events[q.lo:q.hi] {
 		switch e.kind {
 		case bufL1Miss:
-			rec.L1Miss(proc)
+			rec.L1Miss(proc, int(e.n))
 		case bufL2Miss:
-			rec.L2Miss(proc, int(e.node), int(e.home), e.addr, e.cyc, e.clock)
+			rec.L2Miss(proc, int(e.node), int(e.home), e.addr, e.cyc, e.clock, int64(e.n))
 		case bufTLBMiss:
-			rec.TLBMiss(proc, int(e.node), e.addr, e.cyc, e.clock)
+			rec.TLBMiss(proc, int(e.node), e.addr, e.cyc, e.clock, int64(e.n))
 		case bufBWWait:
-			rec.BWWait(proc, int(e.node), e.cyc)
+			rec.BWWait(proc, int(e.node), e.cyc, int64(e.n))
 		}
 	}
 }

@@ -444,74 +444,80 @@ func (r *Recorder) advanceNow(clock int64) {
 	}
 }
 
-// L1Miss records a primary-cache miss by processor p.
-func (r *Recorder) L1Miss(p int) {
+// L1Miss records n primary-cache misses by processor p. Batched counts
+// come from the memsim run fast path; n identical events aggregate
+// exactly as n single calls would.
+func (r *Recorder) L1Miss(p, n int) {
 	if r != nil {
-		r.counts[KL1Miss]++
-		r.cur.L1Miss++
-		r.procObs[p].L1Miss++
+		r.counts[KL1Miss] += int64(n)
+		r.cur.L1Miss += int64(n)
+		r.procObs[p].L1Miss += int64(n)
 	}
 }
 
-// L2Miss records a secondary-cache miss: the accessing processor, its
-// node, the home (serving) node, the missed address, and the fetch latency
-// (excluding queuing, reported separately through BWWait).
-func (r *Recorder) L2Miss(proc, accNode, homeNode int, addr, missCyc, clock int64) {
+// L2Miss records n identical secondary-cache misses: the accessing
+// processor, its node, the home (serving) node, the missed address, and
+// the per-miss fetch latency (excluding queuing, reported separately
+// through BWWait). A count of n aggregates exactly as n single calls at
+// the same clock would — heat maps, series rows and counters all scale
+// by n.
+func (r *Recorder) L2Miss(proc, accNode, homeNode int, addr, missCyc, clock int64, n int64) {
 	if r != nil {
-		r.l2Miss(proc, accNode, homeNode, addr, missCyc, clock)
+		r.l2Miss(proc, accNode, homeNode, addr, missCyc, clock, n)
 	}
 }
 
-func (r *Recorder) l2Miss(proc, accNode, homeNode int, addr, missCyc, clock int64) {
+func (r *Recorder) l2Miss(proc, accNode, homeNode int, addr, missCyc, clock int64, n int64) {
 	po := &r.procObs[proc]
-	po.MissCyc += missCyc
+	po.MissCyc += missCyc * n
 	remote := accNode != homeNode
 	if remote {
-		r.counts[KL2MissRemote]++
-		r.cur.RemoteMiss++
-		r.cur.RemoteMissCyc += missCyc
-		po.RemoteMiss++
+		r.counts[KL2MissRemote] += n
+		r.cur.RemoteMiss += n
+		r.cur.RemoteMissCyc += missCyc * n
+		po.RemoteMiss += n
 	} else {
-		r.counts[KL2MissLocal]++
-		r.cur.LocalMiss++
-		r.cur.LocalMissCyc += missCyc
-		po.LocalMiss++
+		r.counts[KL2MissLocal] += n
+		r.cur.LocalMiss += n
+		r.cur.LocalMissCyc += missCyc * n
+		po.LocalMiss += n
 	}
 	ph := r.pageAt(addr)
 	ph.Home = homeNode
 	if remote {
-		ph.Remote++
-		ph.RemoteByNode[accNode]++
+		ph.Remote += n
+		ph.RemoteByNode[accNode] += n
 	} else {
-		ph.Local++
+		ph.Local += n
 	}
 	if ai := r.arrayAt(addr); ai != nil {
 		if remote {
-			ai.Nodes[accNode].RemoteMiss++
-			ai.Nodes[homeNode].ServedRemote++
+			ai.Nodes[accNode].RemoteMiss += n
+			ai.Nodes[homeNode].ServedRemote += n
 		} else {
-			ai.Nodes[accNode].LocalMiss++
+			ai.Nodes[accNode].LocalMiss += n
 		}
 	}
 	r.advanceNow(clock)
 }
 
-// TLBMiss records a TLB refill by processor proc on accNode at addr.
-func (r *Recorder) TLBMiss(proc, accNode int, addr, cyc, clock int64) {
+// TLBMiss records n identical TLB refills by processor proc on accNode
+// at addr, costing cyc cycles each.
+func (r *Recorder) TLBMiss(proc, accNode int, addr, cyc, clock int64, n int64) {
 	if r != nil {
-		r.tlbMiss(proc, accNode, addr, cyc, clock)
+		r.tlbMiss(proc, accNode, addr, cyc, clock, n)
 	}
 }
 
-func (r *Recorder) tlbMiss(proc, accNode int, addr, cyc, clock int64) {
-	r.counts[KTLBMiss]++
-	r.cur.TLBMiss++
-	r.cur.TLBCyc += cyc
+func (r *Recorder) tlbMiss(proc, accNode int, addr, cyc, clock int64, n int64) {
+	r.counts[KTLBMiss] += n
+	r.cur.TLBMiss += n
+	r.cur.TLBCyc += cyc * n
 	po := &r.procObs[proc]
-	po.TLBMiss++
-	po.TLBCyc += cyc
+	po.TLBMiss += n
+	po.TLBCyc += cyc * n
 	if ai := r.arrayAt(addr); ai != nil {
-		ai.Nodes[accNode].TLBMiss++
+		ai.Nodes[accNode].TLBMiss += n
 	}
 	r.advanceNow(clock)
 }
@@ -532,13 +538,13 @@ func (r *Recorder) Intervention() {
 	}
 }
 
-// BWWait records cycles processor proc spent queued behind a node
-// memory's bandwidth window.
-func (r *Recorder) BWWait(proc, node int, wait int64) {
+// BWWait records n waits of wait cycles each that processor proc spent
+// queued behind a node memory's bandwidth window.
+func (r *Recorder) BWWait(proc, node int, wait int64, n int64) {
 	if r != nil {
-		r.counts[KBWWait]++
-		r.cur.BWWaitCyc += wait
-		r.procObs[proc].BWWaitCyc += wait
+		r.counts[KBWWait] += n
+		r.cur.BWWaitCyc += wait * n
+		r.procObs[proc].BWWaitCyc += wait * n
 		_ = node
 	}
 }
